@@ -1,0 +1,63 @@
+#include "common/scatter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+
+namespace whtlab::bench {
+
+namespace {
+
+/// 61x21 character-cell scatter plot.
+void ascii_scatter(const ScatterSeries& series) {
+  constexpr int kWidth = 61;
+  constexpr int kHeight = 21;
+  const double x_lo = stats::min_value(series.x);
+  const double x_hi = stats::max_value(series.x);
+  const double y_lo = stats::min_value(series.cycles);
+  const double y_hi = stats::max_value(series.cycles);
+  if (x_hi == x_lo || y_hi == y_lo) return;
+  std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    const int cx = static_cast<int>((series.x[i] - x_lo) / (x_hi - x_lo) *
+                                    (kWidth - 1));
+    const int cy = static_cast<int>((series.cycles[i] - y_lo) /
+                                    (y_hi - y_lo) * (kHeight - 1));
+    char& cell = grid[static_cast<std::size_t>(kHeight - 1 - cy)]
+                     [static_cast<std::size_t>(cx)];
+    cell = cell == ' ' ? '.' : (cell == '.' ? 'o' : '#');
+  }
+  std::printf("\ncycles (vertical, %.3g..%.3g) vs %s (horizontal, %.3g..%.3g)\n",
+              y_lo, y_hi, series.x_label.c_str(), x_lo, x_hi);
+  for (const auto& row : grid) std::printf("|%s|\n", row.c_str());
+}
+
+}  // namespace
+
+void report_scatter(const HarnessOptions& options, const std::string& csv_name,
+                    const ScatterSeries& series,
+                    const std::vector<Marker>& markers) {
+  const double rho = stats::pearson(series.x, series.cycles);
+  const double rank_rho = stats::spearman(series.x, series.cycles);
+  const auto fit = stats::linear_regression(series.x, series.cycles);
+  std::printf("\nPearson rho = %.4f   (Spearman rank rho = %.4f)\n", rho,
+              rank_rho);
+  std::printf("least squares: cycles ~ %.4g + %.4g * %s  (R^2 = %.3f)\n",
+              fit.intercept, fit.slope, series.x_label.c_str(), fit.r_squared);
+
+  ascii_scatter(series);
+
+  std::printf("\nmarkers:\n");
+  for (const auto& marker : markers) {
+    std::printf("  %-10s %s=%.5g  cycles=%.5g\n", marker.name.c_str(),
+                series.x_label.c_str(), marker.x, marker.cycles);
+  }
+
+  write_csv(options, csv_name, {series.x_label, "cycles"},
+            {series.x, series.cycles});
+}
+
+}  // namespace whtlab::bench

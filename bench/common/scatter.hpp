@@ -1,0 +1,31 @@
+// Shared scatter-figure logic for Figures 6-8: correlation + regression of a
+// model quantity against measured cycles over a sampled population, with the
+// canonical and best algorithms marked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/harness.hpp"
+
+namespace whtlab::bench {
+
+struct ScatterSeries {
+  std::string x_label;
+  std::vector<double> x;       ///< model values (fence-filtered)
+  std::vector<double> cycles;  ///< measured cycles (same filter)
+};
+
+struct Marker {
+  std::string name;
+  double x = 0.0;
+  double cycles = 0.0;
+};
+
+/// Prints rho (the figure's headline number), the least-squares line, an
+/// ASCII scatter, and the markers; writes CSV when enabled.
+void report_scatter(const HarnessOptions& options, const std::string& csv_name,
+                    const ScatterSeries& series,
+                    const std::vector<Marker>& markers);
+
+}  // namespace whtlab::bench

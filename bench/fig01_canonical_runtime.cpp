@@ -1,0 +1,73 @@
+// Figure 1: ratio of cycle counts of the canonical algorithms (iterative,
+// left recursive, right recursive) to the best algorithm found by dynamic
+// programming, for sizes 2^1 .. 2^maxn.
+//
+// Paper shape: iterative is closest to best at small sizes; the recursive
+// algorithms win past the cache boundary; right recursive beats left
+// recursive everywhere it matters.
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "core/verify.hpp"
+#include "perf/measure.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner("Figure 1",
+                      "cycle-count ratio: canonical algorithms vs DP best");
+
+  perf::MeasureOptions measure;
+  measure.repetitions = 7;
+  measure.warmup = 2;
+
+  util::TextTable table({"n", "best plan", "cycles(best)", "iter/best",
+                         "right/best", "left/best"});
+  std::vector<double> ns;
+  std::vector<double> ratio_iter;
+  std::vector<double> ratio_right;
+  std::vector<double> ratio_left;
+
+  for (int n = 1; n <= options.max_n; ++n) {
+    const core::Plan best = bench::best_plan_by_runtime(n);
+    const auto canon = bench::canonical_suite(n);
+    const double best_cycles = perf::measure_plan(best, measure).cycles();
+    const double iter = perf::measure_plan(canon.iterative, measure).cycles();
+    const double right =
+        perf::measure_plan(canon.right_recursive, measure).cycles();
+    const double left =
+        perf::measure_plan(canon.left_recursive, measure).cycles();
+
+    ns.push_back(n);
+    ratio_iter.push_back(iter / best_cycles);
+    ratio_right.push_back(right / best_cycles);
+    ratio_left.push_back(left / best_cycles);
+
+    std::string plan_text = best.to_string();
+    if (plan_text.size() > 40) plan_text = plan_text.substr(0, 37) + "...";
+    table.add_row({util::TextTable::fmt(n), plan_text,
+                   util::TextTable::fmt(best_cycles, 5),
+                   util::TextTable::fmt(ratio_iter.back(), 4),
+                   util::TextTable::fmt(ratio_right.back(), 4),
+                   util::TextTable::fmt(ratio_left.back(), 4)});
+  }
+  table.print();
+
+  std::printf("\nlower ratio is better; expect recursive plans to overtake the\n"
+              "iterative plan once 2^n doubles no longer fit in cache.\n");
+  bench::write_csv(options, "fig01_canonical_runtime",
+                   {"n", "iter_over_best", "right_over_best", "left_over_best"},
+                   {ns, ratio_iter, ratio_right, ratio_left});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

@@ -1,0 +1,60 @@
+// Figure 2: ratio of instruction counts of the canonical algorithms to the
+// best algorithm, sizes 2^1 .. 2^maxn.
+//
+// Paper shape: the iterative algorithm has the lowest instruction count of
+// the canonical plans at every size (1.5-2x best); the recursive plans sit
+// higher (right below left).
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "model/instruction_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner("Figure 2",
+                      "instruction-count ratio: canonical algorithms vs DP best");
+
+  util::TextTable table({"n", "instr(best)", "iter/best", "right/best",
+                         "left/best"});
+  std::vector<double> ns;
+  std::vector<double> ratio_iter;
+  std::vector<double> ratio_right;
+  std::vector<double> ratio_left;
+
+  for (int n = 1; n <= options.max_n; ++n) {
+    const core::Plan best = bench::best_plan_by_runtime(n);
+    const auto canon = bench::canonical_suite(n);
+    const double best_instr = model::instruction_count(best);
+    ns.push_back(n);
+    ratio_iter.push_back(model::instruction_count(canon.iterative) / best_instr);
+    ratio_right.push_back(
+        model::instruction_count(canon.right_recursive) / best_instr);
+    ratio_left.push_back(
+        model::instruction_count(canon.left_recursive) / best_instr);
+    table.add_row({util::TextTable::fmt(n),
+                   util::TextTable::fmt(best_instr, 5),
+                   util::TextTable::fmt(ratio_iter.back(), 4),
+                   util::TextTable::fmt(ratio_right.back(), 4),
+                   util::TextTable::fmt(ratio_left.back(), 4)});
+  }
+  table.print();
+
+  std::printf("\nexpect: iterative lowest among canonical at every size, and\n"
+              "right recursive below left recursive.\n");
+  bench::write_csv(options, "fig02_canonical_instructions",
+                   {"n", "iter_over_best", "right_over_best", "left_over_best"},
+                   {ns, ratio_iter, ratio_right, ratio_left});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

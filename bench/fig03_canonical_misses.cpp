@@ -1,0 +1,67 @@
+// Figure 3: log10 of the cache-miss ratio of the canonical algorithms to the
+// best algorithm, sizes 2^1 .. 2^maxn, simulated L1 in the paper machine's
+// geometry (64 KB, 2-way, 64 B lines).
+//
+// Paper shape: all plans tie (compulsory misses only) while the transform
+// fits in L1; past the boundary the left recursive plan's misses explode
+// (its unit-stride chain is on the wrong side, leaving large-stride leaf
+// work), the right recursive plan misses least, the iterative plan sits in
+// between.
+#include <cstdio>
+
+#include <cmath>
+
+#include "cachesim/trace_runner.hpp"
+#include "common/harness.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner("Figure 3",
+                      "log10 cache-miss ratio: canonical algorithms vs DP best");
+
+  const auto l1 = cachesim::CacheConfig::opteron_l1();
+  util::TextTable table({"n", "misses(best)", "log10(iter/best)",
+                         "log10(right/best)", "log10(left/best)"});
+  std::vector<double> ns;
+  std::vector<double> log_iter;
+  std::vector<double> log_right;
+  std::vector<double> log_left;
+
+  for (int n = 1; n <= options.max_n; ++n) {
+    const core::Plan best = bench::best_plan_by_runtime(n);
+    const auto canon = bench::canonical_suite(n);
+    const auto misses = [&l1](const core::Plan& plan) {
+      return static_cast<double>(cachesim::simulate_plan(plan, l1).l1_misses);
+    };
+    const double best_misses = misses(best);
+    ns.push_back(n);
+    log_iter.push_back(std::log10(misses(canon.iterative) / best_misses));
+    log_right.push_back(std::log10(misses(canon.right_recursive) / best_misses));
+    log_left.push_back(std::log10(misses(canon.left_recursive) / best_misses));
+    table.add_row({util::TextTable::fmt(n),
+                   util::TextTable::fmt(best_misses, 6),
+                   util::TextTable::fmt(log_iter.back(), 4),
+                   util::TextTable::fmt(log_right.back(), 4),
+                   util::TextTable::fmt(log_left.back(), 4)});
+  }
+  table.print();
+
+  std::printf("\nexpect zeros while 2^n fits in L1 (everyone pays compulsory\n"
+              "misses only), then left recursive worst by an order of magnitude.\n");
+  bench::write_csv(options, "fig03_canonical_misses",
+                   {"n", "log10_iter", "log10_right", "log10_left"},
+                   {ns, log_iter, log_right, log_left});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

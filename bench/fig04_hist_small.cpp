@@ -1,0 +1,71 @@
+// Figure 4: histograms (50 bins) of cycle counts and instruction counts for
+// a random sample of WHT(2^9) algorithms, outer-fence outlier filtered.
+//
+// Paper shape: the two histograms have very similar shape at this in-cache
+// size — the visual prelude to the rho = 0.96 correlation of Figure 6.
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+void print_histogram(const char* title, const std::vector<double>& xs) {
+  const stats::Histogram hist(xs, 50);
+  std::printf("\n%s (%llu samples, 50 bins)\n", title,
+              static_cast<unsigned long long>(hist.total()));
+  std::printf("%s", hist.render(60).c_str());
+  std::printf("mean=%.4g sd=%.4g skew=%.3f excess-kurtosis=%.3f JB=%.1f\n",
+              stats::mean(xs), stats::stddev(xs), stats::skewness(xs),
+              stats::excess_kurtosis(xs), stats::jarque_bera(xs));
+}
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner(
+      "Figure 4", "cycle & instruction histograms, WHT(2^9) random sample");
+
+  auto pop = bench::build_population(9, options.samples_small, options.seed);
+
+  // Paper: filter extreme outliers beyond the outer fences (on cycles; the
+  // instruction counts are deterministic and have no outliers to shed).
+  const auto kept = bench::fence_filter(pop.cycles);
+  std::printf("outer-fence filter kept %zu / %zu samples\n", kept.size(),
+              pop.cycles.size());
+  const auto cycles = stats::select(pop.cycles, kept);
+  const auto instructions = stats::select(pop.instructions, kept);
+
+  print_histogram("Cycle counts", cycles);
+  print_histogram("Instruction counts", instructions);
+
+  std::vector<double> cycle_centers;
+  std::vector<double> cycle_counts;
+  const stats::Histogram hc(cycles, 50);
+  for (int b = 0; b < hc.bins(); ++b) {
+    cycle_centers.push_back(hc.bin_center(b));
+    cycle_counts.push_back(static_cast<double>(hc.count(b)));
+  }
+  std::vector<double> instr_centers;
+  std::vector<double> instr_counts;
+  const stats::Histogram hi(instructions, 50);
+  for (int b = 0; b < hi.bins(); ++b) {
+    instr_centers.push_back(hi.bin_center(b));
+    instr_counts.push_back(static_cast<double>(hi.count(b)));
+  }
+  bench::write_csv(options, "fig04_hist_small_cycles",
+                   {"bin_center", "count"}, {cycle_centers, cycle_counts});
+  bench::write_csv(options, "fig04_hist_small_instructions",
+                   {"bin_center", "count"}, {instr_centers, instr_counts});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

@@ -1,0 +1,49 @@
+// Figure 6: instructions vs cycles scatter for the WHT(2^9) sample.
+// Paper headline: correlation coefficient rho = 0.96 on their Opteron.
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "common/scatter.hpp"
+#include "model/instruction_model.hpp"
+#include "perf/measure.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner("Figure 6",
+                      "instructions vs cycles, WHT(2^9) (paper: rho = 0.96)");
+
+  auto pop = bench::build_population(9, options.samples_small, options.seed);
+  const auto kept = bench::fence_filter(pop.cycles);
+  bench::ScatterSeries series;
+  series.x_label = "instructions";
+  series.x = stats::select(pop.instructions, kept);
+  series.cycles = stats::select(pop.cycles, kept);
+
+  perf::MeasureOptions measure;
+  measure.repetitions = 7;
+  const auto canon = bench::canonical_suite(9);
+  const core::Plan best = bench::best_plan_by_runtime(9);
+  std::vector<bench::Marker> markers;
+  for (const auto& [name, plan] :
+       {std::pair<const char*, const core::Plan*>{"best", &best},
+        {"iterative", &canon.iterative},
+        {"right", &canon.right_recursive},
+        {"left", &canon.left_recursive}}) {
+    markers.push_back({name, model::instruction_count(*plan),
+                       perf::measure_plan(*plan, measure).cycles()});
+  }
+  bench::report_scatter(options, "fig06_scatter_small", series, markers);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

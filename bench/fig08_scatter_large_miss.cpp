@@ -1,0 +1,53 @@
+// Figure 8: cache misses vs cycles scatter for the WHT(2^18) sample.
+// Paper headline: rho = 0.66 — misses alone correlate worse than
+// instructions alone; the combination (Figure 9) beats both.
+#include <cstdio>
+
+#include "cachesim/trace_runner.hpp"
+#include "common/harness.hpp"
+#include "common/scatter.hpp"
+#include "perf/measure.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner("Figure 8",
+                      "cache misses vs cycles, WHT(2^18) (paper: rho = 0.66)");
+
+  auto pop = bench::build_population(18, options.samples_large, options.seed);
+  const auto kept = bench::fence_filter(pop.cycles);
+  bench::ScatterSeries series;
+  series.x_label = "l1_misses";
+  series.x = stats::select(pop.misses, kept);
+  series.cycles = stats::select(pop.cycles, kept);
+
+  perf::MeasureOptions measure;
+  measure.repetitions = 5;
+  const auto l1 = cachesim::CacheConfig::host_l1();
+  const auto canon = bench::canonical_suite(18);
+  const core::Plan best = bench::best_plan_by_runtime(18);
+  std::vector<bench::Marker> markers;
+  for (const auto& [name, plan] :
+       {std::pair<const char*, const core::Plan*>{"best", &best},
+        {"iterative", &canon.iterative},
+        {"right", &canon.right_recursive},
+        {"left", &canon.left_recursive}}) {
+    markers.push_back(
+        {name,
+         static_cast<double>(cachesim::simulate_plan(*plan, l1).l1_misses),
+         perf::measure_plan(*plan, measure).cycles()});
+  }
+  bench::report_scatter(options, "fig08_scatter_large_miss", series, markers);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

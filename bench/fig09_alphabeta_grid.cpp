@@ -1,0 +1,78 @@
+// Figure 9: Pearson correlation of cycles with alpha*Instructions +
+// beta*Misses over the (alpha, beta) grid [0,1]^2 in steps of 0.05, for the
+// WHT(2^18) sample.
+//
+// Paper headline: the maximum rho = 0.92 occurs at alpha = 1.00, beta = 0.05
+// — the combined model recovers nearly the in-cache correlation.  (Only the
+// ratio beta/alpha matters; the surface is constant along rays.)
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/grid_opt.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner(
+      "Figure 9",
+      "rho(alpha,beta) for alpha*I + beta*M vs cycles, WHT(2^18)");
+
+  auto pop = bench::build_population(18, options.samples_large, options.seed);
+  const auto kept = bench::fence_filter(pop.cycles);
+  const auto cycles = stats::select(pop.cycles, kept);
+  const auto instructions = stats::select(pop.instructions, kept);
+  const auto misses = stats::select(pop.misses, kept);
+
+  const auto grid = stats::correlation_grid(instructions, misses, cycles, 0.05);
+
+  // Print every 4th grid line to keep the table readable; full surface in CSV.
+  std::printf("\nrho surface (rows: alpha, cols: beta; every 4th value):\n");
+  std::printf("alpha\\beta");
+  for (std::size_t j = 0; j < grid.betas.size(); j += 4) {
+    std::printf("  %5.2f", grid.betas[j]);
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < grid.alphas.size(); i += 4) {
+    std::printf("   %5.2f  ", grid.alphas[i]);
+    for (std::size_t j = 0; j < grid.betas.size(); j += 4) {
+      std::printf("  %5.2f", grid.rho[i][j]);
+    }
+    std::printf("\n");
+  }
+
+  const double rho_i = stats::pearson(instructions, cycles);
+  const double rho_m = stats::pearson(misses, cycles);
+  std::printf("\nrho(instructions alone) = %.4f   [paper: 0.77]\n", rho_i);
+  std::printf("rho(misses alone)       = %.4f   [paper: 0.66]\n", rho_m);
+  std::printf("max rho = %.4f at alpha = %.2f, beta = %.2f   [paper: 0.92 at (1.00, 0.05)]\n",
+              grid.best_rho, grid.best_alpha, grid.best_beta);
+  std::printf("optimal mixing ratio beta/alpha = %.4f\n",
+              grid.best_alpha > 0 ? grid.best_beta / grid.best_alpha : 0.0);
+
+  // CSV: long format alpha,beta,rho.
+  std::vector<double> alphas;
+  std::vector<double> betas;
+  std::vector<double> rhos;
+  for (std::size_t i = 0; i < grid.alphas.size(); ++i) {
+    for (std::size_t j = 0; j < grid.betas.size(); ++j) {
+      alphas.push_back(grid.alphas[i]);
+      betas.push_back(grid.betas[j]);
+      rhos.push_back(grid.rho[i][j]);
+    }
+  }
+  bench::write_csv(options, "fig09_alphabeta_grid", {"alpha", "beta", "rho"},
+                   {alphas, betas, rhos});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

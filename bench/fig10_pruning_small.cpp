@@ -1,0 +1,67 @@
+// Figure 10: cumulative percentage of WHT(2^9) algorithms with performance
+// outside the pth percentile, as a function of instruction count
+// (p = 1, 5, 10).
+//
+// Paper payoff: "for size n = 9, to find an algorithm whose performance is
+// within 5% of the best we may discard all algorithms with more than 7x10^4
+// instructions" — the curves stay near 0 up to a modest threshold and
+// approach 1 - p at the maximum.
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/pruning.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner("Figure 10",
+                      "pruning curves vs instruction count, WHT(2^9)");
+
+  auto pop = bench::build_population(9, options.samples_small, options.seed);
+  const auto kept = bench::fence_filter(pop.cycles);
+  const auto cycles = stats::select(pop.cycles, kept);
+  const auto instructions = stats::select(pop.instructions, kept);
+
+  const std::vector<double> percentiles{0.01, 0.05, 0.10};
+  std::vector<stats::PruningCurve> curves;
+  for (double p : percentiles) {
+    curves.push_back(stats::pruning_curve(instructions, cycles, p, 40));
+  }
+
+  util::TextTable table({"instr threshold", "P(outside top 1%)",
+                         "P(outside top 5%)", "P(outside top 10%)"});
+  for (std::size_t i = 0; i < curves[0].thresholds.size(); ++i) {
+    table.add_row({util::TextTable::fmt(curves[0].thresholds[i], 6),
+                   util::TextTable::fmt(curves[0].outside_fraction[i], 4),
+                   util::TextTable::fmt(curves[1].outside_fraction[i], 4),
+                   util::TextTable::fmt(curves[2].outside_fraction[i], 4)});
+  }
+  table.print();
+
+  for (std::size_t c = 0; c < percentiles.size(); ++c) {
+    const double threshold = stats::min_safe_threshold(
+        instructions, cycles, percentiles[c]);
+    std::printf(
+        "top-%g%% plans are retained by pruning at instruction count >= %.5g\n",
+        percentiles[c] * 100, threshold);
+  }
+  std::printf("(expect each curve to approach 1-p at the right edge.)\n");
+
+  bench::write_csv(options, "fig10_pruning_small",
+                   {"threshold", "outside_p01", "outside_p05", "outside_p10"},
+                   {curves[0].thresholds, curves[0].outside_fraction,
+                    curves[1].outside_fraction, curves[2].outside_fraction});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

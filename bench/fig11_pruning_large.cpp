@@ -1,0 +1,74 @@
+// Figure 11: cumulative percentage of WHT(2^18) algorithms with cycle counts
+// outside the pth percentile, as a function of the combined model
+// alpha*Instructions + beta*Misses (p = 1, 5, 10), with (alpha, beta) chosen
+// by the Figure 9 grid search.
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/grid_opt.hpp"
+#include "stats/pruning.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+int run(const bench::HarnessOptions& options) {
+  bench::print_banner(
+      "Figure 11",
+      "pruning curves vs alpha*I + beta*M, WHT(2^18)");
+
+  auto pop = bench::build_population(18, options.samples_large, options.seed);
+  const auto kept = bench::fence_filter(pop.cycles);
+  const auto cycles = stats::select(pop.cycles, kept);
+  const auto instructions = stats::select(pop.instructions, kept);
+  const auto misses = stats::select(pop.misses, kept);
+
+  // Combine with the correlation-maximizing coefficients (Figure 9 step).
+  const auto grid = stats::correlation_grid(instructions, misses, cycles, 0.05);
+  std::printf("using alpha = %.2f, beta = %.2f (max rho = %.4f)\n",
+              grid.best_alpha, grid.best_beta, grid.best_rho);
+  std::vector<double> combined(instructions.size());
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    combined[i] = grid.best_alpha * instructions[i] + grid.best_beta * misses[i];
+  }
+
+  const std::vector<double> percentiles{0.01, 0.05, 0.10};
+  std::vector<stats::PruningCurve> curves;
+  for (double p : percentiles) {
+    curves.push_back(stats::pruning_curve(combined, cycles, p, 40));
+  }
+
+  util::TextTable table({"aI+bM threshold", "P(outside top 1%)",
+                         "P(outside top 5%)", "P(outside top 10%)"});
+  for (std::size_t i = 0; i < curves[0].thresholds.size(); ++i) {
+    table.add_row({util::TextTable::fmt(curves[0].thresholds[i], 6),
+                   util::TextTable::fmt(curves[0].outside_fraction[i], 4),
+                   util::TextTable::fmt(curves[1].outside_fraction[i], 4),
+                   util::TextTable::fmt(curves[2].outside_fraction[i], 4)});
+  }
+  table.print();
+
+  for (std::size_t c = 0; c < percentiles.size(); ++c) {
+    std::printf(
+        "top-%g%% plans retained by pruning at combined model >= %.5g\n",
+        percentiles[c] * 100,
+        stats::min_safe_threshold(combined, cycles, percentiles[c]));
+  }
+  std::printf("(expect each curve to approach 1-p at the right edge.)\n");
+
+  bench::write_csv(options, "fig11_pruning_large",
+                   {"threshold", "outside_p01", "outside_p05", "outside_p10"},
+                   {curves[0].thresholds, curves[0].outside_fraction,
+                    curves[1].outside_fraction, curves[2].outside_fraction});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = whtlab::bench::HarnessOptions::parse(argc, argv);
+  if (!options) return 0;
+  return run(*options);
+}

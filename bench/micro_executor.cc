@@ -1,0 +1,75 @@
+// Executor throughput across plan shapes and sizes, plus the parallel
+// executor ablation.
+//
+// The canonical-plan cases are the raw material of Figure 1; the
+// MFLOP-style items/sec counter (butterfly outputs per second) makes sizes
+// comparable.
+#include <benchmark/benchmark.h>
+
+#include "core/executor.hpp"
+#include "core/parallel_executor.hpp"
+#include "core/plan.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+void run_plan(benchmark::State& state, const core::Plan& plan) {
+  util::AlignedBuffer x(plan.size());
+  util::Rng rng(3);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    core::execute(plan, x.data());
+    benchmark::DoNotOptimize(x.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(plan.size()) * plan.log2_size());
+}
+
+void BM_Iterative(benchmark::State& state) {
+  run_plan(state, core::Plan::iterative(static_cast<int>(state.range(0))));
+}
+void BM_RightRecursive(benchmark::State& state) {
+  run_plan(state, core::Plan::right_recursive(static_cast<int>(state.range(0))));
+}
+void BM_LeftRecursive(benchmark::State& state) {
+  run_plan(state, core::Plan::left_recursive(static_cast<int>(state.range(0))));
+}
+void BM_BalancedRadix4(benchmark::State& state) {
+  run_plan(state,
+           core::Plan::balanced_binary(static_cast<int>(state.range(0)), 4));
+}
+void BM_IterativeRadix8(benchmark::State& state) {
+  run_plan(state,
+           core::Plan::iterative_radix(static_cast<int>(state.range(0)), 8));
+}
+
+BENCHMARK(BM_Iterative)->DenseRange(8, 20, 4);
+BENCHMARK(BM_RightRecursive)->DenseRange(8, 20, 4);
+BENCHMARK(BM_LeftRecursive)->DenseRange(8, 20, 4);
+BENCHMARK(BM_BalancedRadix4)->DenseRange(8, 20, 4);
+BENCHMARK(BM_IterativeRadix8)->DenseRange(8, 20, 4);
+
+void BM_ParallelExecutor(benchmark::State& state) {
+  const core::Plan plan = core::Plan::balanced_binary(18, 6);
+  const int threads = static_cast<int>(state.range(0));
+  util::AlignedBuffer x(plan.size());
+  x.fill(1.0);
+  for (auto _ : state) {
+    core::execute_parallel(plan, x.data(), threads);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(plan.size()) * plan.log2_size());
+}
+
+BENCHMARK(BM_ParallelExecutor)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Throughput of the measurement substrate itself: plan sampling, the
+// instruction model, the analytic cache model, and the trace-driven
+// simulator.  These bound how large a population the figure benches can
+// process per second — the practical cost of "computable from the high-level
+// description" vs simulation.
+#include <benchmark/benchmark.h>
+
+#include "cachesim/trace_runner.hpp"
+#include "model/cache_model.hpp"
+#include "model/instruction_model.hpp"
+#include "search/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+void BM_RecursiveSplitSampler(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    auto plan = sampler.sample(n, rng);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_RecursiveSplitSampler)->Arg(9)->Arg(18)->Arg(26);
+
+void BM_InstructionModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  util::Rng rng(2);
+  const auto plan = sampler.sample(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::instruction_count(plan));
+  }
+}
+BENCHMARK(BM_InstructionModel)->Arg(9)->Arg(18)->Arg(26);
+
+void BM_CacheModelDirectMapped(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  util::Rng rng(3);
+  const auto plan = sampler.sample(n, rng);
+  const auto config = model::CacheModelConfig::opteron_l1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::direct_mapped_misses(plan, config));
+  }
+}
+BENCHMARK(BM_CacheModelDirectMapped)->Arg(9)->Arg(14)->Arg(18);
+
+void BM_TraceSimulatorTwoWay(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  util::Rng rng(4);
+  const auto plan = sampler.sample(n, rng);
+  const auto config = cachesim::CacheConfig::opteron_l1();
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    const auto result = cachesim::simulate_plan(plan, config);
+    accesses = result.accesses;
+    benchmark::DoNotOptimize(result.l1_misses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_TraceSimulatorTwoWay)->Arg(9)->Arg(14)->Arg(18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Search-strategy ablation: model-based DP vs runtime-based DP vs pruned and
+// plain random search — the engineering trade the paper's conclusion points
+// at ("restrict a random or exhaustive search to this subspace").
+#include <benchmark/benchmark.h>
+
+#include "model/combined_model.hpp"
+#include "model/instruction_model.hpp"
+#include "perf/measure.hpp"
+#include "search/dp_search.hpp"
+#include "search/pruned_search.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+void BM_DpSearchModelCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = search::dp_search(
+        n, [](const core::Plan& p) { return model::instruction_count(p); });
+    benchmark::DoNotOptimize(result.cost);
+  }
+}
+BENCHMARK(BM_DpSearchModelCost)->Arg(10)->Arg(14)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DpSearchCombinedModelCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  model::CombinedModel combined;
+  search::DpOptions options;
+  options.max_parts = 3;
+  for (auto _ : state) {
+    auto result = search::dp_search(
+        n, [&combined](const core::Plan& p) { return combined(p); }, options);
+    benchmark::DoNotOptimize(result.cost);
+  }
+}
+BENCHMARK(BM_DpSearchCombinedModelCost)->Arg(10)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PrunedRandomSearch(benchmark::State& state) {
+  const int n = 10;
+  util::Rng rng(5);
+  search::PrunedSearchOptions options;
+  options.candidates = static_cast<int>(state.range(0));
+  options.keep_fraction = 0.1;
+  options.measure.repetitions = 3;
+  options.measure.warmup = 1;
+  for (auto _ : state) {
+    auto result = search::model_pruned_search(
+        n, [](const core::Plan& p) { return model::instruction_count(p); },
+        rng, options);
+    benchmark::DoNotOptimize(result.best_cycles);
+  }
+}
+BENCHMARK(BM_PrunedRandomSearch)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

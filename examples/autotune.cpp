@@ -1,0 +1,66 @@
+// autotune — find a fast WHT plan for this machine, the WHT-package way.
+//
+// Runs the dynamic-programming search with measured runtime as cost and
+// compares the winner against the canonical algorithms, reproducing the
+// "best" line of the paper's Figure 1 for one size.
+//
+// Run:  ./autotune [n]           (default n = 16)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/verify.hpp"
+#include "perf/measure.hpp"
+#include "search/dp_search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whtlab;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 16;
+  if (n < 1 || n > 24) {
+    std::fprintf(stderr, "n out of range (1..24): %d\n", n);
+    return 1;
+  }
+
+  std::printf("autotuning WHT(2^%d) by dynamic programming over measured runtime...\n", n);
+  perf::MeasureOptions measure;
+  measure.repetitions = 5;
+  search::DpOptions options;
+  options.max_parts = n <= 12 ? 3 : 2;
+  const auto result = search::dp_search(
+      n,
+      [&measure](const core::Plan& plan) {
+        return perf::measure_plan(plan, measure).cycles();
+      },
+      options);
+
+  std::printf("evaluated %llu candidate plans\n",
+              static_cast<unsigned long long>(result.evaluations));
+  std::printf("best plan: %s\n", result.plan.to_string().c_str());
+  std::printf("verification error: %.3g\n\n", core::verify_plan(result.plan));
+
+  perf::MeasureOptions final_measure;
+  final_measure.repetitions = 9;
+  const double best = perf::measure_plan(result.plan, final_measure).cycles();
+  const double iter =
+      perf::measure_plan(core::Plan::iterative(n), final_measure).cycles();
+  const double right =
+      perf::measure_plan(core::Plan::right_recursive(n), final_measure).cycles();
+  const double left =
+      perf::measure_plan(core::Plan::left_recursive(n), final_measure).cycles();
+
+  std::printf("%-16s %14s %10s\n", "plan", "median cycles", "vs best");
+  std::printf("%-16s %14.0f %9.2fx\n", "best (DP)", best, 1.0);
+  std::printf("%-16s %14.0f %9.2fx\n", "iterative", iter, iter / best);
+  std::printf("%-16s %14.0f %9.2fx\n", "right recursive", right, right / best);
+  std::printf("%-16s %14.0f %9.2fx\n", "left recursive", left, left / best);
+
+  // Per-size table: the DP's intermediate winners (useful for seeing where
+  // base-case sizes stop growing and splits begin).
+  std::printf("\nDP winners by size:\n");
+  for (int m = 1; m <= n; ++m) {
+    std::printf("  n=%2d  %10.0f cycles  %s\n", m,
+                result.cost_by_size[static_cast<std::size_t>(m)],
+                result.best_by_size[static_cast<std::size_t>(m)].to_string().c_str());
+  }
+  return 0;
+}

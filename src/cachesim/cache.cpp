@@ -1,0 +1,72 @@
+#include "cachesim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace whtlab::cachesim {
+
+void CacheConfig::validate() const {
+  const auto pow2 = [](std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; };
+  if (!pow2(line_bytes)) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (line_bytes > size_bytes) {
+    throw std::invalid_argument("line larger than cache");
+  }
+  if (associativity == 0 || associativity > num_lines()) {
+    throw std::invalid_argument("bad associativity");
+  }
+  if (size_bytes % (static_cast<std::uint64_t>(line_bytes) * associativity) != 0) {
+    throw std::invalid_argument("size not a multiple of line * associativity");
+  }
+  if (!pow2(num_sets())) {
+    throw std::invalid_argument("number of sets must be a power of two");
+  }
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  config_.validate();
+  const std::uint64_t sets = config_.num_sets();
+  set_mask_ = sets - 1;
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+      static_cast<std::uint64_t>(config_.line_bytes)));
+  assoc_ = config_.associativity;
+  ways_.assign(sets * assoc_, kInvalid);
+}
+
+bool Cache::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = line & set_mask_;
+  std::uint64_t* base = ways_.data() + set * assoc_;
+
+  // Hit: rotate the matching way to the MRU slot.
+  for (std::uint32_t i = 0; i < assoc_; ++i) {
+    if (base[i] == line) {
+      for (std::uint32_t j = i; j > 0; --j) base[j] = base[j - 1];
+      base[0] = line;
+      return true;
+    }
+  }
+  // Miss: evict LRU (last way), shift, insert as MRU.
+  ++stats_.misses;
+  for (std::uint32_t j = assoc_ - 1; j > 0; --j) base[j] = base[j - 1];
+  base[0] = line;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = line & set_mask_;
+  const std::uint64_t* base = ways_.data() + set * assoc_;
+  for (std::uint32_t i = 0; i < assoc_; ++i) {
+    if (base[i] == line) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& way : ways_) way = kInvalid;
+}
+
+}  // namespace whtlab::cachesim

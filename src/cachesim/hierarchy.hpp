@@ -1,0 +1,47 @@
+// Two-level cache hierarchy (L1 + L2), inclusive, LRU at both levels.
+//
+// L2 is consulted only on an L1 miss, mirroring how PAPI's L2 miss counter
+// behaved on the paper's Opteron.  The hierarchy reports per-level stats so
+// the experiment harness can tabulate both L1 and L2 misses.
+#pragma once
+
+#include "cachesim/cache.hpp"
+
+namespace whtlab::cachesim {
+
+class Hierarchy {
+ public:
+  Hierarchy(const CacheConfig& l1, const CacheConfig& l2)
+      : l1_(l1), l2_(l2) {}
+
+  /// Opteron Model 224: 64 KB 2-way L1, 1 MB 16-way L2.
+  static Hierarchy opteron() {
+    return {CacheConfig::opteron_l1(), CacheConfig::opteron_l2()};
+  }
+
+  /// Returns the level that served the access: 1 (L1 hit), 2 (L2 hit) or
+  /// 3 (memory).
+  int access(std::uint64_t addr) {
+    if (l1_.access(addr)) return 1;
+    if (l2_.access(addr)) return 2;
+    return 3;
+  }
+
+  const CacheStats& l1_stats() const { return l1_.stats(); }
+  const CacheStats& l2_stats() const { return l2_.stats(); }
+
+  void flush() {
+    l1_.flush();
+    l2_.flush();
+  }
+  void reset_stats() {
+    l1_.reset_stats();
+    l2_.reset_stats();
+  }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+};
+
+}  // namespace whtlab::cachesim

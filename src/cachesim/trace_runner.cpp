@@ -1,0 +1,40 @@
+#include "cachesim/trace_runner.hpp"
+
+namespace whtlab::cachesim {
+
+namespace {
+constexpr std::uint64_t kElementBytes = sizeof(double);
+}  // namespace
+
+TraceResult simulate_plan(const core::Plan& plan, const CacheConfig& config) {
+  Cache cache(config);
+  auto sink = [&cache](std::uint64_t index, bool /*is_store*/) {
+    cache.access(index * kElementBytes);
+  };
+  core::reference_stream(plan, sink);
+  return {cache.stats().accesses, cache.stats().misses, 0};
+}
+
+TraceResult simulate_plan(const core::Plan& plan, const CacheConfig& l1,
+                          const CacheConfig& l2) {
+  Hierarchy hierarchy(l1, l2);
+  auto sink = [&hierarchy](std::uint64_t index, bool /*is_store*/) {
+    hierarchy.access(index * kElementBytes);
+  };
+  core::reference_stream(plan, sink);
+  return {hierarchy.l1_stats().accesses, hierarchy.l1_stats().misses,
+          hierarchy.l2_stats().misses};
+}
+
+TraceResult simulate_plan_warm(const core::Plan& plan, Cache& cache) {
+  const std::uint64_t accesses_before = cache.stats().accesses;
+  const std::uint64_t misses_before = cache.stats().misses;
+  auto sink = [&cache](std::uint64_t index, bool /*is_store*/) {
+    cache.access(index * kElementBytes);
+  };
+  core::reference_stream(plan, sink);
+  return {cache.stats().accesses - accesses_before,
+          cache.stats().misses - misses_before, 0};
+}
+
+}  // namespace whtlab::cachesim

@@ -1,0 +1,36 @@
+// Replaying plan executions through the cache model.
+//
+// Bridges core::reference_stream (element-granularity load/store sequence of
+// the plan interpreter) and the byte-addressed cache model.  The data vector
+// is assumed to start at a line-aligned base address — which the measurement
+// harness guarantees via util::AlignedBuffer — so element i lives at byte
+// 8*i.
+#pragma once
+
+#include <cstdint>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "core/instrumented.hpp"
+#include "core/plan.hpp"
+
+namespace whtlab::cachesim {
+
+struct TraceResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;  ///< 0 when simulating a single level
+};
+
+/// Replays one cold-cache execution of `plan` through a single cache level.
+TraceResult simulate_plan(const core::Plan& plan, const CacheConfig& config);
+
+/// Replays one cold-cache execution through an L1+L2 hierarchy.
+TraceResult simulate_plan(const core::Plan& plan, const CacheConfig& l1,
+                          const CacheConfig& l2);
+
+/// Replays `plan` through an existing cache without flushing it first —
+/// used to study warm-cache behaviour across repeated transforms.
+TraceResult simulate_plan_warm(const core::Plan& plan, Cache& cache);
+
+}  // namespace whtlab::cachesim

@@ -1,0 +1,17 @@
+// Interface to the build-time generated straight-line codelets.
+//
+// The implementation file (codelets_gen.cpp) is produced by tools/codelet_gen
+// during the build — see src/core/CMakeLists.txt — reproducing the original
+// WHT package's code-generation step.
+#pragma once
+
+#include <array>
+
+#include "core/codelet.hpp"
+
+namespace whtlab::core {
+
+/// Table of generated codelets indexed by k (entry 0 is nullptr).
+const std::array<CodeletFn, kMaxUnrolled + 1>& generated_codelet_table();
+
+}  // namespace whtlab::core

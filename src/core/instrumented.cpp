@@ -1,0 +1,136 @@
+#include "core/instrumented.hpp"
+
+namespace whtlab::core {
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  loads += o.loads;
+  stores += o.stores;
+  flops += o.flops;
+  index_ops += o.index_ops;
+  loop_outer += o.loop_outer;
+  loop_mid += o.loop_mid;
+  loop_inner += o.loop_inner;
+  calls += o.calls;
+  return *this;
+}
+
+OpCounts OpCounts::scaled(std::uint64_t times) const {
+  OpCounts out;
+  out.loads = loads * times;
+  out.stores = stores * times;
+  out.flops = flops * times;
+  out.index_ops = index_ops * times;
+  out.loop_outer = loop_outer * times;
+  out.loop_mid = loop_mid * times;
+  out.loop_inner = loop_inner * times;
+  out.calls = calls * times;
+  return out;
+}
+
+namespace {
+
+/// Op counts for a single invocation of `node`, children folded in by their
+/// call multiplicity N/Ni.  O(tree) — this is what makes the "model from the
+/// high-level description" claim real: no execution, no loops over N.
+OpCounts unit_counts(const PlanNode& node) {
+  OpCounts c;
+  c.calls = 1;
+  if (node.kind == NodeKind::kSmall) {
+    const std::uint64_t m = node.size();
+    const auto k = static_cast<std::uint64_t>(node.log2_size);
+    c.loads = m;
+    c.stores = m;
+    c.flops = k * m;
+    c.index_ops = 2 * m;
+    return c;
+  }
+  const std::uint64_t n = node.size();
+  std::uint64_t r = n;
+  std::uint64_t s = 1;
+  // Children last-to-first, mirroring the executor (see executor.cpp).
+  for (std::size_t i = node.children.size(); i-- > 0;) {
+    const PlanNode& child = *node.children[i];
+    const std::uint64_t ni = child.size();
+    r /= ni;
+    c.loop_outer += 1;
+    c.loop_mid += r;
+    c.loop_inner += r * s;
+    c.index_ops += r * s;  // one base-address computation per inner iteration
+    c += unit_counts(child).scaled(n / ni);
+    s *= ni;
+  }
+  return c;
+}
+
+/// In-place butterfly codelet with per-op counting; numerically identical to
+/// the production codelets.
+void instrumented_codelet(int k, double* x, std::ptrdiff_t stride,
+                          OpCounts& c) {
+  const int m = 1 << k;
+  // Mirror the codelet exactly: load all, k stages in registers, store all.
+  double temp[1 << kMaxUnrolled];
+  for (int j = 0; j < m; ++j) {
+    temp[j] = x[j * stride];
+    ++c.loads;
+    ++c.index_ops;
+  }
+  for (int stage = 0; stage < k; ++stage) {
+    const int half = 1 << stage;
+    for (int base = 0; base < m; base += 2 * half) {
+      for (int off = 0; off < half; ++off) {
+        const double a = temp[base + off];
+        const double b = temp[base + off + half];
+        temp[base + off] = a + b;
+        temp[base + off + half] = a - b;
+        c.flops += 2;
+      }
+    }
+  }
+  for (int j = 0; j < m; ++j) {
+    x[j * stride] = temp[j];
+    ++c.stores;
+    ++c.index_ops;
+  }
+}
+
+void run_instrumented(const PlanNode& node, double* x, std::ptrdiff_t stride,
+                      OpCounts& c) {
+  ++c.calls;
+  if (node.kind == NodeKind::kSmall) {
+    instrumented_codelet(node.log2_size, x, stride, c);
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(node.size());
+  std::size_t r = n;
+  std::size_t s = 1;
+  // Children last-to-first, mirroring the executor (see executor.cpp).
+  for (std::size_t i = node.children.size(); i-- > 0;) {
+    const PlanNode& child = *node.children[i];
+    const std::size_t ni = static_cast<std::size_t>(child.size());
+    r /= ni;
+    ++c.loop_outer;
+    for (std::size_t j = 0; j < r; ++j) {
+      ++c.loop_mid;
+      for (std::size_t k = 0; k < s; ++k) {
+        ++c.loop_inner;
+        ++c.index_ops;
+        run_instrumented(child,
+                         x + static_cast<std::ptrdiff_t>(j * ni * s + k) * stride,
+                         static_cast<std::ptrdiff_t>(s) * stride, c);
+      }
+    }
+    s *= ni;
+  }
+}
+
+}  // namespace
+
+OpCounts count_ops(const Plan& plan) { return unit_counts(plan.root()); }
+
+OpCounts execute_instrumented(const Plan& plan, double* x) {
+  OpCounts c;
+  run_instrumented(plan.root(), x, 1, c);
+  return c;
+}
+
+}  // namespace whtlab::core

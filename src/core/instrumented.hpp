@@ -1,0 +1,123 @@
+// Instrumented execution: the PAPI-instruction-counter stand-in.
+//
+// The paper measured retired instructions with PAPI.  whtlab instead counts
+// abstract operations of the plan interpreter itself, which is the quantity
+// the TCS'06 instruction-count model describes:
+//
+//   * per codelet call on WHT(2^k): 2^k loads, 2^k stores, k*2^k add/sub
+//     flops, and 2*2^k effective-address computations;
+//   * per split node invocation: one call, t outer-loop iterations, R mid-
+//     and R*S inner-loop iterations, and one base-address computation per
+//     inner iteration.
+//
+// Three consumers, all of which must agree (a tested invariant):
+//   * count_ops()            — closed-form structural recursion, O(tree);
+//   * execute_instrumented() — actually runs the transform while counting,
+//                              O(N log N)-ish, used to validate count_ops;
+//   * reference_stream()     — replays the exact memory-access sequence of
+//                              the executor into a sink (feeds the cache
+//                              simulator without touching data).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/plan.hpp"
+
+namespace whtlab::core {
+
+/// Raw operation tallies of one plan execution.
+struct OpCounts {
+  std::uint64_t loads = 0;       ///< data loads (one per element read)
+  std::uint64_t stores = 0;      ///< data stores (one per element written)
+  std::uint64_t flops = 0;       ///< additions + subtractions
+  std::uint64_t index_ops = 0;   ///< effective-address computations
+  std::uint64_t loop_outer = 0;  ///< iterations of the factor loop (i)
+  std::uint64_t loop_mid = 0;    ///< iterations of the block loop (j)
+  std::uint64_t loop_inner = 0;  ///< iterations of the stride loop (k)
+  std::uint64_t calls = 0;       ///< node invocations (recursion overhead)
+
+  OpCounts& operator+=(const OpCounts& o);
+  /// Tallies for `times` repetitions of these counts.
+  OpCounts scaled(std::uint64_t times) const;
+  bool operator==(const OpCounts&) const = default;
+
+  /// Total memory accesses (loads + stores).
+  std::uint64_t accesses() const { return loads + stores; }
+};
+
+/// Weights converting OpCounts into a scalar "instruction count".  Defaults
+/// approximate one x86-64 instruction per op with a fixed call overhead; the
+/// model's correlation results are insensitive to the exact values (any
+/// positive weights give the same plan-space ordering up to ties).
+struct InstructionWeights {
+  double load = 1.0;
+  double store = 1.0;
+  double flop = 1.0;
+  double index_op = 1.0;
+  double loop_outer = 4.0;  ///< loop setup/compare/increment for the i loop
+  double loop_mid = 2.0;
+  double loop_inner = 2.0;
+  double call = 16.0;  ///< call/return + stack frame
+
+  double instructions(const OpCounts& c) const {
+    return load * static_cast<double>(c.loads) +
+           store * static_cast<double>(c.stores) +
+           flop * static_cast<double>(c.flops) +
+           index_op * static_cast<double>(c.index_ops) +
+           loop_outer * static_cast<double>(c.loop_outer) +
+           loop_mid * static_cast<double>(c.loop_mid) +
+           loop_inner * static_cast<double>(c.loop_inner) +
+           call * static_cast<double>(c.calls);
+  }
+};
+
+/// Closed-form op counts for one execution of `plan` (no data touched).
+OpCounts count_ops(const Plan& plan);
+
+/// Runs the transform on `x` (in place) while tallying every operation.
+/// Numerically identical to execute(); counts identical to count_ops().
+OpCounts execute_instrumented(const Plan& plan, double* x);
+
+namespace detail {
+
+/// Emits the executor's memory-access sequence for one invocation of `node`
+/// on the strided vector starting at element index `base`.
+/// Sink signature: void(std::uint64_t element_index, bool is_store).
+template <typename Sink>
+void stream_node(const PlanNode& node, std::uint64_t base, std::uint64_t stride,
+                 Sink& sink) {
+  if (node.kind == NodeKind::kSmall) {
+    const std::uint64_t m = node.size();
+    // Codelets load every element, compute in registers, store every element.
+    for (std::uint64_t j = 0; j < m; ++j) sink(base + j * stride, false);
+    for (std::uint64_t j = 0; j < m; ++j) sink(base + j * stride, true);
+    return;
+  }
+  const std::uint64_t n = node.size();
+  std::uint64_t r = n;
+  std::uint64_t s = 1;
+  // Children last-to-first, mirroring the executor (see executor.cpp).
+  for (std::size_t i = node.children.size(); i-- > 0;) {
+    const PlanNode& child = *node.children[i];
+    const std::uint64_t ni = child.size();
+    r /= ni;
+    for (std::uint64_t j = 0; j < r; ++j) {
+      for (std::uint64_t k = 0; k < s; ++k) {
+        stream_node(child, base + (j * ni * s + k) * stride, s * stride, sink);
+      }
+    }
+    s *= ni;
+  }
+}
+
+}  // namespace detail
+
+/// Replays the exact load/store sequence of executing `plan` into `sink`.
+/// Sink signature: void(std::uint64_t element_index, bool is_store).
+template <typename Sink>
+void reference_stream(const Plan& plan, Sink& sink) {
+  detail::stream_node(plan.root(), 0, 1, sink);
+}
+
+}  // namespace whtlab::core

@@ -1,0 +1,70 @@
+#include "core/parallel_executor.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace whtlab::core {
+
+namespace {
+
+/// Minimum work (child size * number of applications) per factor before
+/// spawning threads is worth the fork-join cost.
+constexpr std::uint64_t kParallelThreshold = 1 << 12;
+
+}  // namespace
+
+void execute_parallel(const Plan& plan, double* x, int num_threads,
+                      CodeletBackend backend) {
+  const auto& table = codelet_table(backend);
+  const PlanNode& root = plan.root();
+  if (num_threads <= 1 || root.kind == NodeKind::kSmall ||
+      root.size() < kParallelThreshold) {
+    execute_node(root, x, 1, table);
+    return;
+  }
+
+  const std::uint64_t n = root.size();
+  std::uint64_t r = n;
+  std::uint64_t s = 1;
+  // Children last-to-first, mirroring the sequential executor.
+  for (std::size_t idx = root.children.size(); idx-- > 0;) {
+    const PlanNode* child = root.children[idx].get();
+    const std::uint64_t ni = child->size();
+    r /= ni;
+    const std::uint64_t tasks = r * s;  // independent child applications
+    const int workers = static_cast<int>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(num_threads), tasks));
+    if (workers <= 1) {
+      for (std::uint64_t j = 0; j < r; ++j) {
+        for (std::uint64_t k = 0; k < s; ++k) {
+          execute_node(*child, x + (j * ni * s + k), static_cast<std::ptrdiff_t>(s),
+                       table);
+        }
+      }
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        const std::uint64_t begin = tasks * static_cast<std::uint64_t>(w) /
+                                    static_cast<std::uint64_t>(workers);
+        const std::uint64_t end = tasks * static_cast<std::uint64_t>(w + 1) /
+                                  static_cast<std::uint64_t>(workers);
+        pool.emplace_back([&, begin, end] {
+          for (std::uint64_t task = begin; task < end; ++task) {
+            const std::uint64_t j = task / s;
+            const std::uint64_t k = task % s;
+            execute_node(*child, x + (j * ni * s + k),
+                         static_cast<std::ptrdiff_t>(s), table);
+          }
+        });
+      }
+      for (auto& t : pool) t.join();
+    }
+    s *= ni;
+  }
+}
+
+}  // namespace whtlab::core

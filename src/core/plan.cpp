@@ -1,0 +1,206 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/plan_io.hpp"
+
+namespace whtlab::core {
+
+Plan::Plan(const Plan& other)
+    : root_(other.root_ ? clone_node(*other.root_) : nullptr) {}
+
+Plan& Plan::operator=(const Plan& other) {
+  if (this != &other) {
+    root_ = other.root_ ? clone_node(*other.root_) : nullptr;
+  }
+  return *this;
+}
+
+std::unique_ptr<PlanNode> Plan::clone_node(const PlanNode& node) {
+  auto out = std::make_unique<PlanNode>();
+  out->kind = node.kind;
+  out->log2_size = node.log2_size;
+  out->children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    out->children.push_back(clone_node(*child));
+  }
+  return out;
+}
+
+void Plan::validate_node(const PlanNode& node) {
+  switch (node.kind) {
+    case NodeKind::kSmall:
+      if (node.log2_size < 1 || node.log2_size > kMaxUnrolled) {
+        throw std::invalid_argument("small[k] requires 1 <= k <= " +
+                                    std::to_string(kMaxUnrolled) + ", got " +
+                                    std::to_string(node.log2_size));
+      }
+      if (!node.children.empty()) {
+        throw std::invalid_argument("small node must not have children");
+      }
+      return;
+    case NodeKind::kSplit: {
+      if (node.children.size() < 2) {
+        throw std::invalid_argument("split requires at least 2 children");
+      }
+      int sum = 0;
+      for (const auto& child : node.children) {
+        validate_node(*child);
+        sum += child->log2_size;
+      }
+      if (sum != node.log2_size) {
+        throw std::invalid_argument("split children sizes sum to " +
+                                    std::to_string(sum) + ", expected " +
+                                    std::to_string(node.log2_size));
+      }
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown node kind");
+}
+
+Plan Plan::adopt(std::unique_ptr<PlanNode> root) {
+  if (!root) throw std::invalid_argument("null plan");
+  validate_node(*root);
+  Plan plan;
+  plan.root_ = std::move(root);
+  return plan;
+}
+
+Plan Plan::small(int k) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = NodeKind::kSmall;
+  node->log2_size = k;
+  return adopt(std::move(node));
+}
+
+Plan Plan::split(std::vector<Plan> children) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = NodeKind::kSplit;
+  node->log2_size = 0;
+  for (auto& child : children) {
+    if (!child.valid()) throw std::invalid_argument("invalid child plan");
+    node->log2_size += child.root_->log2_size;
+    node->children.push_back(std::move(child.root_));
+  }
+  return adopt(std::move(node));
+}
+
+Plan Plan::iterative(int n) {
+  if (n < 1) throw std::invalid_argument("iterative: n must be >= 1");
+  if (n == 1) return small(1);
+  std::vector<Plan> parts;
+  parts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) parts.push_back(small(1));
+  return split(std::move(parts));
+}
+
+Plan Plan::right_recursive(int n) {
+  if (n < 1) throw std::invalid_argument("right_recursive: n must be >= 1");
+  if (n == 1) return small(1);
+  std::vector<Plan> parts;
+  parts.push_back(small(1));
+  parts.push_back(right_recursive(n - 1));
+  return split(std::move(parts));
+}
+
+Plan Plan::left_recursive(int n) {
+  if (n < 1) throw std::invalid_argument("left_recursive: n must be >= 1");
+  if (n == 1) return small(1);
+  std::vector<Plan> parts;
+  parts.push_back(left_recursive(n - 1));
+  parts.push_back(small(1));
+  return split(std::move(parts));
+}
+
+Plan Plan::balanced_binary(int n, int max_leaf) {
+  if (n < 1) throw std::invalid_argument("balanced_binary: n must be >= 1");
+  if (max_leaf < 1 || max_leaf > kMaxUnrolled) {
+    throw std::invalid_argument("balanced_binary: bad max_leaf");
+  }
+  if (n <= max_leaf) return small(n);
+  std::vector<Plan> parts;
+  parts.push_back(balanced_binary(n / 2, max_leaf));
+  parts.push_back(balanced_binary(n - n / 2, max_leaf));
+  return split(std::move(parts));
+}
+
+Plan Plan::iterative_radix(int n, int k) {
+  if (n < 1) throw std::invalid_argument("iterative_radix: n must be >= 1");
+  if (k < 1 || k > kMaxUnrolled) {
+    throw std::invalid_argument("iterative_radix: bad radix");
+  }
+  if (n <= k) return small(n);
+  std::vector<Plan> parts;
+  int remaining = n;
+  while (remaining > 0) {
+    const int part = std::min(remaining, k);
+    // Avoid a trailing small[part] that would leave a 1-element "remainder";
+    // the final part absorbs whatever is left (always <= k by construction).
+    parts.push_back(small(part));
+    remaining -= part;
+  }
+  if (parts.size() == 1) return std::move(parts.front());
+  return split(std::move(parts));
+}
+
+namespace {
+
+int count_leaves(const PlanNode& node) {
+  if (node.kind == NodeKind::kSmall) return 1;
+  int total = 0;
+  for (const auto& child : node.children) total += count_leaves(*child);
+  return total;
+}
+
+int count_nodes(const PlanNode& node) {
+  int total = 1;
+  for (const auto& child : node.children) total += count_nodes(*child);
+  return total;
+}
+
+int node_depth(const PlanNode& node) {
+  if (node.kind == NodeKind::kSmall) return 1;
+  int deepest = 0;
+  for (const auto& child : node.children) {
+    deepest = std::max(deepest, node_depth(*child));
+  }
+  return deepest + 1;
+}
+
+int max_leaf(const PlanNode& node) {
+  if (node.kind == NodeKind::kSmall) return node.log2_size;
+  int best = 0;
+  for (const auto& child : node.children) {
+    best = std::max(best, max_leaf(*child));
+  }
+  return best;
+}
+
+bool nodes_equal(const PlanNode& a, const PlanNode& b) {
+  if (a.kind != b.kind || a.log2_size != b.log2_size ||
+      a.children.size() != b.children.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (!nodes_equal(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int Plan::leaf_count() const { return count_leaves(*root_); }
+int Plan::node_count() const { return count_nodes(*root_); }
+int Plan::depth() const { return node_depth(*root_); }
+int Plan::max_leaf_log2() const { return max_leaf(*root_); }
+
+bool Plan::operator==(const Plan& other) const {
+  if (!valid() || !other.valid()) return valid() == other.valid();
+  return nodes_equal(*root_, *other.root_);
+}
+
+std::string Plan::to_string() const { return format_plan(*this); }
+
+}  // namespace whtlab::core

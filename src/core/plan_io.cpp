@@ -1,0 +1,129 @@
+#include "core/plan_io.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace whtlab::core {
+
+namespace {
+
+void format_node(const PlanNode& node, std::string& out) {
+  if (node.kind == NodeKind::kSmall) {
+    out += "small[";
+    out += std::to_string(node.log2_size);
+    out += ']';
+    return;
+  }
+  out += "split[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i != 0) out += ',';
+    format_node(*node.children[i], out);
+  }
+  out += ']';
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Plan parse() {
+    auto root = parse_node();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return Plan::adopt(std::move(root));
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("plan parse error at position " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_keyword(const std::string& word) {
+    skip_ws();
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  int parse_int() {
+    skip_ws();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected integer");
+    }
+    int value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_] - '0');
+      if (value > 1'000'000) fail("integer too large");
+      ++pos_;
+    }
+    return value;
+  }
+
+  std::unique_ptr<PlanNode> parse_node() {
+    if (consume_keyword("small")) {
+      expect('[');
+      const int k = parse_int();
+      expect(']');
+      auto node = std::make_unique<PlanNode>();
+      node->kind = NodeKind::kSmall;
+      node->log2_size = k;
+      return node;
+    }
+    if (consume_keyword("split")) {
+      expect('[');
+      auto node = std::make_unique<PlanNode>();
+      node->kind = NodeKind::kSplit;
+      node->log2_size = 0;
+      for (;;) {
+        auto child = parse_node();
+        node->log2_size += child->log2_size;
+        node->children.push_back(std::move(child));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      expect(']');
+      return node;
+    }
+    fail("expected 'small' or 'split'");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string format_plan(const Plan& plan) {
+  if (!plan.valid()) return "<invalid>";
+  std::string out;
+  format_node(plan.root(), out);
+  return out;
+}
+
+Plan parse_plan(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace whtlab::core

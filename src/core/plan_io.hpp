@@ -1,0 +1,26 @@
+// Plan grammar parsing and printing.
+//
+// Grammar (whitespace insignificant), matching the original WHT package:
+//
+//   plan  := small | split
+//   small := "small" "[" integer "]"
+//   split := "split" "[" plan ("," plan)+ "]"
+//
+// `parse_plan` throws std::invalid_argument with a position-annotated message
+// on malformed input; `format_plan(parse_plan(s)) == canonical form of s` is a
+// tested round-trip invariant.
+#pragma once
+
+#include <string>
+
+#include "core/plan.hpp"
+
+namespace whtlab::core {
+
+/// Renders a plan in the canonical grammar (no whitespace).
+std::string format_plan(const Plan& plan);
+
+/// Parses the grammar above.  Throws std::invalid_argument on error.
+Plan parse_plan(const std::string& text);
+
+}  // namespace whtlab::core

@@ -1,0 +1,67 @@
+#include "core/plan_stats.hpp"
+
+namespace whtlab::core {
+
+namespace {
+
+void walk(const PlanNode& node, std::uint64_t stride, std::uint64_t count,
+          StrideProfile& out) {
+  if (node.kind == NodeKind::kSmall) {
+    out.calls[{node.log2_size, stride}] += count;
+    return;
+  }
+  const std::uint64_t n = node.size();
+  std::uint64_t s = 1;
+  // Children last-to-first, matching the executor: child i runs at stride
+  // s * stride with multiplicity N/Ni per invocation of this node.
+  for (std::size_t i = node.children.size(); i-- > 0;) {
+    const PlanNode& child = *node.children[i];
+    const std::uint64_t ni = child.size();
+    walk(child, s * stride, count * (n / ni), out);
+    s *= ni;
+  }
+}
+
+}  // namespace
+
+StrideProfile stride_profile(const Plan& plan) {
+  StrideProfile out;
+  walk(plan.root(), 1, 1, out);
+  return out;
+}
+
+std::uint64_t StrideProfile::total_calls() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : calls) total += count;
+  return total;
+}
+
+std::uint64_t StrideProfile::total_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : calls) {
+    total += count * 2 * (std::uint64_t{1} << key.first);
+  }
+  return total;
+}
+
+double StrideProfile::strided_work_fraction(std::uint64_t line_elements) const {
+  std::uint64_t strided = 0;
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : calls) {
+    const std::uint64_t accesses = count * 2 * (std::uint64_t{1} << key.first);
+    total += accesses;
+    if (key.second >= line_elements) strided += accesses;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(strided) / static_cast<double>(total);
+}
+
+std::uint64_t StrideProfile::max_stride() const {
+  std::uint64_t worst = 0;
+  for (const auto& [key, count] : calls) {
+    if (key.second > worst) worst = key.second;
+  }
+  return worst;
+}
+
+}  // namespace whtlab::core

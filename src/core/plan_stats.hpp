@@ -1,0 +1,51 @@
+// Structural plan analytics: the stride profile.
+//
+// The cache behaviour of a WHT plan is determined by *which strides its
+// leaf codelets run at*: a leaf call at stride >= one cache line touches a
+// separate line per element, while unit-stride calls stream.  The stride
+// profile aggregates, over one execution, how many times each (leaf size,
+// stride) pair occurs — computed from the plan in O(tree) via call
+// multiplicities, no execution.
+//
+// A notable (tested) fact: the three canonical all-unit-leaf plans share
+// the *same* stride multiset — N/2 calls of small[1] at every stride
+// 1, 2, ..., N/2 — so their very different miss counts (paper Figure 3)
+// come entirely from the temporal order of those calls, not from which
+// strides occur.  That is precisely why the cache-miss analysis needs the
+// trace-driven simulator / the AofA'05 model rather than a static stride
+// census.  The profile still separates plans with different leaf sizes:
+// `strided_work_fraction` drops as unrolled base cases grow, which is one
+// mechanism behind the autotuned plans' cache friendliness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/plan.hpp"
+
+namespace whtlab::core {
+
+struct StrideProfile {
+  /// (leaf log2-size, stride in elements) -> number of codelet calls.
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> calls;
+
+  /// Total leaf codelet invocations.
+  std::uint64_t total_calls() const;
+
+  /// Total element accesses (2 * footprint per call: load + store).
+  std::uint64_t total_accesses() const;
+
+  /// Fraction of element accesses made at stride >= `line_elements`
+  /// (each such access maps to its own cache line): 0 = fully streaming,
+  /// 1 = fully strided.
+  double strided_work_fraction(std::uint64_t line_elements = 8) const;
+
+  /// Largest stride at which any leaf runs.
+  std::uint64_t max_stride() const;
+};
+
+/// Computes the stride profile of one execution of `plan`.
+StrideProfile stride_profile(const Plan& plan);
+
+}  // namespace whtlab::core

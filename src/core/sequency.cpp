@@ -1,0 +1,46 @@
+#include "core/sequency.hpp"
+
+namespace whtlab::core {
+
+std::uint64_t bit_reverse(std::uint64_t v, int bits) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | ((v >> i) & 1ULL);
+  }
+  return out;
+}
+
+std::uint64_t gray_encode(std::uint64_t v) { return v ^ (v >> 1); }
+
+std::uint64_t gray_decode(std::uint64_t g) {
+  std::uint64_t v = 0;
+  while (g != 0) {
+    v ^= g;
+    g >>= 1;
+  }
+  return v;
+}
+
+std::uint64_t sequency_to_hadamard(std::uint64_t s, int n) {
+  return bit_reverse(gray_encode(s), n);
+}
+
+std::uint64_t hadamard_to_sequency(std::uint64_t h, int n) {
+  return gray_decode(bit_reverse(h, n));
+}
+
+void to_sequency_order(const double* in, double* out, int n) {
+  const std::uint64_t size = std::uint64_t{1} << n;
+  for (std::uint64_t s = 0; s < size; ++s) {
+    out[s] = in[sequency_to_hadamard(s, n)];
+  }
+}
+
+void from_sequency_order(const double* in, double* out, int n) {
+  const std::uint64_t size = std::uint64_t{1} << n;
+  for (std::uint64_t s = 0; s < size; ++s) {
+    out[sequency_to_hadamard(s, n)] = in[s];
+  }
+}
+
+}  // namespace whtlab::core

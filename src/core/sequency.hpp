@@ -1,0 +1,42 @@
+// Sequency (Walsh) ordering utilities.
+//
+// The plan executor computes the transform in natural (Hadamard) order.
+// Signal-processing applications usually want *sequency* order, where row i
+// of the transform matrix has exactly i sign changes — the Walsh analogue of
+// sorting Fourier coefficients by frequency.  Row i of the sequency-ordered
+// matrix equals row bit_reverse(gray_encode(i)) of the Hadamard-ordered one;
+// equivalently, hadamard index h corresponds to sequency index
+// gray_decode(bit_reverse(h)).
+//
+// Used by the sequency_filter example and tested against the dense
+// definition (row sign-change counting) in tests/core/sequency_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+namespace whtlab::core {
+
+/// Reverses the low `bits` bits of v.
+std::uint64_t bit_reverse(std::uint64_t v, int bits);
+
+/// Binary-reflected Gray code of v.
+std::uint64_t gray_encode(std::uint64_t v);
+
+/// Inverse of gray_encode.
+std::uint64_t gray_decode(std::uint64_t g);
+
+/// Index into a natural (Hadamard) ordered spectrum of length 2^n holding the
+/// coefficient with sequency s.
+std::uint64_t sequency_to_hadamard(std::uint64_t s, int n);
+
+/// Sequency of the coefficient at natural (Hadamard) index h.
+std::uint64_t hadamard_to_sequency(std::uint64_t h, int n);
+
+/// Permutes a Hadamard-ordered spectrum of length 2^n into sequency order.
+/// `out[s] = in[sequency_to_hadamard(s, n)]`; in and out must not alias.
+void to_sequency_order(const double* in, double* out, int n);
+
+/// Inverse permutation of to_sequency_order.
+void from_sequency_order(const double* in, double* out, int n);
+
+}  // namespace whtlab::core

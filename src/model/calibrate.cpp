@@ -1,0 +1,57 @@
+#include "model/calibrate.hpp"
+
+#include <stdexcept>
+
+#include "stats/linear_solve.hpp"
+
+namespace whtlab::model {
+
+namespace {
+
+std::vector<double> features(const core::OpCounts& ops) {
+  return {
+      static_cast<double>(ops.loads + ops.stores),
+      static_cast<double>(ops.flops),
+      static_cast<double>(ops.loop_outer + ops.loop_mid + ops.loop_inner),
+      static_cast<double>(ops.calls),
+  };
+}
+
+}  // namespace
+
+double CalibrationResult::predict(const core::OpCounts& ops) const {
+  const auto f = features(ops);
+  return cost_memory * f[0] + cost_flop * f[1] + cost_loop * f[2] +
+         cost_call * f[3];
+}
+
+double CalibrationResult::predict(const core::Plan& plan) const {
+  return predict(core::count_ops(plan));
+}
+
+CalibrationResult calibrate_weights(const std::vector<core::OpCounts>& ops,
+                                    const std::vector<double>& cycles) {
+  if (ops.size() != cycles.size() || ops.size() < 4) {
+    throw std::invalid_argument("calibrate_weights: need >= 4 paired samples");
+  }
+  std::vector<std::vector<double>> x;
+  x.reserve(ops.size());
+  for (const auto& o : ops) x.push_back(features(o));
+  const auto w = stats::least_squares(x, cycles, 1e-6);
+  CalibrationResult result;
+  result.cost_memory = w[0];
+  result.cost_flop = w[1];
+  result.cost_loop = w[2];
+  result.cost_call = w[3];
+  return result;
+}
+
+CalibrationResult calibrate_weights(const std::vector<core::Plan>& plans,
+                                    const std::vector<double>& cycles) {
+  std::vector<core::OpCounts> ops;
+  ops.reserve(plans.size());
+  for (const auto& plan : plans) ops.push_back(core::count_ops(plan));
+  return calibrate_weights(ops, cycles);
+}
+
+}  // namespace whtlab::model

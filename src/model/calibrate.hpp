@@ -1,0 +1,46 @@
+// Instruction-weight calibration against measured cycles (extension).
+//
+// The paper's default model weights are fixed a priori; Yotov et al. (the
+// paper's reference [13]) showed that fitting model parameters to micro
+// measurements can close much of the model-measurement gap.  This module
+// fits the per-op costs of the instruction model to a measured population:
+//
+//   cycles_i ~ w . features(plan_i) + e_i     (least squares)
+//
+// with features = the interpreter's op tallies.  On WHT plans loads ==
+// stores and index_ops are collinear with other counts, so the fit groups
+// ops into independent features: memory ops, flops, loop iterations, calls.
+// The calibrated model is still computable from the plan description alone;
+// tests assert it never correlates worse than the default weights on the
+// population it was fit to.
+#pragma once
+
+#include <vector>
+
+#include "core/instrumented.hpp"
+#include "core/plan.hpp"
+
+namespace whtlab::model {
+
+struct CalibrationResult {
+  /// Fitted cost per: memory access, flop, loop iteration, node call.
+  double cost_memory = 0.0;
+  double cost_flop = 0.0;
+  double cost_loop = 0.0;
+  double cost_call = 0.0;
+
+  /// Predicted cycles for a plan under the fitted costs.
+  double predict(const core::OpCounts& ops) const;
+  double predict(const core::Plan& plan) const;
+};
+
+/// Fits the grouped cost model to (plan, cycles) pairs.  Requires at least
+/// 4 samples; throws std::invalid_argument otherwise.
+CalibrationResult calibrate_weights(const std::vector<core::Plan>& plans,
+                                    const std::vector<double>& cycles);
+
+/// Same fit from pre-computed op tallies.
+CalibrationResult calibrate_weights(const std::vector<core::OpCounts>& ops,
+                                    const std::vector<double>& cycles);
+
+}  // namespace whtlab::model

@@ -1,0 +1,56 @@
+#include "model/instruction_model.hpp"
+
+#include <stdexcept>
+
+namespace whtlab::model {
+
+double leaf_cost(int k, const core::InstructionWeights& weights) {
+  if (k < 1 || k > core::kMaxUnrolled) {
+    throw std::invalid_argument("leaf_cost: bad codelet size");
+  }
+  const double m = static_cast<double>(std::uint64_t{1} << k);
+  return weights.call + m * (weights.load + weights.store) +
+         static_cast<double>(k) * m * weights.flop +
+         2.0 * m * weights.index_op;
+}
+
+double split_overhead(int n, const std::vector<int>& parts,
+                      const core::InstructionWeights& weights) {
+  const double total = static_cast<double>(std::uint64_t{1} << n);
+  double overhead = weights.call;
+  // Factors are applied last-to-first (see core/executor.cpp); s is the
+  // running product of the sizes of the already-applied (later) children.
+  double s = 1.0;
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    const double ni = static_cast<double>(std::uint64_t{1} << parts[i]);
+    const double multiplicity = total / ni;  // inner (j,k) iterations
+    const double r = multiplicity / s;       // mid (j) iterations
+    overhead += weights.loop_outer + r * weights.loop_mid +
+                multiplicity * (weights.loop_inner + weights.index_op);
+    s *= ni;
+  }
+  return overhead;
+}
+
+double node_instruction_count(const core::PlanNode& node,
+                              const core::InstructionWeights& weights) {
+  if (node.kind == core::NodeKind::kSmall) {
+    return leaf_cost(node.log2_size, weights);
+  }
+  std::vector<int> parts;
+  parts.reserve(node.children.size());
+  for (const auto& child : node.children) parts.push_back(child->log2_size);
+  double total = split_overhead(node.log2_size, parts, weights);
+  for (const auto& child : node.children) {
+    total += child_multiplicity(node.log2_size, child->log2_size) *
+             node_instruction_count(*child, weights);
+  }
+  return total;
+}
+
+double instruction_count(const core::Plan& plan,
+                         const core::InstructionWeights& weights) {
+  return node_instruction_count(plan.root(), weights);
+}
+
+}  // namespace whtlab::model

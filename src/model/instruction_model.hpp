@@ -1,0 +1,49 @@
+// Instruction-count performance model (Hitczenko–Johnson–Huang, TCS 352).
+//
+// For a plan W the model assigns
+//
+//   I(small[k]) = A_k                        (unrolled codelet cost)
+//   I(split[c1..ct] at size N)
+//     = C_call + sum_i [ C_outer + R_i*C_mid + (N/Ni)*(C_inner + C_index)
+//                        + (N/Ni) * I(ci) ]
+//
+// where R_i = N / (N1...Ni) and N/Ni is child i's call multiplicity.  This is
+// computable from the high-level plan description alone, in O(tree) — the
+// property the paper exploits to prune search without running anything.
+//
+// The default constants are chosen so that the model *exactly equals* the
+// instrumented interpreter's weighted op count (core/instrumented.hpp); that
+// equality is a tested invariant, standing in for the close model-vs-PAPI
+// agreement reported in TCS'06.
+#pragma once
+
+#include "core/instrumented.hpp"
+#include "core/plan.hpp"
+
+namespace whtlab::model {
+
+/// Scalar instruction count of one execution of `plan`.
+double instruction_count(const core::Plan& plan,
+                         const core::InstructionWeights& weights = {});
+
+/// Instruction count of one invocation of a subtree (exposed for the space
+/// statistics DP which composes subtree costs).
+double node_instruction_count(const core::PlanNode& node,
+                              const core::InstructionWeights& weights);
+
+/// Cost of an unrolled codelet small[k] under `weights` (the model's A_k).
+double leaf_cost(int k, const core::InstructionWeights& weights);
+
+/// Loop/call overhead contributed by one split node of size 2^n with child
+/// sizes `parts` (excluding the children's own costs).  Exposed for the
+/// space-statistics recurrences, which aggregate over compositions.
+double split_overhead(int n, const std::vector<int>& parts,
+                      const core::InstructionWeights& weights);
+
+/// Call multiplicity of child with log2-size k under a parent of log2-size n:
+/// N/Ni = 2^(n-k).
+inline double child_multiplicity(int n, int k) {
+  return static_cast<double>(std::uint64_t{1} << (n - k));
+}
+
+}  // namespace whtlab::model

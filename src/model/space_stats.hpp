@@ -1,0 +1,62 @@
+// Statistics of the instruction-count model over the whole plan space.
+//
+// TCS 352 (Hitczenko–Johnson–Huang) analyzes the distribution of instruction
+// counts over the family of WHT algorithms: minimum, maximum, mean, variance,
+// and a limit theorem (the distribution approaches a normal law as n grows).
+// This module reproduces those quantities computationally:
+//
+//   * min/max by dynamic programming over subtree sizes (with witness plans);
+//   * mean/variance/skewness under the *recursive split uniform* model — at
+//     every node each way of applying Equation 1 (leaf, if admissible, or any
+//     composition with t >= 2 parts) is equally likely — via exact moment
+//     recurrences (independent subtrees make central moments additive);
+//   * the exact distribution for small n by polynomial convolution.
+//
+// The skewness trend toward 0 is the computational echo of the TCS limit
+// theorem, and the sampled histograms of Figures 4–5 are validated against
+// these exact moments in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/instrumented.hpp"
+#include "core/plan.hpp"
+
+namespace whtlab::model {
+
+struct SpaceOptions {
+  int max_leaf = core::kMaxUnrolled;  ///< largest admissible codelet
+  core::InstructionWeights weights{};
+};
+
+struct ExtremeResult {
+  double value = 0.0;
+  core::Plan plan;  ///< witness achieving the extreme
+};
+
+/// Plan with the fewest modeled instructions among all plans of size 2^n.
+ExtremeResult min_instruction_count(int n, const SpaceOptions& options = {});
+
+/// Plan with the most modeled instructions.
+ExtremeResult max_instruction_count(int n, const SpaceOptions& options = {});
+
+struct MomentsResult {
+  double mean = 0.0;
+  double variance = 0.0;
+  double skewness = 0.0;  ///< third standardized central moment
+};
+
+/// Exact moments of the instruction count under the recursive-split-uniform
+/// distribution over plans of size 2^n.
+MomentsResult instruction_moments(int n, const SpaceOptions& options = {});
+
+/// Exact probability mass function of the instruction count (value -> prob)
+/// under the recursive-split-uniform distribution.  Instruction values are
+/// rounded to integers (exact when the weights are integral, as the defaults
+/// are).  If the support would exceed `max_support` points the result is
+/// coarsened by merging adjacent values; intended for n <= ~10.
+std::map<std::int64_t, double> instruction_distribution(
+    int n, const SpaceOptions& options = {}, std::size_t max_support = 200000);
+
+}  // namespace whtlab::model

@@ -1,0 +1,27 @@
+// Cycle-accurate timing — the PAPI_TOT_CYC stand-in.
+//
+// On x86-64 the timer reads the invariant TSC with lfence serialization on
+// both sides (the standard rdtsc measurement idiom: earlier instructions
+// retire before the read, the read completes before later work starts).
+// Elsewhere it falls back to std::chrono::steady_clock nanoseconds.
+//
+// TSC ticks are a constant-rate clock, not core clock cycles, but the paper
+// only ever uses cycle counts comparatively (ratios, correlations,
+// percentiles), for which any fixed-rate tick is equivalent.
+#pragma once
+
+#include <cstdint>
+
+namespace whtlab::perf {
+
+/// Reads the timestamp counter (serialized).  Monotonic, constant rate.
+std::uint64_t read_cycles();
+
+/// Measured tick rate in Hz (memoized; first call takes ~10 ms to calibrate
+/// against steady_clock).
+double cycles_per_second();
+
+/// Converts a tick delta to nanoseconds using the calibrated rate.
+double cycles_to_ns(std::uint64_t cycles);
+
+}  // namespace whtlab::perf

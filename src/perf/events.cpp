@@ -1,0 +1,24 @@
+#include "perf/events.hpp"
+
+#include "cachesim/trace_runner.hpp"
+
+namespace whtlab::perf {
+
+EventCounts collect_events(const core::Plan& plan, const EventConfig& config) {
+  EventCounts out;
+  out.ops = core::count_ops(plan);
+  out.instructions = config.weights.instructions(out.ops);
+  if (config.collect_cycles) {
+    const auto measured = measure_plan(plan, config.measure);
+    out.cycles =
+        config.use_min_cycles ? measured.min_cycles : measured.cycles();
+  }
+  if (config.collect_misses) {
+    const auto trace = cachesim::simulate_plan(plan, config.l1, config.l2);
+    out.l1_misses = trace.l1_misses;
+    out.l2_misses = trace.l2_misses;
+  }
+  return out;
+}
+
+}  // namespace whtlab::perf

@@ -1,0 +1,77 @@
+#include "perf/measure.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/executor.hpp"
+#include "perf/cycle_timer.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::perf {
+
+namespace {
+
+void fill_random(util::AlignedBuffer& buffer, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (auto& v : buffer) v = rng.uniform(-1.0, 1.0);
+}
+
+}  // namespace
+
+int auto_inner_loop(const core::Plan& plan, core::CodeletBackend backend) {
+  const std::uint64_t size = plan.size();
+  util::AlignedBuffer x(size);
+  fill_random(x, 1);
+  // One probe execution to estimate the per-run cost.
+  const std::uint64_t begin = read_cycles();
+  core::execute(plan, x.data(), backend);
+  const std::uint64_t end = read_cycles();
+  const double run_ns = cycles_to_ns(end - begin);
+  constexpr double target_ns = 50'000.0;
+  if (run_ns >= target_ns) return 1;
+  const double batches = target_ns / std::max(run_ns, 1.0);
+  return static_cast<int>(std::min(batches, 65536.0)) + 1;
+}
+
+MeasureResult measure_plan(const core::Plan& plan,
+                           const MeasureOptions& options) {
+  const std::uint64_t size = plan.size();
+  util::AlignedBuffer master(size);
+  util::AlignedBuffer work(size);
+  fill_random(master, options.seed);
+
+  const int inner = options.inner_loop > 0
+                        ? options.inner_loop
+                        : auto_inner_loop(plan, options.backend);
+
+  for (int i = 0; i < options.warmup; ++i) {
+    std::memcpy(work.data(), master.data(), size * sizeof(double));
+    core::execute(plan, work.data(), options.backend);
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(options.repetitions));
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    std::memcpy(work.data(), master.data(), size * sizeof(double));
+    const std::uint64_t begin = read_cycles();
+    for (int i = 0; i < inner; ++i) {
+      core::execute(plan, work.data(), options.backend);
+    }
+    const std::uint64_t end = read_cycles();
+    samples.push_back(static_cast<double>(end - begin) /
+                      static_cast<double>(inner));
+  }
+
+  std::sort(samples.begin(), samples.end());
+  MeasureResult result;
+  result.inner_loop = inner;
+  result.min_cycles = samples.front();
+  result.median_cycles = samples[samples.size() / 2];
+  double total = 0.0;
+  for (double s : samples) total += s;
+  result.mean_cycles = total / static_cast<double>(samples.size());
+  return result;
+}
+
+}  // namespace whtlab::perf

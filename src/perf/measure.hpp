@@ -1,0 +1,58 @@
+// Runtime measurement protocol.
+//
+// Measuring µs-scale transforms reliably requires warmup (instruction cache,
+// branch predictors, page faults), repetition, and a robust summary.  The
+// protocol here:
+//
+//   1. allocate a line-aligned buffer and a pseudo-random master copy;
+//   2. warmup executions (not timed);
+//   3. `repetitions` timed executions; before each, the working buffer is
+//      restored from the master by memcpy (the WHT is data-oblivious, so the
+//      copy only serves to keep values bounded; the copy is outside the
+//      timed region but *warms the cache identically before every rep*,
+//      making reps comparable);
+//   4. report minimum, median, and mean cycles.
+//
+// Experiments use the median (robust to timer interrupts); the paper's
+// single-shot PAPI readings correspond most closely to the minimum.
+//
+// For very small transforms a single execution is below timer resolution, so
+// the timed unit is a batch of `inner_loop` back-to-back executions and the
+// reported value is the per-execution average.  auto_inner_loop() picks a
+// batch size targeting ~50 µs per timed unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/codelet.hpp"
+#include "core/plan.hpp"
+
+namespace whtlab::perf {
+
+struct MeasureOptions {
+  int warmup = 2;            ///< untimed executions before measuring
+  int repetitions = 7;       ///< timed samples
+  int inner_loop = 0;        ///< executions per timed sample; 0 = auto
+  core::CodeletBackend backend = core::CodeletBackend::kGenerated;
+  std::uint64_t seed = 0xC0FFEE;  ///< master-buffer fill
+};
+
+struct MeasureResult {
+  double min_cycles = 0.0;
+  double median_cycles = 0.0;
+  double mean_cycles = 0.0;
+  int inner_loop = 1;  ///< batch size actually used
+
+  /// The experiment harness's "cycle count" — the median.
+  double cycles() const { return median_cycles; }
+};
+
+/// Picks a batch size so one timed unit of `plan` takes >= ~50 us.
+int auto_inner_loop(const core::Plan& plan, core::CodeletBackend backend);
+
+/// Measures `plan` per the protocol above.
+MeasureResult measure_plan(const core::Plan& plan,
+                           const MeasureOptions& options = {});
+
+}  // namespace whtlab::perf

@@ -1,0 +1,27 @@
+// Exhaustive plan enumeration (small sizes).
+//
+// Materializes every plan of size 2^n — a(n) of them, growing like ~7^n —
+// for exhaustive search and for validating the counting recurrence and the
+// samplers.  Practical for n up to ~8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace whtlab::search {
+
+/// All plans of size 2^n with leaves up to 2^max_leaf, in a deterministic
+/// order (leaf first, then compositions in mask order, children in
+/// lexicographic product order).
+std::vector<core::Plan> enumerate_plans(int n,
+                                        int max_leaf = core::kMaxUnrolled);
+
+/// Streaming enumeration; stops early when fn returns false.  Returns the
+/// number of plans visited.
+std::uint64_t for_each_plan(int n, int max_leaf,
+                            const std::function<bool(const core::Plan&)>& fn);
+
+}  // namespace whtlab::search

@@ -1,0 +1,30 @@
+#include "search/exhaustive.hpp"
+
+#include <stdexcept>
+
+#include "search/enumerate.hpp"
+
+namespace whtlab::search {
+
+ExhaustiveResult exhaustive_search(
+    int n, const std::function<double(const core::Plan&)>& cost,
+    int max_leaf) {
+  if (!cost) throw std::invalid_argument("exhaustive_search: null cost");
+  ExhaustiveResult result;
+  for_each_plan(n, max_leaf, [&result, &cost](const core::Plan& plan) {
+    const double c = cost(plan);
+    if (result.evaluated == 0 || c < result.best_cost) {
+      result.best_cost = c;
+      result.best = plan;
+    }
+    if (result.evaluated == 0 || c > result.worst_cost) {
+      result.worst_cost = c;
+      result.worst = plan;
+    }
+    ++result.evaluated;
+    return true;
+  });
+  return result;
+}
+
+}  // namespace whtlab::search

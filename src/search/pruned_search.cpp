@@ -1,0 +1,71 @@
+#include "search/pruned_search.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "search/sampler.hpp"
+
+namespace whtlab::search {
+
+PrunedSearchResult model_pruned_search(int n, const ModelFn& model,
+                                       util::Rng& rng,
+                                       const PrunedSearchOptions& options,
+                                       bool audit) {
+  if (options.candidates < 1) {
+    throw std::invalid_argument("pruned search: need candidates");
+  }
+  if (options.keep_fraction <= 0.0 || options.keep_fraction > 1.0) {
+    throw std::invalid_argument("pruned search: keep_fraction in (0,1]");
+  }
+  if (!model) throw std::invalid_argument("pruned search: null model");
+
+  RecursiveSplitSampler sampler(options.max_leaf);
+  std::vector<core::Plan> plans;
+  std::vector<double> scores;
+  plans.reserve(static_cast<std::size_t>(options.candidates));
+  scores.reserve(static_cast<std::size_t>(options.candidates));
+  for (int i = 0; i < options.candidates; ++i) {
+    plans.push_back(sampler.sample(n, rng));
+    scores.push_back(model(plans.back()));
+  }
+
+  std::vector<std::size_t> order(plans.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(plans.size()) *
+                                  options.keep_fraction));
+
+  PrunedSearchResult result;
+  result.measured = keep;
+  result.pruned = plans.size() - keep;
+  result.model_threshold = scores[order[keep - 1]];
+
+  bool have = false;
+  for (std::size_t rank = 0; rank < keep; ++rank) {
+    const auto& plan = plans[order[rank]];
+    const double cycles = perf::measure_plan(plan, options.measure).cycles();
+    if (!have || cycles < result.best_cycles) {
+      result.best_cycles = cycles;
+      result.best_plan = plan;
+      have = true;
+    }
+  }
+
+  if (audit) {
+    result.audited = true;
+    result.audit_best_cycles = result.best_cycles;
+    for (std::size_t rank = keep; rank < plans.size(); ++rank) {
+      const auto& plan = plans[order[rank]];
+      const double cycles = perf::measure_plan(plan, options.measure).cycles();
+      result.audit_best_cycles = std::min(result.audit_best_cycles, cycles);
+    }
+  }
+  return result;
+}
+
+}  // namespace whtlab::search

@@ -1,0 +1,50 @@
+// Model-pruned random search — the paper's payoff.
+//
+// Section 4 / Conclusion: because the models correlate with runtime, a
+// search can *discard* candidates with large model values before ever
+// measuring them.  This module implements the experiment: draw N random
+// plans, rank them by a model computable from the description alone, measure
+// only the best `keep_fraction`, and report how close the result comes to
+// measuring everything — along with the measurement budget saved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "perf/measure.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::search {
+
+using ModelFn = std::function<double(const core::Plan&)>;
+
+struct PrunedSearchOptions {
+  int candidates = 200;        ///< random plans drawn
+  double keep_fraction = 0.1;  ///< fraction (by model rank) actually measured
+  int max_leaf = core::kMaxUnrolled;
+  perf::MeasureOptions measure{};
+};
+
+struct PrunedSearchResult {
+  core::Plan best_plan;          ///< best among the measured subset
+  double best_cycles = 0.0;
+  std::uint64_t measured = 0;    ///< plans actually timed
+  std::uint64_t pruned = 0;      ///< plans discarded by the model
+  double model_threshold = 0.0;  ///< largest model value that was kept
+
+  /// Filled only when `audit` is set: best over the *whole* candidate set,
+  /// for quantifying what pruning may have lost.
+  double audit_best_cycles = 0.0;
+  bool audited = false;
+};
+
+/// Runs the pruned search for WHT(2^n).  With audit=true every candidate is
+/// measured as ground truth (expensive; for experiments/tests).
+PrunedSearchResult model_pruned_search(int n, const ModelFn& model,
+                                       util::Rng& rng,
+                                       const PrunedSearchOptions& options = {},
+                                       bool audit = false);
+
+}  // namespace whtlab::search

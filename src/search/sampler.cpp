@@ -1,0 +1,105 @@
+#include "search/sampler.hpp"
+
+#include <stdexcept>
+
+#include "util/compositions.hpp"
+
+namespace whtlab::search {
+
+RecursiveSplitSampler::RecursiveSplitSampler(int max_leaf)
+    : max_leaf_(max_leaf) {
+  if (max_leaf < 1 || max_leaf > core::kMaxUnrolled) {
+    throw std::invalid_argument("RecursiveSplitSampler: bad max_leaf");
+  }
+}
+
+core::Plan RecursiveSplitSampler::sample(int n, util::Rng& rng) const {
+  if (n < 1 || n > 40) {
+    throw std::invalid_argument("RecursiveSplitSampler: bad n");
+  }
+  if (n == 1) return core::Plan::small(1);
+
+  const bool leaf_ok = n <= max_leaf_;
+  // Options: [leaf?] + compositions with t >= 2 (masks 1 .. 2^(n-1)-1).
+  const std::uint64_t split_options = (std::uint64_t{1} << (n - 1)) - 1;
+  const std::uint64_t total = split_options + (leaf_ok ? 1 : 0);
+  std::uint64_t pick = rng.below(total);
+  if (leaf_ok) {
+    if (pick == 0) return core::Plan::small(n);
+    --pick;
+  }
+  // pick in [0, split_options): mask pick+1 is a composition with >= 2 parts.
+  const auto parts = util::composition_from_mask(n, pick + 1);
+  std::vector<core::Plan> children;
+  children.reserve(parts.size());
+  for (int part : parts) children.push_back(sample(part, rng));
+  return core::Plan::split(std::move(children));
+}
+
+UniformPlanSampler::UniformPlanSampler(const PlanSpace& space)
+    : space_(space) {}
+
+void UniformPlanSampler::sample_sequence(int m, util::Rng& rng,
+                                         std::vector<int>& parts) const {
+  // Sequences (t >= 1) of total m, weighted by the product of completion
+  // counts: s(m) = a(m) + sum_{k<m} a(k) * s(m-k).  Selecting each segment
+  // with probability proportional to its weight yields a product-weighted
+  // sequence exactly.
+  while (true) {
+    util::BigInt r = util::BigInt::random_below(space_.sequence_count(m), rng);
+    // Terminal single part m, weight a(m).
+    if (r < space_.count(m)) {
+      parts.push_back(m);
+      return;
+    }
+    r -= space_.count(m);
+    bool advanced = false;
+    for (int k = 1; k < m; ++k) {
+      const util::BigInt weight =
+          space_.count(k) * space_.sequence_count(m - k);
+      if (r < weight) {
+        parts.push_back(k);
+        m -= k;
+        advanced = true;
+        break;
+      }
+      r -= weight;
+    }
+    if (!advanced) {
+      throw std::logic_error("UniformPlanSampler: weight bookkeeping broke");
+    }
+  }
+}
+
+core::Plan UniformPlanSampler::sample(int n, util::Rng& rng) const {
+  if (n < 1 || n > space_.max_n()) {
+    throw std::invalid_argument("UniformPlanSampler: bad n");
+  }
+  const bool leaf_ok = n <= space_.max_leaf();
+  util::BigInt r = util::BigInt::random_below(space_.count(n), rng);
+  if (leaf_ok) {
+    if (r < util::BigInt(1)) return core::Plan::small(n);
+    r -= util::BigInt(1);
+  }
+  // Remaining mass: compositions with t >= 2 parts, weight prod a(ni).
+  // First part k has weight a(k) * s(n-k); the rest is a weighted sequence.
+  std::vector<int> parts;
+  for (int k = 1; k < n; ++k) {
+    const util::BigInt weight = space_.count(k) * space_.sequence_count(n - k);
+    if (r < weight) {
+      parts.push_back(k);
+      sample_sequence(n - k, rng, parts);
+      break;
+    }
+    r -= weight;
+  }
+  if (parts.empty()) {
+    throw std::logic_error("UniformPlanSampler: weight bookkeeping broke");
+  }
+  std::vector<core::Plan> children;
+  children.reserve(parts.size());
+  for (int part : parts) children.push_back(sample(part, rng));
+  return core::Plan::split(std::move(children));
+}
+
+}  // namespace whtlab::search

@@ -1,0 +1,52 @@
+// Random plan generation.
+//
+// Two sampling models over the WHT algorithm space:
+//
+// * RecursiveSplitSampler — the paper's model (Section 3: "each time
+//   Equation 1 is applied we assume every composition n = n1+...+nt is
+//   equally likely to occur", after TCS 352).  At a node of size m every
+//   admissible way of proceeding is equally likely: the leaf (when
+//   m <= max_leaf) and each of the 2^(m-1) - 1 compositions with t >= 2
+//   parts.  Children recurse independently.  Figures 4-11 use this sampler.
+//
+// * UniformPlanSampler — exactly uniform over the *whole* plan space
+//   (every complete plan has probability 1/a(n)).  The recursive-split model
+//   is not plan-uniform (shallow plans are over-weighted relative to their
+//   count); the uniform sampler weights every choice by the exact BigInt
+//   count of completions, giving the complementary population.  Provided as
+//   an extension and chi-square tested against enumeration.
+#pragma once
+
+#include "core/plan.hpp"
+#include "search/space.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::search {
+
+class RecursiveSplitSampler {
+ public:
+  explicit RecursiveSplitSampler(int max_leaf = core::kMaxUnrolled);
+
+  /// Draws one plan for WHT(2^n); n <= 40.
+  core::Plan sample(int n, util::Rng& rng) const;
+
+ private:
+  int max_leaf_;
+};
+
+class UniformPlanSampler {
+ public:
+  /// `space` must cover the sizes that will be sampled.
+  explicit UniformPlanSampler(const PlanSpace& space);
+
+  /// Draws one plan uniformly among all space.count(n) plans.
+  core::Plan sample(int n, util::Rng& rng) const;
+
+ private:
+  /// Appends the parts of a random weighted sequence (t >= 1) summing to m.
+  void sample_sequence(int m, util::Rng& rng, std::vector<int>& parts) const;
+
+  const PlanSpace& space_;
+};
+
+}  // namespace whtlab::search

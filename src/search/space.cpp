@@ -1,0 +1,46 @@
+#include "search/space.hpp"
+
+#include <stdexcept>
+
+namespace whtlab::search {
+
+PlanSpace::PlanSpace(int max_n, int max_leaf)
+    : max_n_(max_n), max_leaf_(max_leaf) {
+  if (max_n < 1 || max_n > 512) throw std::invalid_argument("PlanSpace: bad max_n");
+  if (max_leaf < 1 || max_leaf > core::kMaxUnrolled) {
+    throw std::invalid_argument("PlanSpace: bad max_leaf");
+  }
+  a_.resize(static_cast<std::size_t>(max_n) + 1);
+  s_.resize(static_cast<std::size_t>(max_n) + 1);
+  s_[0] = util::BigInt(1);
+  for (int m = 1; m <= max_n; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    util::BigInt leaf(m <= max_leaf ? 1 : 0);
+    util::BigInt total = leaf;
+    for (int k = 1; k < m; ++k) {
+      total += a_[static_cast<std::size_t>(k)] *
+               s_[static_cast<std::size_t>(m - k)];
+    }
+    a_[mi] = total;
+    // s(m) counts sequences with t >= 1: the single-part sequence (a(m))
+    // plus all with >= 2 parts (a(m) - leaf(m)).
+    s_[mi] = a_[mi] + a_[mi] - leaf;
+  }
+}
+
+const util::BigInt& PlanSpace::count(int n) const {
+  if (n < 1 || n > max_n_) throw std::out_of_range("PlanSpace::count");
+  return a_[static_cast<std::size_t>(n)];
+}
+
+const util::BigInt& PlanSpace::sequence_count(int n) const {
+  if (n < 0 || n > max_n_) throw std::out_of_range("PlanSpace::sequence_count");
+  return s_[static_cast<std::size_t>(n)];
+}
+
+double PlanSpace::growth_ratio(int n) const {
+  if (n < 1 || n + 1 > max_n_) throw std::out_of_range("PlanSpace::growth_ratio");
+  return count(n + 1).to_double() / count(n).to_double();
+}
+
+}  // namespace whtlab::search

@@ -1,0 +1,54 @@
+// Counting the WHT algorithm space.
+//
+// Section 2 of the paper: "there are approximately O(7^n) different
+// algorithms" (precise results in Hitczenko–Johnson–Huang, TCS 352).  With
+// a(m) = number of plans for WHT(2^m) and leaves admissible up to max_leaf,
+//
+//   a(m) = [m <= max_leaf] + sum over compositions m = n1+...+nt, t >= 2,
+//                            of a(n1) * ... * a(nt).
+//
+// Enumerating compositions costs 2^(m-1) per size; instead we use the
+// sequence transform s(m) = sum over compositions with t >= 1 parts of the
+// product, which satisfies s(m) = sum_{k=1..m} a(k) s(m-k) with s(0) = 1,
+// giving the O(n^2) recurrences
+//
+//   a(m) = leaf(m) + sum_{k=1..m-1} a(k) s(m-k),      s(m) = 2 a(m) - leaf(m).
+//
+// Counts are exact (BigInt); the growth ratio a(n+1)/a(n) approaching ~7
+// reproduces the paper's O(7^n) remark and is asserted in tests.
+#pragma once
+
+#include <vector>
+
+#include "core/plan.hpp"
+#include "util/bigint.hpp"
+
+namespace whtlab::search {
+
+class PlanSpace {
+ public:
+  /// Plan space for transforms up to size 2^max_n with codelets up to
+  /// 2^max_leaf.
+  explicit PlanSpace(int max_n, int max_leaf = core::kMaxUnrolled);
+
+  int max_n() const { return max_n_; }
+  int max_leaf() const { return max_leaf_; }
+
+  /// Exact number of plans of size 2^n.
+  const util::BigInt& count(int n) const;
+
+  /// Number of sequences (t >= 1 compositions weighted by plan counts) —
+  /// exposed for the exactly-uniform sampler.
+  const util::BigInt& sequence_count(int n) const;
+
+  /// a(n+1)/a(n) as a double — approaches the space's growth constant.
+  double growth_ratio(int n) const;
+
+ private:
+  int max_n_;
+  int max_leaf_;
+  std::vector<util::BigInt> a_;  // a_[m] = plan count
+  std::vector<util::BigInt> s_;  // s_[m] = sequence count, s_[0] = 1
+};
+
+}  // namespace whtlab::search

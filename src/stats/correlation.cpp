@@ -1,0 +1,68 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace whtlab::stats {
+
+namespace {
+void require_paired(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("correlation: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("correlation: need at least 2 points");
+  }
+}
+}  // namespace
+
+double covariance(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  require_paired(xs, ys);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    total += (xs[i] - mx) * (ys[i] - my);
+  }
+  return total / static_cast<double>(xs.size());
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  require_paired(xs, ys);
+  const double sx = stddev(xs);
+  const double sy = stddev(ys);
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return covariance(xs, ys) / (sx * sy);
+}
+
+std::vector<double> ranks(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> out(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Tie group [i, j]: everyone gets the average 1-based rank.
+    const double rank = static_cast<double>(i + j) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = rank;
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys) {
+  require_paired(xs, ys);
+  return pearson(ranks(xs), ranks(ys));
+}
+
+}  // namespace whtlab::stats

@@ -1,0 +1,27 @@
+// Correlation coefficients.
+//
+// The paper's quantitative results are Pearson correlations between model
+// values and measured cycles (Section 4: rho = 0.96 for instructions at
+// n = 9; 0.77 / 0.66 / 0.92 at n = 18).  Spearman rank correlation is
+// provided as a robustness check (extension): it is invariant under monotone
+// transforms, so it asks only "does the model order plans correctly?" —
+// which is all the pruning application needs.
+#pragma once
+
+#include <vector>
+
+namespace whtlab::stats {
+
+double covariance(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Pearson product-moment correlation.  Returns 0 for degenerate (zero
+/// variance) inputs.  Throws std::invalid_argument on size mismatch or n < 2.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties averaged).
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Mid-ranks of xs (1-based, ties get the average rank).
+std::vector<double> ranks(const std::vector<double>& xs);
+
+}  // namespace whtlab::stats

@@ -1,0 +1,116 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace whtlab::stats {
+
+namespace {
+void require_nonempty(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("empty sample");
+}
+}  // namespace
+
+double mean(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  const double mu = mean(xs);
+  double total = 0.0;
+  for (double x : xs) total += (x - mu) * (x - mu);
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_value(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double skewness(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  const double mu = mean(xs);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  const double n = static_cast<double>(xs.size());
+  m2 /= n;
+  m3 /= n;
+  return m2 > 0.0 ? m3 / std::pow(m2, 1.5) : 0.0;
+}
+
+double excess_kurtosis(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  const double mu = mean(xs);
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  const double n = static_cast<double>(xs.size());
+  m2 /= n;
+  m4 /= n;
+  return m2 > 0.0 ? m4 / (m2 * m2) - 3.0 : 0.0;
+}
+
+double quantile(const std::vector<double>& xs, double q) {
+  require_nonempty(xs);
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of range");
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
+
+Quartiles quartiles(const std::vector<double>& xs) {
+  return {quantile(xs, 0.25), quantile(xs, 0.5), quantile(xs, 0.75)};
+}
+
+Fences outer_fences(const std::vector<double>& xs, double k) {
+  const Quartiles q = quartiles(xs);
+  return {q.q1 - k * q.iqr(), q.q3 + k * q.iqr()};
+}
+
+std::vector<std::size_t> inside_fences(const std::vector<double>& xs,
+                                       double k) {
+  const Fences f = outer_fences(xs, k);
+  std::vector<std::size_t> kept;
+  kept.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > f.lower && xs[i] < f.upper) kept.push_back(i);
+  }
+  return kept;
+}
+
+std::vector<double> select(const std::vector<double>& xs,
+                           const std::vector<std::size_t>& indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(xs.at(i));
+  return out;
+}
+
+}  // namespace whtlab::stats

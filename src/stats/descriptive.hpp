@@ -1,0 +1,55 @@
+// Descriptive statistics used throughout the experiment harness.
+//
+// Includes the exact outlier rule from the paper (Section 3): samples are
+// "filtered for extreme outliers beyond the outer fences", i.e. values kept
+// satisfy  Q1 - 3*IQR < x < Q3 + 3*IQR.  Quantiles use the common linear-
+// interpolation definition (type 7, the MATLAB/NumPy default, matching the
+// paper's tooling).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace whtlab::stats {
+
+double mean(const std::vector<double>& xs);
+/// Population variance (divide by N).
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double min_value(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+
+/// Sample skewness (third standardized central moment, population form).
+double skewness(const std::vector<double>& xs);
+/// Excess kurtosis (fourth standardized central moment minus 3).
+double excess_kurtosis(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0,1] (type 7).  xs need not be
+/// sorted; an internal copy is sorted.
+double quantile(const std::vector<double>& xs, double q);
+double median(const std::vector<double>& xs);
+
+struct Quartiles {
+  double q1 = 0.0;
+  double q2 = 0.0;
+  double q3 = 0.0;
+  double iqr() const { return q3 - q1; }
+};
+Quartiles quartiles(const std::vector<double>& xs);
+
+/// Outer fences (Q1 - k*IQR, Q3 + k*IQR); the paper uses k = 3.
+struct Fences {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+Fences outer_fences(const std::vector<double>& xs, double k = 3.0);
+
+/// Indices of xs lying strictly inside the outer fences of xs.
+std::vector<std::size_t> inside_fences(const std::vector<double>& xs,
+                                       double k = 3.0);
+
+/// Selects xs[i] for i in indices.
+std::vector<double> select(const std::vector<double>& xs,
+                           const std::vector<std::size_t>& indices);
+
+}  // namespace whtlab::stats

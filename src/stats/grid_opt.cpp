@@ -1,0 +1,50 @@
+#include "stats/grid_opt.hpp"
+
+#include <stdexcept>
+
+#include "stats/correlation.hpp"
+
+namespace whtlab::stats {
+
+CorrelationGrid correlation_grid(const std::vector<double>& instructions,
+                                 const std::vector<double>& misses,
+                                 const std::vector<double>& cycles,
+                                 double step) {
+  if (instructions.size() != misses.size() ||
+      instructions.size() != cycles.size() || instructions.size() < 2) {
+    throw std::invalid_argument("correlation_grid: bad input");
+  }
+  if (step <= 0.0 || step > 1.0) {
+    throw std::invalid_argument("correlation_grid: bad step");
+  }
+
+  CorrelationGrid out;
+  for (double v = 0.0; v <= 1.0 + step / 2; v += step) {
+    out.alphas.push_back(v);
+    out.betas.push_back(v);
+  }
+
+  std::vector<double> combined(instructions.size());
+  out.rho.assign(out.alphas.size(),
+                 std::vector<double>(out.betas.size(), 0.0));
+  for (std::size_t i = 0; i < out.alphas.size(); ++i) {
+    for (std::size_t j = 0; j < out.betas.size(); ++j) {
+      const double a = out.alphas[i];
+      const double b = out.betas[j];
+      if (a == 0.0 && b == 0.0) continue;  // degenerate; leave rho = 0
+      for (std::size_t k = 0; k < combined.size(); ++k) {
+        combined[k] = a * instructions[k] + b * misses[k];
+      }
+      const double r = pearson(combined, cycles);
+      out.rho[i][j] = r;
+      if (r > out.best_rho) {
+        out.best_rho = r;
+        out.best_alpha = a;
+        out.best_beta = b;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace whtlab::stats

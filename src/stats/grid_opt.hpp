@@ -1,0 +1,30 @@
+// Correlation-maximizing (alpha, beta) grid search (Figure 9 of the paper).
+//
+// Sweeps alpha, beta over [0,1] in fixed increments (the paper uses 0.05)
+// and computes Pearson's rho between alpha*I + beta*M and measured cycles.
+// Since rho is scale-invariant, the surface depends only on the ratio
+// beta/alpha along rays from the origin — the paper's plateau shape — and
+// the point (0,0) is degenerate (zero variance; reported as rho = 0).
+#pragma once
+
+#include <vector>
+
+namespace whtlab::stats {
+
+struct CorrelationGrid {
+  std::vector<double> alphas;
+  std::vector<double> betas;
+  /// rho[i][j] for (alphas[i], betas[j]).
+  std::vector<std::vector<double>> rho;
+  double best_alpha = 0.0;
+  double best_beta = 0.0;
+  double best_rho = 0.0;
+};
+
+/// Computes the full grid; `step` divides 1 exactly in practice (0.05).
+CorrelationGrid correlation_grid(const std::vector<double>& instructions,
+                                 const std::vector<double>& misses,
+                                 const std::vector<double>& cycles,
+                                 double step = 0.05);
+
+}  // namespace whtlab::stats

@@ -1,0 +1,73 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace whtlab::stats {
+
+Histogram::Histogram(const std::vector<double>& xs, int bins) {
+  if (xs.empty()) throw std::invalid_argument("histogram: empty sample");
+  if (bins < 1) throw std::invalid_argument("histogram: bad bin count");
+  low_ = *std::min_element(xs.begin(), xs.end());
+  high_ = *std::max_element(xs.begin(), xs.end());
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+  if (high_ == low_) {
+    // Degenerate sample: everything in one bin.
+    counts_[0] = xs.size();
+    bin_width_ = 1.0;
+    return;
+  }
+  bin_width_ = (high_ - low_) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto bin = static_cast<std::size_t>((x - low_) / bin_width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // top edge inclusive
+    ++counts_[bin];
+  }
+}
+
+double Histogram::bin_low(int bin) const {
+  return low_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(int bin) const {
+  return low_ + bin_width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::bin_center(int bin) const {
+  return low_ + bin_width_ * (static_cast<double>(bin) + 0.5);
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t sum = 0;
+  for (auto c : counts_) sum += c;
+  return sum;
+}
+
+int Histogram::mode_bin() const {
+  return static_cast<int>(std::max_element(counts_.begin(), counts_.end()) -
+                          counts_.begin());
+}
+
+std::string Histogram::render(int width) const {
+  const std::uint64_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[160];
+  for (int b = 0; b < bins(); ++b) {
+    const auto stars =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(count(b)) *
+                                     static_cast<double>(width) /
+                                     static_cast<double>(peak));
+    std::snprintf(line, sizeof(line), "%12.4g..%-12.4g %8llu |", bin_low(b),
+                  bin_high(b),
+                  static_cast<unsigned long long>(count(b)));
+    out += line;
+    out.append(static_cast<std::size_t>(stars), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace whtlab::stats

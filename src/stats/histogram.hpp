@@ -1,0 +1,42 @@
+// Equal-width histograms (Figures 4 and 5 of the paper: "collected into 50
+// equally sized bins").
+//
+// Binning covers [min, max] of the data; the top edge is inclusive so the
+// maximum lands in the last bin (MATLAB hist semantics, which the paper's
+// plots follow).  Text rendering gives a quick visual in bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whtlab::stats {
+
+class Histogram {
+ public:
+  /// Builds a histogram of xs with `bins` equal-width bins.
+  Histogram(const std::vector<double>& xs, int bins = 50);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  std::uint64_t count(int bin) const { return counts_.at(static_cast<std::size_t>(bin)); }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  double bin_low(int bin) const;
+  double bin_high(int bin) const;
+  double bin_center(int bin) const;
+
+  std::uint64_t total() const;
+  /// Index of the fullest bin.
+  int mode_bin() const;
+
+  /// Multi-line ASCII rendering, `width` characters for the largest bar.
+  std::string render(int width = 60) const;
+
+ private:
+  double low_ = 0.0;
+  double high_ = 0.0;
+  double bin_width_ = 0.0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace whtlab::stats

@@ -1,0 +1,77 @@
+#include "stats/linear_solve.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace whtlab::stats {
+
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw std::invalid_argument("solve_linear: shape");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-300) {
+      throw std::domain_error("solve_linear: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) acc -= a[row * n + k] * x[k];
+    x[row] = acc / a[row * n + row];
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const std::vector<std::vector<double>>& x,
+                                  const std::vector<double>& y,
+                                  double ridge) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("least_squares: shape");
+  }
+  const std::size_t cols = x.front().size();
+  if (x.size() < cols) throw std::invalid_argument("least_squares: underdetermined");
+
+  // Normal equations: (X^T X + ridge I) w = X^T y.  Scale the ridge by the
+  // mean diagonal magnitude so it is unit-independent.
+  std::vector<double> xtx(cols * cols, 0.0);
+  std::vector<double> xty(cols, 0.0);
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    if (x[r].size() != cols) throw std::invalid_argument("least_squares: ragged");
+    for (std::size_t i = 0; i < cols; ++i) {
+      xty[i] += x[r][i] * y[r];
+      for (std::size_t j = 0; j < cols; ++j) {
+        xtx[i * cols + j] += x[r][i] * x[r][j];
+      }
+    }
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < cols; ++i) trace += xtx[i * cols + i];
+  const double scaled_ridge = ridge * (trace / static_cast<double>(cols) + 1.0);
+  for (std::size_t i = 0; i < cols; ++i) xtx[i * cols + i] += scaled_ridge;
+  return solve_linear(std::move(xtx), std::move(xty));
+}
+
+}  // namespace whtlab::stats

@@ -1,0 +1,24 @@
+// Dense least-squares solver (normal equations, Gaussian elimination).
+//
+// Small systems only (the calibration fit has < 10 unknowns); a tiny ridge
+// term keeps rank-deficient feature sets (e.g. loads == stores on every WHT
+// plan) solvable instead of exploding.
+#pragma once
+
+#include <vector>
+
+namespace whtlab::stats {
+
+/// Solves A x = b for square A by Gaussian elimination with partial
+/// pivoting.  A is row-major n x n.  Throws std::invalid_argument on
+/// dimension mismatch and std::domain_error on a (numerically) singular
+/// matrix.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b);
+
+/// Least squares min ||X w - y||^2 + ridge*||w||^2 via the normal equations.
+/// X is row-major, rows x cols, rows >= cols.
+std::vector<double> least_squares(const std::vector<std::vector<double>>& x,
+                                  const std::vector<double>& y,
+                                  double ridge = 1e-9);
+
+}  // namespace whtlab::stats

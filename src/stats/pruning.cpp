@@ -1,0 +1,71 @@
+#include "stats/pruning.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace whtlab::stats {
+
+PruningCurve pruning_curve(const std::vector<double>& model_values,
+                           const std::vector<double>& runtimes,
+                           double percentile, int points) {
+  if (model_values.size() != runtimes.size() || model_values.empty()) {
+    throw std::invalid_argument("pruning_curve: bad input");
+  }
+  if (percentile <= 0.0 || percentile >= 1.0) {
+    throw std::invalid_argument("pruning_curve: percentile in (0,1) required");
+  }
+  if (points < 2) throw std::invalid_argument("pruning_curve: need >= 2 points");
+
+  PruningCurve out;
+  out.percentile = percentile;
+  out.runtime_cutoff = quantile(runtimes, percentile);
+
+  // Sort pairs by model value; then sweep thresholds keeping running counts.
+  const std::size_t n = model_values.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return model_values[a] < model_values[b];
+  });
+
+  const double lo = model_values[order.front()];
+  const double hi = model_values[order.back()];
+  out.thresholds.reserve(static_cast<std::size_t>(points));
+  out.outside_fraction.reserve(static_cast<std::size_t>(points));
+
+  std::size_t consumed = 0;   // plans with model value <= current threshold
+  std::size_t outside = 0;    // of those, runtime worse than cutoff
+  for (int pt = 0; pt < points; ++pt) {
+    const double c =
+        lo + (hi - lo) * static_cast<double>(pt) / static_cast<double>(points - 1);
+    while (consumed < n && model_values[order[consumed]] <= c) {
+      if (runtimes[order[consumed]] > out.runtime_cutoff) ++outside;
+      ++consumed;
+    }
+    out.thresholds.push_back(c);
+    out.outside_fraction.push_back(
+        consumed == 0 ? 0.0
+                      : static_cast<double>(outside) /
+                            static_cast<double>(consumed));
+  }
+  return out;
+}
+
+double min_safe_threshold(const std::vector<double>& model_values,
+                          const std::vector<double>& runtimes,
+                          double percentile) {
+  if (model_values.size() != runtimes.size() || model_values.empty()) {
+    throw std::invalid_argument("min_safe_threshold: bad input");
+  }
+  const double cutoff = quantile(runtimes, percentile);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < runtimes.size(); ++i) {
+    if (runtimes[i] <= cutoff) best = std::min(best, model_values[i]);
+  }
+  return best;
+}
+
+}  // namespace whtlab::stats

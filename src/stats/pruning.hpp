@@ -1,0 +1,41 @@
+// Search-space pruning curves (Figures 10 and 11 of the paper).
+//
+// For a population of algorithms with model values m_i (instruction count,
+// or alpha*I + beta*M) and measured runtimes r_i, and a percentile p:
+// let cutoff = p-quantile of runtimes ("top p% performance").  The curve
+//
+//   f(c) = P( r > cutoff | m <= c )
+//
+// is the probability that an algorithm picked among those with model value
+// at most c performs *outside* the top p percent.  As c approaches the
+// maximum model value, f(c) -> 1 - p; wherever the curve is already close to
+// 1 - p, algorithms with larger model values can be discarded without losing
+// the top performers — the paper's pruning argument.
+#pragma once
+
+#include <vector>
+
+namespace whtlab::stats {
+
+struct PruningCurve {
+  double percentile = 0.0;       ///< p, e.g. 0.05
+  double runtime_cutoff = 0.0;   ///< p-quantile of runtimes
+  std::vector<double> thresholds;        ///< model-value thresholds c
+  std::vector<double> outside_fraction;  ///< f(c)
+};
+
+/// Computes the curve on an even grid of `points` thresholds spanning
+/// [min(model), max(model)].
+PruningCurve pruning_curve(const std::vector<double>& model_values,
+                           const std::vector<double>& runtimes,
+                           double percentile, int points = 100);
+
+/// Smallest model threshold whose kept set contains at least one top-p
+/// algorithm (i.e. the min model value among the top-p performers).  Keeping
+/// only plans below this threshold is the most aggressive safe pruning for
+/// this population.
+double min_safe_threshold(const std::vector<double>& model_values,
+                          const std::vector<double>& runtimes,
+                          double percentile);
+
+}  // namespace whtlab::stats

@@ -1,0 +1,35 @@
+#include "stats/regression.hpp"
+
+#include <stdexcept>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+
+namespace whtlab::stats {
+
+LinearFit linear_regression(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("linear_regression: bad input");
+  }
+  const double vx = variance(xs);
+  LinearFit fit;
+  if (vx == 0.0) {
+    fit.intercept = mean(ys);
+    return fit;
+  }
+  fit.slope = covariance(xs, ys) / vx;
+  fit.intercept = mean(ys) - fit.slope * mean(xs);
+  const double rho = pearson(xs, ys);
+  fit.r_squared = rho * rho;
+  return fit;
+}
+
+double jarque_bera(const std::vector<double>& xs) {
+  const double s = skewness(xs);
+  const double k = excess_kurtosis(xs);
+  const double n = static_cast<double>(xs.size());
+  return n / 6.0 * (s * s + k * k / 4.0);
+}
+
+}  // namespace whtlab::stats

@@ -1,0 +1,29 @@
+// Simple linear regression and a normality statistic.
+//
+// Regression supports the scatter analyses (Figures 6-8): alongside Pearson's
+// rho the harness reports the least-squares line cycles ~ a + b*model.
+// The Jarque-Bera statistic quantifies the histogram-shape observations of
+// Section 3 (the cycle histogram at n = 18 is left-skewed where the
+// instruction histogram is not).
+#pragma once
+
+#include <vector>
+
+namespace whtlab::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit y ~ intercept + slope * x.
+LinearFit linear_regression(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+/// Jarque-Bera normality statistic: n/6 * (S^2 + K^2/4) with S = skewness,
+/// K = excess kurtosis.  Asymptotically chi-squared(2) under normality;
+/// values >> 5.99 reject normality at the 5% level.
+double jarque_bera(const std::vector<double>& xs);
+
+}  // namespace whtlab::stats

@@ -1,0 +1,78 @@
+// Cache-line aligned data buffers for transform inputs.
+//
+// WHT plans operate in place on arrays of doubles.  Cache behaviour is part
+// of what this library measures, so buffers are aligned to a cache-line (and
+// optionally page) boundary: the cache simulator and the analytic cache model
+// both assume the vector starts at the beginning of a line.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace whtlab::util {
+
+/// Default alignment: one x86 cache line.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// RAII buffer of doubles with guaranteed alignment.
+///
+/// Intentionally minimal: no resizing, no copying (measurement code must not
+/// accidentally reallocate mid-experiment); movable so it can be returned
+/// from factories.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count, std::size_t alignment = kCacheLineBytes)
+      : size_(count) {
+    if (count == 0) return;
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t bytes = count * sizeof(double);
+    bytes = (bytes + alignment - 1) / alignment * alignment;
+    data_ = static_cast<double*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  double* data() noexcept { return data_; }
+  const double* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  double& operator[](std::size_t i) noexcept { return data_[i]; }
+  double operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  double* begin() noexcept { return data_; }
+  double* end() noexcept { return data_ + size_; }
+  const double* begin() const noexcept { return data_; }
+  const double* end() const noexcept { return data_ + size_; }
+
+  void fill(double v) noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = v;
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace whtlab::util

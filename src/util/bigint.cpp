@@ -1,0 +1,157 @@
+#include "util/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace whtlab::util {
+
+namespace {
+using U128 = unsigned __int128;
+}  // namespace
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 64 * (limbs_.size() - 1) +
+         (64 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1ULL;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    U128 sum = static_cast<U128>(limbs_[i]) + carry;
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  if (carry != 0) limbs_.push_back(carry);
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  if (compare(rhs) < 0) {
+    throw std::underflow_error("BigInt subtraction would be negative");
+  }
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t sub =
+        (i < rhs.limbs_.size() ? rhs.limbs_[i] : 0ULL);
+    const std::uint64_t before = limbs_[i];
+    const std::uint64_t after = before - sub - borrow;
+    // Borrow occurred iff we wrapped past zero.
+    borrow = (before < sub || (before == sub && borrow)) ? 1 : 0;
+    limbs_[i] = after;
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint64_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      U128 cur = static_cast<U128>(limbs_[i]) * rhs.limbs_[j] +
+                 out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out[i + rhs.limbs_.size()] = carry;
+  }
+  limbs_ = std::move(out);
+  normalize();
+  return *this;
+}
+
+int BigInt::compare(const BigInt& rhs) const {
+  if (limbs_.size() != rhs.limbs_.size()) {
+    return limbs_.size() < rhs.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] < rhs.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::uint64_t BigInt::div_small(std::uint64_t divisor) {
+  if (divisor == 0) throw std::domain_error("BigInt division by zero");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    U128 cur = (static_cast<U128>(rem) << 64) | limbs_[i];
+    limbs_[i] = static_cast<std::uint64_t>(cur / divisor);
+    rem = static_cast<std::uint64_t>(cur % divisor);
+  }
+  normalize();
+  return rem;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  BigInt tmp = *this;
+  std::string digits;
+  while (!tmp.is_zero()) {
+    const std::uint64_t chunk = tmp.div_small(1000000000ULL);
+    if (tmp.is_zero()) {
+      digits.insert(0, std::to_string(chunk));
+    } else {
+      std::string part = std::to_string(chunk);
+      digits.insert(0, std::string(9 - part.size(), '0') + part);
+    }
+  }
+  return digits;
+}
+
+BigInt BigInt::from_decimal(const std::string& text) {
+  BigInt out;
+  const BigInt ten(10);
+  for (char c : text) {
+    if (c < '0' || c > '9') throw std::invalid_argument("BigInt: bad digit");
+    out *= ten;
+    out += BigInt(static_cast<std::uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+double BigInt::to_double() const {
+  double value = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = value * 0x1.0p64 + static_cast<double>(limbs_[i]);
+  }
+  return value;
+}
+
+BigInt BigInt::random_below(const BigInt& bound, Rng& rng) {
+  if (bound.is_zero()) throw std::domain_error("BigInt::random_below(0)");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t limbs = (bits + 63) / 64;
+  const unsigned top_bits = static_cast<unsigned>(bits - 64 * (limbs - 1));
+  const std::uint64_t top_mask =
+      top_bits == 64 ? ~0ULL : ((1ULL << top_bits) - 1);
+  BigInt candidate;
+  for (;;) {
+    candidate.limbs_.assign(limbs, 0);
+    for (std::size_t i = 0; i < limbs; ++i) candidate.limbs_[i] = rng.next();
+    candidate.limbs_.back() &= top_mask;
+    candidate.normalize();
+    if (candidate < bound) return candidate;
+  }
+}
+
+}  // namespace whtlab::util

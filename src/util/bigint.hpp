@@ -1,0 +1,81 @@
+// Arbitrary-precision unsigned integers.
+//
+// The number of WHT algorithms of size 2^n grows like ~7^n (Hitczenko,
+// Johnson & Huang, TCS 352), which overflows 64 bits around n = 23.  The
+// plan-space counting code (search/space.hpp) and the exactly-uniform plan
+// sampler need exact counts, so this module provides a small unsigned bigint:
+// addition, subtraction, multiplication, comparison, decimal I/O, conversion
+// to double, and unbiased uniform sampling below a bound.
+//
+// Limbs are 64-bit, little-endian (limb 0 = least significant); arithmetic
+// uses unsigned __int128 for carries.  Values are always normalized (no
+// trailing zero limbs; zero is an empty limb vector).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace whtlab::util {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t v) {  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+    if (v != 0) limbs_.push_back(v);
+  }
+
+  static BigInt from_decimal(const std::string& text);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+
+  /// Value of bit i (i < bit_length()).
+  bool bit(std::size_t i) const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);  ///< Requires *this >= rhs.
+  BigInt& operator*=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+
+  /// Three-way comparison: -1, 0, +1.
+  int compare(const BigInt& rhs) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) { return a.compare(b) == 0; }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return a.compare(b) != 0; }
+  friend bool operator<(const BigInt& a, const BigInt& b) { return a.compare(b) < 0; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return a.compare(b) <= 0; }
+  friend bool operator>(const BigInt& a, const BigInt& b) { return a.compare(b) > 0; }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return a.compare(b) >= 0; }
+
+  /// Divide in place by a small divisor; returns the remainder.
+  std::uint64_t div_small(std::uint64_t divisor);
+
+  /// Decimal representation.
+  std::string to_string() const;
+
+  /// Nearest double (inf if out of range).  Used for growth-rate estimates.
+  double to_double() const;
+
+  /// True if the value fits in 64 bits; then value64() is exact.
+  bool fits_u64() const { return limbs_.size() <= 1; }
+  std::uint64_t value64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  /// Uniform random value in [0, bound), bound > 0.  Rejection sampling on
+  /// the top limb keeps the draw unbiased.
+  static BigInt random_below(const BigInt& bound, Rng& rng);
+
+ private:
+  void normalize();
+
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace whtlab::util

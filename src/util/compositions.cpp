@@ -1,0 +1,51 @@
+#include "util/compositions.hpp"
+
+#include <stdexcept>
+
+namespace whtlab::util {
+
+std::uint64_t composition_count(int n, int min_parts) {
+  if (n < 1 || n > 63) throw std::invalid_argument("composition_count: bad n");
+  const std::uint64_t total = std::uint64_t{1} << (n - 1);
+  if (min_parts <= 1) return total;
+  if (min_parts == 2) return total - 1;  // exclude the one-part composition
+  // General case: subtract compositions with fewer than min_parts parts:
+  // count with exactly t parts is C(n-1, t-1).
+  std::uint64_t excluded = 0;
+  std::uint64_t binom = 1;  // C(n-1, 0)
+  for (int t = 1; t < min_parts; ++t) {
+    excluded += binom;
+    binom = binom * static_cast<std::uint64_t>(n - t) /
+            static_cast<std::uint64_t>(t);
+  }
+  return total - excluded;
+}
+
+std::vector<int> composition_from_mask(int n, std::uint64_t mask) {
+  if (n < 1 || n > 63) throw std::invalid_argument("composition: bad n");
+  if (mask >> (n - 1)) throw std::invalid_argument("composition: bad mask");
+  std::vector<int> parts;
+  int run = 1;
+  for (int i = 0; i < n - 1; ++i) {
+    if ((mask >> i) & 1ULL) {
+      parts.push_back(run);
+      run = 1;
+    } else {
+      ++run;
+    }
+  }
+  parts.push_back(run);
+  return parts;
+}
+
+std::uint64_t composition_to_mask(const std::vector<int>& parts) {
+  std::uint64_t mask = 0;
+  int position = 0;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    position += parts[i];
+    mask |= std::uint64_t{1} << (position - 1);
+  }
+  return mask;
+}
+
+}  // namespace whtlab::util

@@ -1,0 +1,41 @@
+// Minimal CSV writer for experiment output.
+//
+// Every bench binary can dump its series as CSV (one file per figure) so the
+// paper's plots can be regenerated with any plotting tool.  Quoting follows
+// RFC 4180: fields containing commas, quotes or newlines are quoted, embedded
+// quotes doubled.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace whtlab::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; each cell is escaped as needed.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: header row.
+  void header(const std::vector<std::string>& names) { row(names); }
+
+  const std::string& path() const { return path_; }
+
+  static std::string escape(const std::string& cell);
+
+  /// Formats a double with enough digits to round-trip.
+  static std::string num(double v);
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string num(std::int64_t v) { return std::to_string(v); }
+  static std::string num(int v) { return std::to_string(v); }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace whtlab::util

@@ -1,0 +1,3 @@
+// rng.hpp is header-only; this translation unit exists so the header is
+// compiled standalone at least once (catches missing includes early).
+#include "util/rng.hpp"

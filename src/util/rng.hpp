@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible from a seed, so the library uses its own
+// generator (xoshiro256**) instead of std::mt19937: the state is small, the
+// stream is identical across platforms and standard-library versions, and it
+// is fast enough to sit inside the plan sampler's inner loop.
+#pragma once
+
+#include <cstdint>
+
+namespace whtlab::util {
+
+/// splitmix64 — used to expand a single 64-bit seed into generator state.
+/// (Reference: Sebastiano Vigna, public domain.)
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — all-purpose 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
+  /// method; unbiased for every bound.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    // Rejection threshold for unbiased mapping.
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      const unsigned __int128 m = static_cast<unsigned __int128>(r) * bound;
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace whtlab::util

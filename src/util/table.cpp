@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace whtlab::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == 'x' ||
+          c == 'n' || c == 'a' || c == 'i' || c == 'f')) {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-' ||
+         s[0] == '+' || s[0] == '.';
+}
+
+std::string pad(const std::string& s, std::size_t width, bool right) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return right ? fill + s : s + fill;
+}
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out += "  ";
+    out += pad(header_[c], widths[c], /*right=*/false);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out += "  ";
+    out += std::string(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += "  ";
+      out += pad(row[c], widths[c], looks_numeric(row[c]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace whtlab::util

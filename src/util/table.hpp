@@ -1,0 +1,37 @@
+// Aligned plain-text tables for bench output.
+//
+// Bench binaries print the series behind each paper figure as a table that is
+// readable in a terminal and diffable in CI logs.  Columns are sized to the
+// widest cell; numeric cells are right-aligned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whtlab::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(std::uint64_t v) { return std::to_string(v); }
+  static std::string fmt(int v) { return std::to_string(v); }
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace whtlab::util

@@ -1,0 +1,156 @@
+#include "cachesim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace whtlab::cachesim {
+namespace {
+
+TEST(CacheConfig, Validation) {
+  EXPECT_NO_THROW(CacheConfig::opteron_l1().validate());
+  EXPECT_NO_THROW(CacheConfig::opteron_l2().validate());
+  EXPECT_NO_THROW(CacheConfig::host_l1().validate());  // 48 KB 12-way
+  EXPECT_NO_THROW(CacheConfig::host_l2().validate());
+  EXPECT_THROW((CacheConfig{1000, 64, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW((CacheConfig{1024, 48, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW((CacheConfig{1024, 64, 3}).validate(), std::invalid_argument);
+  EXPECT_THROW((CacheConfig{64, 128, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((CacheConfig{128, 64, 4}).validate(), std::invalid_argument);
+  // 12-way is fine, but the set count must stay a power of two:
+  // 96 lines / 12 ways = 8 sets (ok); 96 lines / 16 ways = 6 sets (bad).
+  EXPECT_NO_THROW((CacheConfig{96 * 64, 64, 12}).validate());
+  EXPECT_THROW((CacheConfig{96 * 64, 64, 16}).validate(), std::invalid_argument);
+}
+
+TEST(CacheConfig, HostGeometry) {
+  const CacheConfig l1 = CacheConfig::host_l1();
+  EXPECT_EQ(l1.num_lines(), 768u);
+  EXPECT_EQ(l1.num_sets(), 64u);
+}
+
+TEST(Cache, TwelveWaySetHoldsTwelveConflictingLines) {
+  // 1 set of 12 ways: 12 distinct conflicting lines must all stay resident.
+  Cache cache({12 * 64, 64, 12});
+  for (std::uint64_t line = 0; line < 12; ++line) cache.access(line * 64);
+  cache.reset_stats();
+  for (std::uint64_t line = 0; line < 12; ++line) {
+    EXPECT_TRUE(cache.access(line * 64)) << line;
+  }
+  EXPECT_FALSE(cache.access(12 * 64));  // the 13th evicts LRU (line 0)
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(CacheConfig, Geometry) {
+  const CacheConfig l1 = CacheConfig::opteron_l1();
+  EXPECT_EQ(l1.num_lines(), 1024u);
+  EXPECT_EQ(l1.num_sets(), 512u);
+  const CacheConfig dm = CacheConfig::direct_mapped(64, 8);
+  EXPECT_EQ(dm.num_sets(), 64u);
+  EXPECT_EQ(dm.associativity, 1u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache({1024, 64, 2});
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(63));   // same line
+  EXPECT_FALSE(cache.access(64));  // next line
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits(), 2u);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  // 4 lines of 64B, direct mapped: addresses 0 and 256 share set 0.
+  Cache cache(CacheConfig::direct_mapped(4, 64));
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(256));
+  EXPECT_FALSE(cache.access(0));  // evicted by 256
+  EXPECT_FALSE(cache.access(256));
+}
+
+TEST(Cache, TwoWayAbsorbsPairConflict) {
+  // Same two conflicting lines fit in a 2-way set together.
+  Cache cache({8 * 64, 64, 2});  // 8 lines, 2-way, 4 sets
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(4 * 64));  // same set, other way
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(4 * 64));
+}
+
+TEST(Cache, LruEvictsLeastRecent) {
+  Cache cache({2 * 64, 64, 2});  // one set, two ways
+  cache.access(0);      // miss, set = {0}
+  cache.access(64);     // miss, set = {64, 0}
+  cache.access(0);      // hit, set = {0, 64}
+  cache.access(128);    // miss, evicts 64
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(64));
+}
+
+TEST(Cache, FullyAssociativeHoldsWorkingSet) {
+  Cache cache({4 * 64, 64, 4});  // one set, 4 ways
+  for (std::uint64_t line = 0; line < 4; ++line) cache.access(line * 64);
+  cache.reset_stats();
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t line = 0; line < 4; ++line) {
+      EXPECT_TRUE(cache.access(line * 64));
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(Cache, SequentialSweepMissesOncePerLine) {
+  Cache cache(CacheConfig::opteron_l1());
+  const std::uint64_t bytes = 32 * 1024;  // half of L1
+  for (std::uint64_t addr = 0; addr < bytes; addr += 8) cache.access(addr);
+  EXPECT_EQ(cache.stats().misses, bytes / 64);
+  EXPECT_EQ(cache.stats().accesses, bytes / 8);
+}
+
+TEST(Cache, ThrashingSweepLargerThanCache) {
+  // Sweeping 2x the cache size twice with direct mapping: every line access
+  // misses in the second sweep too.
+  Cache cache(CacheConfig::direct_mapped(16, 64));
+  const std::uint64_t lines = 32;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::uint64_t line = 0; line < lines; ++line) {
+      cache.access(line * 64);
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 2 * lines);
+}
+
+TEST(Cache, FlushForcesMisses) {
+  Cache cache({1024, 64, 2});
+  cache.access(0);
+  EXPECT_TRUE(cache.access(0));
+  cache.flush();
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Cache, ContainsIsSideEffectFree) {
+  Cache cache({1024, 64, 2});
+  EXPECT_FALSE(cache.contains(0));
+  cache.access(0);
+  const auto accesses = cache.stats().accesses;
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(32));   // same line
+  EXPECT_FALSE(cache.contains(64));  // different line
+  EXPECT_EQ(cache.stats().accesses, accesses);
+}
+
+TEST(Cache, MissRate) {
+  Cache cache({1024, 64, 2});
+  cache.access(0);
+  cache.access(0);
+  cache.access(0);
+  cache.access(0);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.25);
+  CacheStats empty;
+  EXPECT_DOUBLE_EQ(empty.miss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace whtlab::cachesim

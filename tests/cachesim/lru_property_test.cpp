@@ -1,0 +1,69 @@
+// LRU inclusion property tests.
+//
+// For LRU replacement with a fixed number of sets, the lines resident in an
+// a-way cache are always a subset of those in a 2a-way cache (per-set stack
+// inclusion), so misses are non-increasing in associativity.  Likewise,
+// doubling the set count with fixed associativity cannot create new misses
+// for power-of-two strided WHT traces.  These are strong whole-simulator
+// invariants: any bookkeeping bug in the LRU rotation breaks them.
+#include <gtest/gtest.h>
+
+#include "cachesim/trace_runner.hpp"
+#include "search/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::cachesim {
+namespace {
+
+class LruInclusionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LruInclusionTest, MissesNonIncreasingInAssociativity) {
+  const int n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n));
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto plan = sampler.sample(n, rng);
+    std::uint64_t previous = ~std::uint64_t{0};
+    // Same number of sets (64) throughout; associativity 1, 2, 4, 8.
+    for (std::uint32_t assoc = 1; assoc <= 8; assoc *= 2) {
+      const CacheConfig config{
+          static_cast<std::uint64_t>(64) * 64 * assoc, 64, assoc};
+      const auto misses = simulate_plan(plan, config).l1_misses;
+      EXPECT_LE(misses, previous)
+          << plan.to_string() << " assoc=" << assoc;
+      previous = misses;
+    }
+  }
+}
+
+TEST_P(LruInclusionTest, MissesNonIncreasingInCacheSize) {
+  const int n = GetParam();
+  util::Rng rng(100 + static_cast<std::uint64_t>(n));
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  const auto plan = sampler.sample(n, rng);
+  std::uint64_t previous = ~std::uint64_t{0};
+  // Fixed 2-way associativity, growing size: 8KB .. 256KB.
+  for (std::uint64_t kb = 8; kb <= 256; kb *= 2) {
+    const CacheConfig config{kb * 1024, 64, 2};
+    const auto misses = simulate_plan(plan, config).l1_misses;
+    EXPECT_LE(misses, previous) << plan.to_string() << " size=" << kb << "KB";
+    previous = misses;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LruInclusionTest,
+                         ::testing::Values(10, 13, 15));
+
+TEST(LruProperty, LargerLinesNeverIncreaseMissesOnUnitStrideSweep) {
+  // For a purely sequential sweep, bigger lines mean fewer misses.
+  Cache small_lines({64 * 1024, 32, 2});
+  Cache big_lines({64 * 1024, 128, 2});
+  for (std::uint64_t addr = 0; addr < 256 * 1024; addr += 8) {
+    small_lines.access(addr);
+    big_lines.access(addr);
+  }
+  EXPECT_GT(small_lines.stats().misses, big_lines.stats().misses);
+}
+
+}  // namespace
+}  // namespace whtlab::cachesim

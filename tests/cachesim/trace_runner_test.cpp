@@ -1,0 +1,100 @@
+#include "cachesim/trace_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hpp"
+#include "core/instrumented.hpp"
+#include "core/plan.hpp"
+#include "search/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::cachesim {
+namespace {
+
+TEST(TraceRunner, AccessCountMatchesOpCounts) {
+  for (const auto& plan :
+       {core::Plan::iterative(10), core::Plan::right_recursive(10),
+        core::Plan::balanced_binary(12, 4)}) {
+    const auto result = simulate_plan(plan, CacheConfig::opteron_l1());
+    EXPECT_EQ(result.accesses, core::count_ops(plan).accesses())
+        << plan.to_string();
+  }
+}
+
+TEST(TraceRunner, InCacheTransformHasCompulsoryMissesOnly) {
+  // 2^9 doubles = 4KB fits L1: misses = number of lines = N/8.
+  const auto plan = core::Plan::iterative(9);
+  const auto result = simulate_plan(plan, CacheConfig::opteron_l1());
+  EXPECT_EQ(result.l1_misses, (1u << 9) / 8);
+}
+
+TEST(TraceRunner, InCacheHoldsForEveryPlanShape) {
+  util::Rng rng(11);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto plan = sampler.sample(12, rng);  // 32KB < 64KB L1
+    const auto result = simulate_plan(plan, CacheConfig::opteron_l1());
+    EXPECT_EQ(result.l1_misses, (1u << 12) / 8) << plan.to_string();
+  }
+}
+
+TEST(TraceRunner, OutOfCacheTransformMissesMore) {
+  // 2^16 doubles = 512KB > 64KB L1.
+  const auto plan = core::Plan::iterative(16);
+  const auto result = simulate_plan(plan, CacheConfig::opteron_l1());
+  EXPECT_GT(result.l1_misses, (1u << 16) / 8);
+  EXPECT_LE(result.l1_misses, result.accesses);
+}
+
+TEST(TraceRunner, MissesBoundedByCompulsoryAndTotal) {
+  util::Rng rng(13);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  for (int n : {10, 14, 16}) {
+    const auto plan = sampler.sample(n, rng);
+    const auto result = simulate_plan(plan, CacheConfig::opteron_l1());
+    EXPECT_GE(result.l1_misses, (std::uint64_t{1} << n) / 8);
+    EXPECT_LE(result.l1_misses, result.accesses);
+  }
+}
+
+TEST(TraceRunner, HierarchyL2MissesNeverExceedL1) {
+  const auto plan = core::Plan::right_recursive(16);
+  const auto result = simulate_plan(plan, CacheConfig::opteron_l1(),
+                                    CacheConfig::opteron_l2());
+  EXPECT_LE(result.l2_misses, result.l1_misses);
+  // 512KB fits in 1MB L2: L2 sees only compulsory misses.
+  EXPECT_EQ(result.l2_misses, (1u << 16) / 8);
+}
+
+TEST(TraceRunner, WarmRunOfInCacheTransformIsAllHits) {
+  const auto plan = core::Plan::iterative(9);
+  Cache cache(CacheConfig::opteron_l1());
+  const auto cold = simulate_plan_warm(plan, cache);
+  EXPECT_EQ(cold.l1_misses, (1u << 9) / 8);
+  const auto warm = simulate_plan_warm(plan, cache);
+  EXPECT_EQ(warm.l1_misses, 0u);
+  EXPECT_EQ(warm.accesses, cold.accesses);
+}
+
+TEST(TraceRunner, IterativeVsRecursiveMissOrderingAtLargeSize) {
+  // Past the L1 boundary the recursive plan localizes work and misses less
+  // than the iterative plan (the paper's Figure 3 crossover mechanism).
+  const int n = 16;
+  const auto iter = simulate_plan(core::Plan::iterative(n),
+                                  CacheConfig::opteron_l1());
+  const auto rec = simulate_plan(core::Plan::right_recursive(n),
+                                 CacheConfig::opteron_l1());
+  EXPECT_LT(rec.l1_misses, iter.l1_misses);
+}
+
+TEST(Hierarchy, AccessReportsServicingLevel) {
+  Hierarchy h(CacheConfig{128, 64, 1}, CacheConfig{1024, 64, 2});
+  EXPECT_EQ(h.access(0), 3);   // cold: memory
+  EXPECT_EQ(h.access(0), 1);   // L1 hit
+  h.access(64);                // occupies other L1 line (set 1)
+  EXPECT_EQ(h.access(128), 3); // set 0 conflict in L1, cold in L2
+  EXPECT_EQ(h.access(0), 2);   // evicted from L1, still in L2
+}
+
+}  // namespace
+}  // namespace whtlab::cachesim

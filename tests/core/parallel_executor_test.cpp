@@ -1,0 +1,73 @@
+#include "core/parallel_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/verify.hpp"
+#include "search/sampler.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::core {
+namespace {
+
+class ParallelExecutorTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelExecutorTest, MatchesSequentialBitExactly) {
+  const auto [n, threads] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n * 100 + threads));
+  search::RecursiveSplitSampler sampler(kMaxUnrolled);
+  const Plan plan = sampler.sample(n, rng);
+  const std::uint64_t size = plan.size();
+  util::AlignedBuffer seq(size);
+  util::AlignedBuffer par(size);
+  util::Rng fill(1);
+  for (std::uint64_t i = 0; i < size; ++i) seq[i] = par[i] = fill.uniform(-1, 1);
+  execute(plan, seq.data());
+  execute_parallel(plan, par.data(), threads);
+  for (std::uint64_t i = 0; i < size; ++i) EXPECT_EQ(seq[i], par[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndThreadCounts, ParallelExecutorTest,
+    ::testing::Combine(::testing::Values(6, 10, 13, 15),
+                       ::testing::Values(1, 2, 4, 7)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelExecutor, SmallPlanFallsBackToSequential) {
+  const Plan plan = Plan::small(4);
+  std::vector<double> x(plan.size());
+  util::Rng rng(3);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  execute_parallel(plan, x.data(), 8);
+  // Compare against reference.
+  std::vector<double> expected(plan.size());
+  util::Rng rng2(3);
+  for (auto& v : expected) v = rng2.uniform(-1, 1);
+  fast_wht_reference(4, expected.data());
+  EXPECT_LT(max_abs_diff(x.data(), expected.data(), plan.size()), 1e-12);
+}
+
+TEST(ParallelExecutor, CorrectOnCanonicalPlans) {
+  for (const Plan& plan :
+       {Plan::iterative(14), Plan::right_recursive(14), Plan::balanced_binary(14, 6)}) {
+    util::AlignedBuffer seq(plan.size());
+    util::AlignedBuffer par(plan.size());
+    util::Rng fill(9);
+    for (std::uint64_t i = 0; i < plan.size(); ++i) {
+      seq[i] = par[i] = fill.uniform(-1, 1);
+    }
+    execute(plan, seq.data());
+    execute_parallel(plan, par.data(), 4);
+    for (std::uint64_t i = 0; i < plan.size(); ++i) EXPECT_EQ(seq[i], par[i]);
+  }
+}
+
+}  // namespace
+}  // namespace whtlab::core

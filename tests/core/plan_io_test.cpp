@@ -1,0 +1,82 @@
+#include "core/plan_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/plan.hpp"
+
+namespace whtlab::core {
+namespace {
+
+TEST(PlanIo, FormatsLeaf) {
+  EXPECT_EQ(format_plan(Plan::small(4)), "small[4]");
+}
+
+TEST(PlanIo, FormatsNestedSplit) {
+  std::vector<Plan> inner;
+  inner.push_back(Plan::small(1));
+  inner.push_back(Plan::small(2));
+  std::vector<Plan> outer;
+  outer.push_back(Plan::split(std::move(inner)));
+  outer.push_back(Plan::small(3));
+  EXPECT_EQ(format_plan(Plan::split(std::move(outer))),
+            "split[split[small[1],small[2]],small[3]]");
+}
+
+TEST(PlanIo, ParsesLeaf) {
+  const Plan p = parse_plan("small[5]");
+  EXPECT_EQ(p.log2_size(), 5);
+  EXPECT_EQ(p.leaf_count(), 1);
+}
+
+TEST(PlanIo, ParsesSplit) {
+  const Plan p = parse_plan("split[small[1],small[2],small[3]]");
+  EXPECT_EQ(p.log2_size(), 6);
+  EXPECT_EQ(p.leaf_count(), 3);
+}
+
+TEST(PlanIo, ParseIgnoresWhitespace) {
+  const Plan p = parse_plan("  split[ small[1] ,\n  small[2] ]  ");
+  EXPECT_EQ(p.to_string(), "split[small[1],small[2]]");
+}
+
+TEST(PlanIo, RoundTripCanonicalPlans) {
+  for (int n = 1; n <= 16; ++n) {
+    for (const Plan& p : {Plan::iterative(n), Plan::right_recursive(n),
+                          Plan::left_recursive(n), Plan::balanced_binary(n, 4)}) {
+      const std::string text = p.to_string();
+      EXPECT_EQ(parse_plan(text), p) << text;
+      EXPECT_EQ(parse_plan(text).to_string(), text);
+    }
+  }
+}
+
+TEST(PlanIo, RejectsGarbage) {
+  EXPECT_THROW(parse_plan(""), std::invalid_argument);
+  EXPECT_THROW(parse_plan("smal[1]"), std::invalid_argument);
+  EXPECT_THROW(parse_plan("small[0]"), std::invalid_argument);
+  EXPECT_THROW(parse_plan("small[9]"), std::invalid_argument);   // > kMaxUnrolled
+  EXPECT_THROW(parse_plan("small[x]"), std::invalid_argument);
+  EXPECT_THROW(parse_plan("small[1"), std::invalid_argument);
+  EXPECT_THROW(parse_plan("split[small[1]]"), std::invalid_argument);  // 1 child
+  EXPECT_THROW(parse_plan("split[]"), std::invalid_argument);
+  EXPECT_THROW(parse_plan("split[small[1],small[2]] junk"), std::invalid_argument);
+  EXPECT_THROW(parse_plan("split[small[1],,small[2]]"), std::invalid_argument);
+}
+
+TEST(PlanIo, RejectsHugeInteger) {
+  EXPECT_THROW(parse_plan("small[99999999]"), std::invalid_argument);
+}
+
+TEST(PlanIo, ErrorMentionsPosition) {
+  try {
+    parse_plan("split[small[1],oops]");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace whtlab::core

@@ -1,0 +1,153 @@
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace whtlab::core {
+namespace {
+
+TEST(Plan, SmallFactoryBuildsLeaf) {
+  const Plan p = Plan::small(3);
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.log2_size(), 3);
+  EXPECT_EQ(p.size(), 8u);
+  EXPECT_EQ(p.leaf_count(), 1);
+  EXPECT_EQ(p.node_count(), 1);
+  EXPECT_EQ(p.depth(), 1);
+  EXPECT_EQ(p.max_leaf_log2(), 3);
+}
+
+TEST(Plan, SmallRejectsOutOfRange) {
+  EXPECT_THROW(Plan::small(0), std::invalid_argument);
+  EXPECT_THROW(Plan::small(-2), std::invalid_argument);
+  EXPECT_THROW(Plan::small(kMaxUnrolled + 1), std::invalid_argument);
+}
+
+TEST(Plan, SmallAcceptsFullRange) {
+  for (int k = 1; k <= kMaxUnrolled; ++k) {
+    EXPECT_EQ(Plan::small(k).size(), std::uint64_t{1} << k);
+  }
+}
+
+TEST(Plan, SplitSumsChildSizes) {
+  std::vector<Plan> children;
+  children.push_back(Plan::small(2));
+  children.push_back(Plan::small(3));
+  children.push_back(Plan::small(1));
+  const Plan p = Plan::split(std::move(children));
+  EXPECT_EQ(p.log2_size(), 6);
+  EXPECT_EQ(p.leaf_count(), 3);
+  EXPECT_EQ(p.node_count(), 4);
+  EXPECT_EQ(p.depth(), 2);
+  EXPECT_EQ(p.max_leaf_log2(), 3);
+}
+
+TEST(Plan, SplitRequiresTwoChildren) {
+  std::vector<Plan> one;
+  one.push_back(Plan::small(2));
+  EXPECT_THROW(Plan::split(std::move(one)), std::invalid_argument);
+}
+
+TEST(Plan, SplitRejectsInvalidChild) {
+  std::vector<Plan> children;
+  children.push_back(Plan::small(1));
+  children.push_back(Plan{});  // default = invalid
+  EXPECT_THROW(Plan::split(std::move(children)), std::invalid_argument);
+}
+
+TEST(Plan, IterativeShape) {
+  const Plan p = Plan::iterative(5);
+  EXPECT_EQ(p.log2_size(), 5);
+  EXPECT_EQ(p.leaf_count(), 5);
+  EXPECT_EQ(p.depth(), 2);
+  EXPECT_EQ(p.max_leaf_log2(), 1);
+  EXPECT_EQ(p.to_string(), "split[small[1],small[1],small[1],small[1],small[1]]");
+}
+
+TEST(Plan, IterativeBaseCase) {
+  EXPECT_EQ(Plan::iterative(1).to_string(), "small[1]");
+}
+
+TEST(Plan, RightRecursiveShape) {
+  const Plan p = Plan::right_recursive(4);
+  EXPECT_EQ(p.to_string(), "split[small[1],split[small[1],split[small[1],small[1]]]]");
+  EXPECT_EQ(p.depth(), 4);
+  EXPECT_EQ(p.leaf_count(), 4);
+}
+
+TEST(Plan, LeftRecursiveShape) {
+  const Plan p = Plan::left_recursive(4);
+  EXPECT_EQ(p.to_string(), "split[split[split[small[1],small[1]],small[1]],small[1]]");
+  EXPECT_EQ(p.depth(), 4);
+}
+
+TEST(Plan, RecursiveBaseCases) {
+  EXPECT_EQ(Plan::right_recursive(1).to_string(), "small[1]");
+  EXPECT_EQ(Plan::left_recursive(1).to_string(), "small[1]");
+  EXPECT_EQ(Plan::right_recursive(2).to_string(), "split[small[1],small[1]]");
+}
+
+TEST(Plan, BalancedBinaryRespectsMaxLeaf) {
+  const Plan p = Plan::balanced_binary(10, 3);
+  EXPECT_EQ(p.log2_size(), 10);
+  EXPECT_LE(p.max_leaf_log2(), 3);
+  // 10 -> 5+5 -> (2+3)+(2+3): all leaves <= 3.
+  EXPECT_EQ(p.to_string(),
+            "split[split[small[2],small[3]],split[small[2],small[3]]]");
+}
+
+TEST(Plan, BalancedBinaryLeafWhenFits) {
+  EXPECT_EQ(Plan::balanced_binary(3, 4).to_string(), "small[3]");
+}
+
+TEST(Plan, IterativeRadixSplitsEvenly) {
+  const Plan p = Plan::iterative_radix(9, 3);
+  EXPECT_EQ(p.to_string(), "split[small[3],small[3],small[3]]");
+}
+
+TEST(Plan, IterativeRadixAbsorbsRemainder) {
+  const Plan p = Plan::iterative_radix(8, 3);
+  EXPECT_EQ(p.to_string(), "split[small[3],small[3],small[2]]");
+}
+
+TEST(Plan, IterativeRadixDegeneratesToLeaf) {
+  EXPECT_EQ(Plan::iterative_radix(3, 4).to_string(), "small[3]");
+}
+
+TEST(Plan, EqualityIsStructural) {
+  EXPECT_EQ(Plan::iterative(4), Plan::iterative(4));
+  EXPECT_NE(Plan::iterative(4), Plan::right_recursive(4));
+  EXPECT_NE(Plan::right_recursive(4), Plan::left_recursive(4));
+  EXPECT_EQ(Plan::small(2), Plan::small(2));
+  EXPECT_NE(Plan::small(2), Plan::small(3));
+}
+
+TEST(Plan, CopyIsDeep) {
+  Plan a = Plan::right_recursive(5);
+  Plan b = a;
+  EXPECT_EQ(a, b);
+  b = Plan::iterative(5);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Plan::right_recursive(5));  // a unaffected
+}
+
+TEST(Plan, MoveLeavesSourceInvalid) {
+  Plan a = Plan::small(2);
+  Plan b = std::move(a);
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): intentional
+}
+
+TEST(Plan, CanonicalPlansScaleToTwenty) {
+  // Sizes used in Figure 1 sweeps.
+  for (int n = 1; n <= 20; ++n) {
+    EXPECT_EQ(Plan::iterative(n).log2_size(), n);
+    EXPECT_EQ(Plan::right_recursive(n).log2_size(), n);
+    EXPECT_EQ(Plan::left_recursive(n).log2_size(), n);
+    EXPECT_EQ(Plan::right_recursive(n).leaf_count(), n);
+  }
+}
+
+}  // namespace
+}  // namespace whtlab::core

@@ -1,0 +1,111 @@
+#include "core/sequency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/plan.hpp"
+
+namespace whtlab::core {
+namespace {
+
+TEST(Sequency, BitReverseSmallCases) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  EXPECT_EQ(bit_reverse(0b1011, 4), 0b1101u);
+  EXPECT_EQ(bit_reverse(0, 5), 0u);
+}
+
+TEST(Sequency, BitReverseIsInvolution) {
+  for (int bits : {1, 3, 6, 10}) {
+    for (std::uint64_t v = 0; v < (std::uint64_t{1} << bits); ++v) {
+      EXPECT_EQ(bit_reverse(bit_reverse(v, bits), bits), v);
+    }
+  }
+}
+
+TEST(Sequency, GrayCodeRoundTrip) {
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    EXPECT_EQ(gray_decode(gray_encode(v)), v);
+  }
+}
+
+TEST(Sequency, GrayCodeAdjacentDifferByOneBit) {
+  for (std::uint64_t v = 0; v + 1 < 4096; ++v) {
+    const std::uint64_t diff = gray_encode(v) ^ gray_encode(v + 1);
+    EXPECT_EQ(std::popcount(diff), 1) << v;
+  }
+}
+
+TEST(Sequency, MappingIsAPermutation) {
+  const int n = 8;
+  const std::uint64_t size = std::uint64_t{1} << n;
+  std::vector<bool> seen(size, false);
+  for (std::uint64_t s = 0; s < size; ++s) {
+    const std::uint64_t h = sequency_to_hadamard(s, n);
+    ASSERT_LT(h, size);
+    EXPECT_FALSE(seen[h]);
+    seen[h] = true;
+    EXPECT_EQ(hadamard_to_sequency(h, n), s);
+  }
+}
+
+// Number of sign changes in row `row` of the dense Hadamard-ordered matrix.
+int row_sign_changes(std::uint64_t row, int n) {
+  const std::uint64_t size = std::uint64_t{1} << n;
+  int changes = 0;
+  int prev = 0;
+  for (std::uint64_t col = 0; col < size; ++col) {
+    const int sign = (std::popcount(row & col) & 1) ? -1 : 1;
+    if (col > 0 && sign != prev) ++changes;
+    prev = sign;
+  }
+  return changes;
+}
+
+TEST(Sequency, OrderedRowsHaveIncreasingSignChanges) {
+  // The defining property: sequency-ordered row s has exactly s sign changes.
+  const int n = 6;
+  const std::uint64_t size = std::uint64_t{1} << n;
+  for (std::uint64_t s = 0; s < size; ++s) {
+    EXPECT_EQ(row_sign_changes(sequency_to_hadamard(s, n), n),
+              static_cast<int>(s))
+        << s;
+  }
+}
+
+TEST(Sequency, PermutationRoundTripsData) {
+  const int n = 7;
+  const std::uint64_t size = std::uint64_t{1} << n;
+  std::vector<double> data(size);
+  for (std::uint64_t i = 0; i < size; ++i) data[i] = static_cast<double>(i);
+  std::vector<double> ordered(size);
+  std::vector<double> back(size);
+  to_sequency_order(data.data(), ordered.data(), n);
+  from_sequency_order(ordered.data(), back.data(), n);
+  EXPECT_EQ(back, data);
+}
+
+TEST(Sequency, SingleSequencyToneConcentrates) {
+  // Build a +/-1 Walsh function of sequency s; its sequency-ordered spectrum
+  // must be N at position s and 0 elsewhere.
+  const int n = 6;
+  const std::uint64_t size = std::uint64_t{1} << n;
+  const std::uint64_t s = 11;
+  const std::uint64_t h = sequency_to_hadamard(s, n);
+  std::vector<double> signal(size);
+  for (std::uint64_t t = 0; t < size; ++t) {
+    signal[t] = (std::popcount(h & t) & 1) ? -1.0 : 1.0;
+  }
+  execute(Plan::balanced_binary(n, 3), signal.data());
+  std::vector<double> spectrum(size);
+  to_sequency_order(signal.data(), spectrum.data(), n);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    EXPECT_NEAR(spectrum[i], i == s ? static_cast<double>(size) : 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace whtlab::core

@@ -1,0 +1,119 @@
+// The cache model's defining invariant: exact agreement with the trace-driven
+// simulator configured as the same direct-mapped cache.
+#include "model/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/trace_runner.hpp"
+#include "core/plan.hpp"
+#include "search/enumerate.hpp"
+#include "search/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::model {
+namespace {
+
+using cachesim::CacheConfig;
+using core::Plan;
+
+cachesim::CacheConfig as_sim_config(const CacheModelConfig& m) {
+  return CacheConfig::direct_mapped(m.cache_elements / m.line_elements,
+                                    m.line_elements * sizeof(double));
+}
+
+TEST(CacheModel, ConfigValidation) {
+  EXPECT_NO_THROW(CacheModelConfig::opteron_l1().validate());
+  EXPECT_THROW((CacheModelConfig{100, 8}).validate(), std::invalid_argument);
+  EXPECT_THROW((CacheModelConfig{128, 3}).validate(), std::invalid_argument);
+  EXPECT_THROW((CacheModelConfig{4, 8}).validate(), std::invalid_argument);
+}
+
+TEST(CacheModel, FitsInCacheIsCompulsoryOnly) {
+  const CacheModelConfig config{8192, 8};
+  for (int n : {3, 6, 9, 13}) {  // up to 8192 elements
+    util::Rng rng(n);
+    search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+    const Plan plan = sampler.sample(n, rng);
+    EXPECT_EQ(direct_mapped_misses(plan, config),
+              (std::uint64_t{1} << n) / 8)
+        << plan.to_string();
+  }
+}
+
+TEST(CacheModel, LineSmallerThanTransform) {
+  const CacheModelConfig config{64, 1};  // 64 single-element lines
+  // Transform of 32 elements fits: 32 compulsory misses.
+  EXPECT_EQ(direct_mapped_misses(Plan::iterative(5), config), 32u);
+}
+
+class ModelVsSimulator : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelVsSimulator, ExactAgreementOnEnumeratedPlans) {
+  // Tiny direct-mapped cache (32 elements, 4-element lines) against 2^n = 64
+  // element transforms: heavy conflict behaviour, every plan shape.
+  const int n = GetParam();
+  const CacheModelConfig model_config{32, 4};
+  const auto sim_config = as_sim_config(model_config);
+  for (const auto& plan : search::enumerate_plans(n, 4)) {
+    EXPECT_EQ(direct_mapped_misses(plan, model_config),
+              cachesim::simulate_plan(plan, sim_config).l1_misses)
+        << plan.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesFourToSeven, ModelVsSimulator,
+                         ::testing::Range(4, 8));
+
+TEST(CacheModel, ExactAgreementOnRandomLargePlans) {
+  const CacheModelConfig model_config = CacheModelConfig::opteron_l1();
+  const auto sim_config = as_sim_config(model_config);
+  util::Rng rng(31);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  for (int n : {14, 16}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const Plan plan = sampler.sample(n, rng);
+      EXPECT_EQ(direct_mapped_misses(plan, model_config),
+                cachesim::simulate_plan(plan, sim_config).l1_misses)
+          << plan.to_string();
+    }
+  }
+}
+
+TEST(CacheModel, BoundsHold) {
+  const CacheModelConfig config = CacheModelConfig::opteron_l1();
+  util::Rng rng(37);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  for (int n : {10, 14, 16}) {
+    const Plan plan = sampler.sample(n, rng);
+    const std::uint64_t misses = direct_mapped_misses(plan, config);
+    EXPECT_GE(misses, compulsory_misses(plan, config));
+    EXPECT_LE(misses, access_count(plan));
+  }
+}
+
+TEST(CacheModel, CompulsoryMissesRoundUp) {
+  const CacheModelConfig config{8192, 8};
+  EXPECT_EQ(compulsory_misses(Plan::small(2), config), 1u);  // 4 elems, 1 line
+  EXPECT_EQ(compulsory_misses(Plan::small(3), config), 1u);  // 8 elems
+  EXPECT_EQ(compulsory_misses(Plan::iterative(4), config), 2u);  // 16 elems
+}
+
+TEST(CacheModel, RecursiveBeatsIterativeOutOfCache) {
+  // The mechanism behind Figure 3's crossover, on the analytic model.
+  const CacheModelConfig config = CacheModelConfig::opteron_l1();
+  const int n = 16;  // 64K elements >> 8K cache elements
+  EXPECT_LT(direct_mapped_misses(Plan::right_recursive(n), config),
+            direct_mapped_misses(Plan::iterative(n), config));
+}
+
+TEST(CacheModel, SmallerCacheNeverMissesLess) {
+  util::Rng rng(41);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  const Plan plan = sampler.sample(14, rng);
+  const std::uint64_t big = direct_mapped_misses(plan, {8192, 8});
+  const std::uint64_t small = direct_mapped_misses(plan, {1024, 8});
+  EXPECT_GE(small, big);
+}
+
+}  // namespace
+}  // namespace whtlab::model

@@ -1,0 +1,97 @@
+#include "model/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/measure.hpp"
+#include "search/sampler.hpp"
+#include "stats/correlation.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::model {
+namespace {
+
+TEST(Calibrate, RecoversSyntheticCosts) {
+  // Synthesize cycles from known per-op costs; the fit must recover them.
+  util::Rng rng(1);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  std::vector<core::OpCounts> ops;
+  std::vector<double> cycles;
+  for (int i = 0; i < 60; ++i) {
+    const auto plan = sampler.sample(10, rng);
+    const auto c = core::count_ops(plan);
+    ops.push_back(c);
+    cycles.push_back(1.5 * static_cast<double>(c.loads + c.stores) +
+                     0.75 * static_cast<double>(c.flops) +
+                     2.0 * static_cast<double>(c.loop_outer + c.loop_mid +
+                                               c.loop_inner) +
+                     8.0 * static_cast<double>(c.calls));
+  }
+  const auto fit = calibrate_weights(ops, cycles);
+  EXPECT_NEAR(fit.cost_memory, 1.5, 0.05);
+  EXPECT_NEAR(fit.cost_flop, 0.75, 0.05);
+  EXPECT_NEAR(fit.cost_loop, 2.0, 0.05);
+  EXPECT_NEAR(fit.cost_call, 8.0, 0.3);
+  // Prediction reproduces the synthetic data (the small ridge term used for
+  // near-collinear features biases the fit by a few parts in 10^4).
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_NEAR(fit.predict(ops[i]), cycles[i], 1e-3 * cycles[i]);
+  }
+}
+
+TEST(Calibrate, ToleratesNoise) {
+  util::Rng rng(2);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  std::vector<core::OpCounts> ops;
+  std::vector<double> cycles;
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = sampler.sample(9, rng);
+    const auto c = core::count_ops(plan);
+    ops.push_back(c);
+    const double truth = 1.0 * static_cast<double>(c.loads + c.stores) +
+                         1.0 * static_cast<double>(c.flops);
+    cycles.push_back(truth * rng.uniform(0.95, 1.05));
+  }
+  const auto fit = calibrate_weights(ops, cycles);
+  std::vector<double> predicted;
+  for (const auto& c : ops) predicted.push_back(fit.predict(c));
+  // 5% multiplicative noise on a population whose true spread is itself a
+  // few tens of percent caps the achievable correlation around ~0.96.
+  EXPECT_GT(stats::pearson(predicted, cycles), 0.93);
+}
+
+TEST(Calibrate, FittedModelNotWorseThanDefaultOnTrainingSet) {
+  // On real measurements, the fitted model's correlation with cycles must
+  // be at least the default model's (least squares optimizes R^2, and the
+  // default model is in the fit's span).
+  util::Rng rng(3);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  perf::MeasureOptions measure;
+  measure.repetitions = 5;
+  std::vector<core::Plan> plans;
+  std::vector<double> cycles;
+  for (int i = 0; i < 60; ++i) {
+    plans.push_back(sampler.sample(9, rng));
+    cycles.push_back(perf::measure_plan(plans.back(), measure).cycles());
+  }
+  const auto fit = calibrate_weights(plans, cycles);
+  std::vector<double> fitted;
+  std::vector<double> default_model;
+  const core::InstructionWeights defaults;
+  for (const auto& plan : plans) {
+    fitted.push_back(fit.predict(plan));
+    default_model.push_back(defaults.instructions(core::count_ops(plan)));
+  }
+  EXPECT_GE(stats::pearson(fitted, cycles),
+            stats::pearson(default_model, cycles) - 0.02);
+}
+
+TEST(Calibrate, Validation) {
+  std::vector<core::OpCounts> ops(3);
+  std::vector<double> cycles(3, 1.0);
+  EXPECT_THROW(calibrate_weights(ops, cycles), std::invalid_argument);
+  ops.resize(5);
+  EXPECT_THROW(calibrate_weights(ops, cycles), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::model

@@ -1,0 +1,124 @@
+// Cross-cutting property sweeps over the models, parameterized over space
+// configurations.  These pin down ordering/bounding relationships that every
+// experiment implicitly relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "model/cache_model.hpp"
+#include "model/combined_model.hpp"
+#include "model/instruction_model.hpp"
+#include "model/space_stats.hpp"
+#include "search/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::model {
+namespace {
+
+class SpaceSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SpaceSweep, SampledValuesLieBetweenTheExtremes) {
+  const auto [n, max_leaf] = GetParam();
+  SpaceOptions options;
+  options.max_leaf = max_leaf;
+  const double lo = min_instruction_count(n, options).value;
+  const double hi = max_instruction_count(n, options).value;
+  util::Rng rng(static_cast<std::uint64_t>(n * 31 + max_leaf));
+  search::RecursiveSplitSampler sampler(max_leaf);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double v =
+        instruction_count(sampler.sample(n, rng), options.weights);
+    ASSERT_GE(v, lo - 1e-9);
+    ASSERT_LE(v, hi + 1e-9);
+  }
+}
+
+TEST_P(SpaceSweep, MomentsLieBetweenTheExtremes) {
+  const auto [n, max_leaf] = GetParam();
+  SpaceOptions options;
+  options.max_leaf = max_leaf;
+  const double lo = min_instruction_count(n, options).value;
+  const double hi = max_instruction_count(n, options).value;
+  const auto moments = instruction_moments(n, options);
+  EXPECT_GE(moments.mean, lo);
+  EXPECT_LE(moments.mean, hi);
+  EXPECT_GE(moments.variance, 0.0);
+  // Standard deviation cannot exceed half the range (Popoviciu).
+  EXPECT_LE(std::sqrt(moments.variance), (hi - lo) / 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLeafLimits, SpaceSweep,
+    ::testing::Combine(::testing::Values(4, 8, 12, 16),
+                       ::testing::Values(1, 4, 8)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_L" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ModelProperty, InstructionCountStrictlyIncreasesWithSize) {
+  for (const auto make : {&core::Plan::iterative, &core::Plan::right_recursive,
+                          &core::Plan::left_recursive}) {
+    double previous = 0.0;
+    for (int n = 1; n <= 20; ++n) {
+      const double v = instruction_count(make(n));
+      EXPECT_GT(v, previous);
+      previous = v;
+    }
+  }
+}
+
+TEST(ModelProperty, InstructionCountAtLeastLeafWork) {
+  // Any plan must cost at least its flops + loads + stores under unit
+  // weights for those ops.
+  util::Rng rng(3);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  for (int n : {6, 12, 18}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto plan = sampler.sample(n, rng);
+      const double size = static_cast<double>(plan.size());
+      const double floor = size * n  // flops
+                           + 2.0 * size;  // one load+store per element min
+      EXPECT_GE(instruction_count(plan), floor) << plan.to_string();
+    }
+  }
+}
+
+class CacheSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheSweep, MissesMonotoneInCacheAndLineSize) {
+  const int n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n));
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  const auto plan = sampler.sample(n, rng);
+  // Misses non-increasing in direct-mapped cache capacity.
+  std::uint64_t previous = ~std::uint64_t{0};
+  for (std::uint64_t elements = 256; elements <= 16384; elements *= 4) {
+    const auto misses = direct_mapped_misses(plan, {elements, 8});
+    EXPECT_LE(misses, previous) << elements;
+    previous = misses;
+  }
+  // With everything resident (cache >= N), line size halves misses as it
+  // doubles (pure compulsory traffic).
+  const std::uint64_t big = std::uint64_t{1} << (n + 1);
+  EXPECT_EQ(direct_mapped_misses(plan, {big, 4}),
+            2 * direct_mapped_misses(plan, {big, 8}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSweep, ::testing::Values(8, 11, 14));
+
+TEST(ModelProperty, CombinedModelReducesToComponents) {
+  CombinedModel combined;
+  combined.alpha = 1.0;
+  combined.beta = 0.0;
+  const auto plan = core::Plan::iterative(10);
+  EXPECT_DOUBLE_EQ(combined(plan), instruction_count(plan));
+  combined.alpha = 0.0;
+  combined.beta = 1.0;
+  EXPECT_DOUBLE_EQ(combined(plan),
+                   static_cast<double>(direct_mapped_misses(plan, combined.cache)));
+}
+
+}  // namespace
+}  // namespace whtlab::model

@@ -1,0 +1,183 @@
+// Space statistics vs brute force: the DP extremes and the moment
+// recurrences must agree with direct enumeration of the plan space, and the
+// sampled population must match the exact moments.
+#include "model/space_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/instruction_model.hpp"
+#include "search/enumerate.hpp"
+#include "search/sampler.hpp"
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::model {
+namespace {
+
+// Brute-force expectation over the recursive-split-uniform distribution:
+// P(plan) = product over split nodes of 1/options(subtree size), where
+// options(m) = [m <= max_leaf] + (2^(m-1) - 1).
+double rsu_probability(const core::PlanNode& node, int max_leaf) {
+  const int m = node.log2_size;
+  const double options =
+      (m <= max_leaf ? 1.0 : 0.0) +
+      (m >= 2 ? static_cast<double>((std::uint64_t{1} << (m - 1)) - 1) : 0.0);
+  double p = m == 1 ? 1.0 : 1.0 / options;
+  for (const auto& child : node.children) {
+    p *= rsu_probability(*child, max_leaf);
+  }
+  return p;
+}
+
+TEST(SpaceStats, MinMatchesEnumerationSmallSizes) {
+  SpaceOptions options;
+  options.max_leaf = 4;
+  for (int n = 1; n <= 6; ++n) {
+    double best = 1e300;
+    double worst = -1e300;
+    for (const auto& plan : search::enumerate_plans(n, options.max_leaf)) {
+      const double v = instruction_count(plan, options.weights);
+      best = std::min(best, v);
+      worst = std::max(worst, v);
+    }
+    EXPECT_DOUBLE_EQ(min_instruction_count(n, options).value, best) << n;
+    EXPECT_DOUBLE_EQ(max_instruction_count(n, options).value, worst) << n;
+  }
+}
+
+TEST(SpaceStats, WitnessPlansAchieveTheirValues) {
+  SpaceOptions options;
+  for (int n : {4, 8, 12}) {
+    const auto lo = min_instruction_count(n, options);
+    const auto hi = max_instruction_count(n, options);
+    EXPECT_DOUBLE_EQ(instruction_count(lo.plan, options.weights), lo.value);
+    EXPECT_DOUBLE_EQ(instruction_count(hi.plan, options.weights), hi.value);
+    EXPECT_EQ(lo.plan.log2_size(), n);
+    EXPECT_EQ(hi.plan.log2_size(), n);
+    EXPECT_LE(lo.value, hi.value);
+  }
+}
+
+TEST(SpaceStats, MinIsMonotoneInMaxLeaf) {
+  // Allowing bigger codelets can only help the minimum.
+  for (int n : {6, 10}) {
+    double prev = 1e300;
+    for (int max_leaf = 1; max_leaf <= core::kMaxUnrolled; ++max_leaf) {
+      SpaceOptions options;
+      options.max_leaf = max_leaf;
+      const double v = min_instruction_count(n, options).value;
+      EXPECT_LE(v, prev) << "n=" << n << " L=" << max_leaf;
+      prev = v;
+    }
+  }
+}
+
+TEST(SpaceStats, MomentsMatchBruteForceSmallSizes) {
+  SpaceOptions options;
+  options.max_leaf = 3;
+  for (int n = 1; n <= 6; ++n) {
+    double mean = 0.0;
+    double m2 = 0.0;
+    double m3 = 0.0;
+    double total_p = 0.0;
+    for (const auto& plan : search::enumerate_plans(n, options.max_leaf)) {
+      const double p = rsu_probability(plan.root(), options.max_leaf);
+      const double v = instruction_count(plan, options.weights);
+      total_p += p;
+      mean += p * v;
+      m2 += p * v * v;
+      m3 += p * v * v * v;
+    }
+    ASSERT_NEAR(total_p, 1.0, 1e-12) << n;  // distribution sanity
+    const auto result = instruction_moments(n, options);
+    EXPECT_NEAR(result.mean, mean, 1e-9 * std::abs(mean)) << n;
+    const double variance = m2 - mean * mean;
+    EXPECT_NEAR(result.variance, variance,
+                1e-9 * std::max(1.0, std::abs(variance)))
+        << n;
+    if (variance > 0) {
+      const double k3 = m3 - 3 * mean * m2 + 2 * mean * mean * mean;
+      EXPECT_NEAR(result.skewness, k3 / std::pow(variance, 1.5), 1e-6) << n;
+    }
+  }
+}
+
+TEST(SpaceStats, SampledPopulationMatchesExactMoments) {
+  SpaceOptions options;
+  const int n = 9;
+  const auto exact = instruction_moments(n, options);
+  util::Rng rng(777);
+  search::RecursiveSplitSampler sampler(options.max_leaf);
+  std::vector<double> values;
+  const int samples = 20000;
+  values.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    values.push_back(instruction_count(sampler.sample(n, rng), options.weights));
+  }
+  const double sample_mean = stats::mean(values);
+  const double sample_sd = stats::stddev(values);
+  // Mean within 5 standard errors.
+  const double se = std::sqrt(exact.variance / samples);
+  EXPECT_NEAR(sample_mean, exact.mean, 5 * se);
+  EXPECT_NEAR(sample_sd, std::sqrt(exact.variance), 0.05 * sample_sd);
+}
+
+TEST(SpaceStats, DistributionSumsToOneAndMatchesMoments) {
+  SpaceOptions options;
+  options.max_leaf = 3;
+  const int n = 6;
+  const auto pmf = instruction_distribution(n, options);
+  double total = 0.0;
+  double mean = 0.0;
+  for (const auto& [value, prob] : pmf) {
+    total += prob;
+    mean += prob * static_cast<double>(value);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const auto exact = instruction_moments(n, options);
+  EXPECT_NEAR(mean, exact.mean, 1e-6 * std::abs(exact.mean));
+}
+
+TEST(SpaceStats, DistributionSupportWithinExtremes) {
+  SpaceOptions options;
+  options.max_leaf = 4;
+  const int n = 7;
+  const auto pmf = instruction_distribution(n, options);
+  const double lo = min_instruction_count(n, options).value;
+  const double hi = max_instruction_count(n, options).value;
+  ASSERT_FALSE(pmf.empty());
+  EXPECT_GE(static_cast<double>(pmf.begin()->first), lo - 0.5);
+  EXPECT_LE(static_cast<double>(pmf.rbegin()->first), hi + 0.5);
+}
+
+TEST(SpaceStats, SkewnessShrinksWithSize) {
+  // The TCS'06 limit theorem: the instruction-count distribution approaches
+  // a normal law; computationally, |skewness| at n=18 is well below n=5's.
+  SpaceOptions options;
+  const double early = std::abs(instruction_moments(5, options).skewness);
+  const double late = std::abs(instruction_moments(18, options).skewness);
+  EXPECT_LT(late, early);
+}
+
+TEST(SpaceStats, CoarseningKeepsMass) {
+  SpaceOptions options;
+  const auto pmf = instruction_distribution(8, options, /*max_support=*/64);
+  EXPECT_LE(pmf.size(), 64u);
+  double total = 0.0;
+  for (const auto& [value, prob] : pmf) total += prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SpaceStats, ArgumentValidation) {
+  EXPECT_THROW(min_instruction_count(0), std::invalid_argument);
+  SpaceOptions bad;
+  bad.max_leaf = 0;
+  EXPECT_THROW(instruction_moments(4, bad), std::invalid_argument);
+  EXPECT_THROW(instruction_distribution(4, {}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::model

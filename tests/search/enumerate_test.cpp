@@ -1,0 +1,77 @@
+#include "search/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "search/space.hpp"
+
+namespace whtlab::search {
+namespace {
+
+TEST(Enumerate, SizeOne) {
+  const auto plans = enumerate_plans(1, 4);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].to_string(), "small[1]");
+}
+
+TEST(Enumerate, SizeTwoWithLeaf) {
+  const auto plans = enumerate_plans(2, 2);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].to_string(), "small[2]");
+  EXPECT_EQ(plans[1].to_string(), "split[small[1],small[1]]");
+}
+
+TEST(Enumerate, SizeTwoWithoutLeaf) {
+  const auto plans = enumerate_plans(2, 1);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].to_string(), "split[small[1],small[1]]");
+}
+
+TEST(Enumerate, AllPlansDistinctAndRightSized) {
+  for (int n = 1; n <= 7; ++n) {
+    const auto plans = enumerate_plans(n, 3);
+    std::set<std::string> texts;
+    for (const auto& plan : plans) {
+      EXPECT_EQ(plan.log2_size(), n);
+      EXPECT_LE(plan.max_leaf_log2(), 3);
+      EXPECT_TRUE(texts.insert(plan.to_string()).second)
+          << "duplicate: " << plan.to_string();
+    }
+  }
+}
+
+TEST(Enumerate, CountsMatchRecurrence) {
+  PlanSpace space(8, core::kMaxUnrolled);
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(enumerate_plans(n, core::kMaxUnrolled).size(),
+              space.count(n).value64())
+        << n;
+  }
+}
+
+TEST(Enumerate, ForEachEarlyStop) {
+  std::uint64_t visited = for_each_plan(6, 3, [count = 0](const core::Plan&) mutable {
+    return ++count < 5;
+  });
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(Enumerate, ForEachFullTraversal) {
+  PlanSpace space(6, 3);
+  std::uint64_t total = 0;
+  for_each_plan(6, 3, [&total](const core::Plan&) {
+    ++total;
+    return true;
+  });
+  EXPECT_EQ(total, space.count(6).value64());
+}
+
+TEST(Enumerate, ArgumentValidation) {
+  EXPECT_THROW(enumerate_plans(0, 2), std::invalid_argument);
+  EXPECT_THROW(enumerate_plans(13, 2), std::invalid_argument);
+  EXPECT_THROW(enumerate_plans(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::search

@@ -1,0 +1,66 @@
+#include "search/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/instruction_model.hpp"
+#include "search/dp_search.hpp"
+#include "search/space.hpp"
+
+namespace whtlab::search {
+namespace {
+
+double model_cost(const core::Plan& plan) {
+  return model::instruction_count(plan);
+}
+
+TEST(Exhaustive, EvaluatesTheWholeSpace) {
+  PlanSpace space(6, 4);
+  const auto result = exhaustive_search(6, model_cost, 4);
+  EXPECT_EQ(result.evaluated, space.count(6).value64());
+  EXPECT_LE(result.best_cost, result.worst_cost);
+  EXPECT_EQ(result.best.log2_size(), 6);
+  EXPECT_EQ(result.worst.log2_size(), 6);
+}
+
+TEST(Exhaustive, AgreesWithDpOnDecomposableCost) {
+  for (int n = 2; n <= 7; ++n) {
+    const auto exhaustive = exhaustive_search(n, model_cost, 4);
+    DpOptions options;
+    options.max_leaf = 4;
+    const auto dp = dp_search(n, model_cost, options);
+    EXPECT_DOUBLE_EQ(exhaustive.best_cost, dp.cost) << n;
+  }
+}
+
+TEST(Exhaustive, FindsContextSensitiveOptimumDpMisses) {
+  // A synthetic non-decomposable cost: penalize subplans that *look* cheap
+  // in isolation when used at the top level.  DP (which reuses the best
+  // subplan everywhere) can be beaten; exhaustive cannot.
+  const auto weird_cost = [](const core::Plan& plan) {
+    double cost = model_cost(plan);
+    // Penalty if the FIRST top-level child is the subtree DP would pick
+    // (a leaf), rewarding plans whose top split is deliberately "odd".
+    if (plan.root().kind == core::NodeKind::kSplit &&
+        plan.root().children.front()->kind == core::NodeKind::kSmall) {
+      cost *= 1.5;
+    }
+    return cost;
+  };
+  const auto exhaustive = exhaustive_search(5, weird_cost, 4);
+  const auto dp = dp_search(5, weird_cost, DpOptions{.max_leaf = 4});
+  EXPECT_LE(exhaustive.best_cost, dp.cost);
+}
+
+TEST(Exhaustive, SingletonSpace) {
+  const auto result = exhaustive_search(1, model_cost, 1);
+  EXPECT_EQ(result.evaluated, 1u);
+  EXPECT_EQ(result.best.to_string(), "small[1]");
+  EXPECT_DOUBLE_EQ(result.best_cost, result.worst_cost);
+}
+
+TEST(Exhaustive, NullCostThrows) {
+  EXPECT_THROW(exhaustive_search(4, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::search

@@ -1,0 +1,91 @@
+#include "search/pruned_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/instruction_model.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::search {
+namespace {
+
+ModelFn instruction_model() {
+  return [](const core::Plan& plan) { return model::instruction_count(plan); };
+}
+
+PrunedSearchOptions fast_options() {
+  PrunedSearchOptions options;
+  options.candidates = 40;
+  options.keep_fraction = 0.25;
+  options.measure.repetitions = 3;
+  options.measure.warmup = 1;
+  return options;
+}
+
+TEST(PrunedSearch, MeasuresOnlyTheKeptFraction) {
+  util::Rng rng(1);
+  const auto result =
+      model_pruned_search(8, instruction_model(), rng, fast_options());
+  EXPECT_EQ(result.measured, 10u);
+  EXPECT_EQ(result.pruned, 30u);
+  EXPECT_TRUE(result.best_plan.valid());
+  EXPECT_EQ(result.best_plan.log2_size(), 8);
+  EXPECT_GT(result.best_cycles, 0.0);
+  EXPECT_FALSE(result.audited);
+}
+
+TEST(PrunedSearch, KeptPlansRespectTheThreshold) {
+  util::Rng rng(2);
+  const auto result =
+      model_pruned_search(9, instruction_model(), rng, fast_options());
+  EXPECT_LE(model::instruction_count(result.best_plan),
+            result.model_threshold);
+}
+
+TEST(PrunedSearch, AuditNeverBeatsPrunedByDefinition) {
+  util::Rng rng(3);
+  const auto result = model_pruned_search(8, instruction_model(), rng,
+                                          fast_options(), /*audit=*/true);
+  EXPECT_TRUE(result.audited);
+  EXPECT_LE(result.audit_best_cycles, result.best_cycles);
+}
+
+TEST(PrunedSearch, PruningFindsNearBestPlan) {
+  // The paper's claim in action: keeping the best quarter by model value
+  // should land within a modest factor of the full-search winner.  Timing
+  // noise on shared machines makes this statistical; a generous factor keeps
+  // it robust while still failing if pruning were broken (random keep would
+  // be ~2-4x off at this size).
+  util::Rng rng(4);
+  PrunedSearchOptions options = fast_options();
+  options.candidates = 60;
+  const auto result =
+      model_pruned_search(9, instruction_model(), rng, options, /*audit=*/true);
+  EXPECT_LT(result.best_cycles, 1.6 * result.audit_best_cycles);
+}
+
+TEST(PrunedSearch, KeepEverythingEqualsFullSearch) {
+  util::Rng rng(5);
+  PrunedSearchOptions options = fast_options();
+  options.keep_fraction = 1.0;
+  const auto result =
+      model_pruned_search(7, instruction_model(), rng, options, /*audit=*/true);
+  EXPECT_EQ(result.pruned, 0u);
+  EXPECT_DOUBLE_EQ(result.best_cycles, result.audit_best_cycles);
+}
+
+TEST(PrunedSearch, ArgumentValidation) {
+  util::Rng rng(6);
+  PrunedSearchOptions bad = fast_options();
+  bad.candidates = 0;
+  EXPECT_THROW(model_pruned_search(6, instruction_model(), rng, bad),
+               std::invalid_argument);
+  bad = fast_options();
+  bad.keep_fraction = 0.0;
+  EXPECT_THROW(model_pruned_search(6, instruction_model(), rng, bad),
+               std::invalid_argument);
+  EXPECT_THROW(model_pruned_search(6, nullptr, rng, fast_options()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::search

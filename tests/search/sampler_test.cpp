@@ -1,0 +1,150 @@
+#include "search/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/plan_io.hpp"
+#include "search/enumerate.hpp"
+#include "search/space.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::search {
+namespace {
+
+TEST(RecursiveSplitSampler, ProducesValidPlansOfRequestedSize) {
+  RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  util::Rng rng(1);
+  for (int n : {1, 2, 5, 9, 18, 26}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto plan = sampler.sample(n, rng);
+      EXPECT_EQ(plan.log2_size(), n);
+      EXPECT_LE(plan.max_leaf_log2(), core::kMaxUnrolled);
+    }
+  }
+}
+
+TEST(RecursiveSplitSampler, RespectsLeafLimit) {
+  RecursiveSplitSampler sampler(2);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_LE(sampler.sample(10, rng).max_leaf_log2(), 2);
+  }
+}
+
+TEST(RecursiveSplitSampler, SizeOneIsAlwaysTheLeaf) {
+  RecursiveSplitSampler sampler(4);
+  util::Rng rng(3);
+  EXPECT_EQ(sampler.sample(1, rng).to_string(), "small[1]");
+}
+
+TEST(RecursiveSplitSampler, DeterministicGivenSeed) {
+  RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  util::Rng a(12345);
+  util::Rng b(12345);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.sample(12, a), sampler.sample(12, b));
+  }
+}
+
+TEST(RecursiveSplitSampler, NodeChoicesAreUniform) {
+  // At n=3, max_leaf=3 the root options are: leaf, [1,2], [2,1], [1,1,1],
+  // each with probability 1/4.  A size-2 child then independently picks
+  // leaf or split with probability 1/2, giving 6 plan shapes in total:
+  // the leaf and [1,1,1] at 1/4 each, and the four [1,2]/[2,1] variants at
+  // 1/8 each.
+  RecursiveSplitSampler sampler(3);
+  util::Rng rng(99);
+  std::map<std::string, int> counts;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[sampler.sample(3, rng).to_string()];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [text, count] : counts) {
+    const bool quarter = text == "small[3]" ||
+                         text == "split[small[1],small[1],small[1]]";
+    EXPECT_NEAR(static_cast<double>(count) / draws, quarter ? 0.25 : 0.125,
+                0.01)
+        << text;
+  }
+}
+
+TEST(RecursiveSplitSampler, CoversTheWholeSpace) {
+  // Every plan of the n=4, max_leaf=2 space should eventually appear.
+  const auto all = enumerate_plans(4, 2);
+  RecursiveSplitSampler sampler(2);
+  util::Rng rng(7);
+  std::map<std::string, int> seen;
+  for (int i = 0; i < 30000; ++i) {
+    ++seen[sampler.sample(4, rng).to_string()];
+  }
+  EXPECT_EQ(seen.size(), all.size());
+}
+
+TEST(UniformPlanSampler, ProducesValidPlans) {
+  PlanSpace space(14, core::kMaxUnrolled);
+  UniformPlanSampler sampler(space);
+  util::Rng rng(4);
+  for (int n : {1, 4, 9, 14}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto plan = sampler.sample(n, rng);
+      EXPECT_EQ(plan.log2_size(), n);
+    }
+  }
+}
+
+TEST(UniformPlanSampler, IsExactlyUniformChiSquare) {
+  // n=4, max_leaf=2: a(4) plans, each expected draws/a(4) times.
+  const int n = 4;
+  const int max_leaf = 2;
+  PlanSpace space(n, max_leaf);
+  ASSERT_TRUE(space.count(n).fits_u64());
+  const auto total_plans = space.count(n).value64();
+  UniformPlanSampler sampler(space);
+  util::Rng rng(11);
+  std::map<std::string, int> counts;
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[sampler.sample(n, rng).to_string()];
+  }
+  ASSERT_EQ(counts.size(), total_plans);
+  const double expected = static_cast<double>(draws) /
+                          static_cast<double>(total_plans);
+  double chi2 = 0.0;
+  for (const auto& [text, count] : counts) {
+    const double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  // dof = total_plans - 1; for the 11-plan space the 99.9% cut is ~29.6.
+  EXPECT_LT(chi2, 29.6) << "plans=" << total_plans;
+}
+
+TEST(UniformPlanSampler, DiffersFromRecursiveSplitModel) {
+  // Under RSU the leaf small[3] has probability 1/4 at n=3,L=3; under the
+  // uniform model it has probability 1/a(3) = 1/6.  Distinguish the models.
+  const int n = 3;
+  PlanSpace space(n, 3);
+  UniformPlanSampler uniform(space);
+  util::Rng rng(13);
+  int leaf_draws = 0;
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) {
+    if (uniform.sample(n, rng).leaf_count() == 1) ++leaf_draws;
+  }
+  EXPECT_NEAR(static_cast<double>(leaf_draws) / draws, 1.0 / 6.0, 0.01);
+}
+
+TEST(Samplers, ArgumentValidation) {
+  EXPECT_THROW(RecursiveSplitSampler(0), std::invalid_argument);
+  RecursiveSplitSampler sampler(2);
+  util::Rng rng(1);
+  EXPECT_THROW(sampler.sample(0, rng), std::invalid_argument);
+  PlanSpace space(5, 2);
+  UniformPlanSampler uniform(space);
+  EXPECT_THROW(uniform.sample(6, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::search

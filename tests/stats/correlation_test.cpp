@@ -1,0 +1,101 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace whtlab::stats {
+namespace {
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> up{2, 4, 6, 8, 10};
+  const std::vector<double> down{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, ShiftAndScaleInvariance) {
+  const std::vector<double> xs{1, 5, 2, 8, 3};
+  const std::vector<double> ys{2, 1, 4, 3, 5};
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(100.0 + 7.0 * x);
+  EXPECT_NEAR(pearson(scaled, ys), pearson(xs, ys), 1e-12);
+}
+
+TEST(Correlation, IndependentSamplesNearZero) {
+  util::Rng rng(1);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50000; ++i) {
+    xs.push_back(rng.uniform(0, 1));
+    ys.push_back(rng.uniform(0, 1));
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.02);
+  EXPECT_NEAR(spearman(xs, ys), 0.0, 0.02);
+}
+
+TEST(Correlation, KnownHandValue) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{1, 2, 4};
+  // cov = 1, sd_x = sqrt(2/3), sd_y = sqrt(14/9); rho = 1/sqrt(28/27).
+  EXPECT_NEAR(pearson(xs, ys), 1.0 / std::sqrt(28.0 / 27.0), 1e-12);
+}
+
+TEST(Correlation, DegenerateInputGivesZero) {
+  const std::vector<double> flat{3, 3, 3, 3};
+  const std::vector<double> ys{1, 2, 3, 4};
+  EXPECT_EQ(pearson(flat, ys), 0.0);
+}
+
+TEST(Correlation, SizeValidation) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW(pearson(a, b), std::invalid_argument);
+  EXPECT_THROW(pearson({1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Correlation, CovarianceMatchesVarianceOnSelf) {
+  const std::vector<double> xs{1, 4, 2, 8};
+  EXPECT_NEAR(covariance(xs, xs), 7.1875, 1e-12);
+}
+
+TEST(Ranks, TiesGetAverageRank) {
+  const std::vector<double> xs{10, 20, 20, 30};
+  EXPECT_EQ(ranks(xs), (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(Ranks, AllEqual) {
+  const std::vector<double> xs{5, 5, 5};
+  EXPECT_EQ(ranks(xs), (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(Spearman, InvariantUnderMonotoneTransform) {
+  util::Rng rng(2);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.1, 10);
+    xs.push_back(x);
+    ys.push_back(x + rng.uniform(0, 1));  // monotone-ish relation with noise
+  }
+  std::vector<double> exp_xs;
+  for (double x : xs) exp_xs.push_back(std::exp(x));
+  EXPECT_NEAR(spearman(exp_xs, ys), spearman(xs, ys), 1e-12);
+}
+
+TEST(Spearman, PerfectMonotoneNonlinearIsOne) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::log(i));  // nonlinear but strictly increasing
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+}  // namespace
+}  // namespace whtlab::stats

@@ -1,0 +1,123 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace whtlab::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceKnownValues) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(min_value(xs), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 9.0);
+}
+
+TEST(Descriptive, EmptySampleThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(variance(empty), std::invalid_argument);
+  EXPECT_THROW(quantile(empty, 0.5), std::invalid_argument);
+}
+
+TEST(Descriptive, SingleValue) {
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(mean(one), 3.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(median(one), 3.0);
+}
+
+TEST(Descriptive, QuantileType7Interpolation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);  // numpy type-7 value
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  const std::vector<double> xs{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Descriptive, QuartilesAndIqr) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Quartiles q = quartiles(xs);
+  EXPECT_DOUBLE_EQ(q.q1, 3.0);
+  EXPECT_DOUBLE_EQ(q.q2, 5.0);
+  EXPECT_DOUBLE_EQ(q.q3, 7.0);
+  EXPECT_DOUBLE_EQ(q.iqr(), 4.0);
+}
+
+TEST(Descriptive, OuterFencesMatchPaperDefinition) {
+  // Paper: valid data within Q1 - 3*IQR < X < Q3 + 3*IQR.
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Fences f = outer_fences(xs);
+  EXPECT_DOUBLE_EQ(f.lower, 3.0 - 12.0);
+  EXPECT_DOUBLE_EQ(f.upper, 7.0 + 12.0);
+}
+
+TEST(Descriptive, FenceFilterRemovesExtremeOutlier) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i % 10));
+  xs.push_back(1e6);  // extreme outlier
+  const auto kept = inside_fences(xs);
+  EXPECT_EQ(kept.size(), 100u);
+  for (std::size_t idx : kept) EXPECT_LT(xs[idx], 1e5);
+}
+
+TEST(Descriptive, FenceFilterKeepsCleanData) {
+  util::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(0, 1));
+  EXPECT_EQ(inside_fences(xs).size(), xs.size());
+}
+
+TEST(Descriptive, SelectPicksByIndex) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_EQ(select(xs, {3, 0}), (std::vector<double>{40, 10}));
+  EXPECT_THROW(select(xs, {4}), std::out_of_range);
+}
+
+TEST(Descriptive, SkewnessSigns) {
+  const std::vector<double> symmetric{-2, -1, 0, 1, 2};
+  EXPECT_NEAR(skewness(symmetric), 0.0, 1e-12);
+  const std::vector<double> right_tailed{1, 1, 1, 1, 10};
+  EXPECT_GT(skewness(right_tailed), 1.0);
+  const std::vector<double> left_tailed{-10, 1, 1, 1, 1};
+  EXPECT_LT(skewness(left_tailed), -1.0);
+}
+
+TEST(Descriptive, KurtosisOfUniformIsNegative) {
+  // Continuous uniform has excess kurtosis -1.2.
+  util::Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) xs.push_back(rng.uniform(0, 1));
+  EXPECT_NEAR(excess_kurtosis(xs), -1.2, 0.05);
+}
+
+TEST(Descriptive, GaussianMomentsViaCltSum) {
+  // Sum of 12 uniforms (Irwin-Hall): mean 6, var 1, skew 0, and excess
+  // kurtosis exactly -1.2/12 = -0.1 (fourth cumulants add).
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 12; ++j) s += rng.uniform(0, 1);
+    xs.push_back(s);
+  }
+  EXPECT_NEAR(mean(xs), 6.0, 0.02);
+  EXPECT_NEAR(variance(xs), 1.0, 0.02);
+  EXPECT_NEAR(skewness(xs), 0.0, 0.03);
+  EXPECT_NEAR(excess_kurtosis(xs), -0.1, 0.05);
+}
+
+}  // namespace
+}  // namespace whtlab::stats

@@ -1,0 +1,112 @@
+#include "stats/grid_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::stats {
+namespace {
+
+TEST(Grid, DimensionsMatchStep) {
+  const std::vector<double> i{1, 2, 3, 4};
+  const std::vector<double> m{4, 3, 2, 1};
+  const std::vector<double> c{1, 2, 3, 4};
+  const auto grid = correlation_grid(i, m, c, 0.25);
+  EXPECT_EQ(grid.alphas.size(), 5u);  // 0, .25, .5, .75, 1
+  EXPECT_EQ(grid.rho.size(), 5u);
+  EXPECT_EQ(grid.rho[0].size(), 5u);
+}
+
+TEST(Grid, RecoversInstructionOnlyOptimum) {
+  // cycles correlate with instructions, misses are noise: best beta ~ 0.
+  util::Rng rng(1);
+  std::vector<double> instr;
+  std::vector<double> misses;
+  std::vector<double> cycles;
+  for (int k = 0; k < 3000; ++k) {
+    const double i = rng.uniform(0, 100);
+    instr.push_back(i);
+    misses.push_back(rng.uniform(0, 100));
+    cycles.push_back(i + rng.uniform(0, 5));
+  }
+  const auto grid = correlation_grid(instr, misses, cycles);
+  EXPECT_EQ(grid.best_beta, 0.0);
+  EXPECT_GT(grid.best_alpha, 0.0);
+  EXPECT_GT(grid.best_rho, 0.99);
+}
+
+TEST(Grid, RecoversMixtureRatio) {
+  // cycles = I + 0.05*M exactly: any (alpha, beta) with beta/alpha = 0.05
+  // gives rho = 1; the grid's best must hit rho ~ 1 at such a point.
+  util::Rng rng(2);
+  std::vector<double> instr;
+  std::vector<double> misses;
+  std::vector<double> cycles;
+  for (int k = 0; k < 2000; ++k) {
+    const double i = rng.uniform(0, 100);
+    const double m = rng.uniform(0, 1000);
+    instr.push_back(i);
+    misses.push_back(m);
+    cycles.push_back(i + 0.05 * m);
+  }
+  const auto grid = correlation_grid(instr, misses, cycles);
+  EXPECT_NEAR(grid.best_rho, 1.0, 1e-9);
+  EXPECT_NEAR(grid.best_beta / grid.best_alpha, 0.05, 1e-9);
+}
+
+TEST(Grid, RhoDependsOnlyOnRatio) {
+  util::Rng rng(3);
+  std::vector<double> instr;
+  std::vector<double> misses;
+  std::vector<double> cycles;
+  for (int k = 0; k < 500; ++k) {
+    instr.push_back(rng.uniform(0, 10));
+    misses.push_back(rng.uniform(0, 10));
+    cycles.push_back(instr.back() + 0.5 * misses.back() + rng.uniform(0, 1));
+  }
+  const auto grid = correlation_grid(instr, misses, cycles, 0.25);
+  // (0.25, 0.5) and (0.5, 1.0) share the ratio 2 -> identical rho.
+  EXPECT_NEAR(grid.rho[1][2], grid.rho[2][4], 1e-12);
+}
+
+TEST(Grid, OriginIsDegenerateZero) {
+  const std::vector<double> i{1, 2, 3};
+  const std::vector<double> m{3, 2, 1};
+  const std::vector<double> c{1, 2, 3};
+  const auto grid = correlation_grid(i, m, c, 0.5);
+  EXPECT_EQ(grid.rho[0][0], 0.0);
+}
+
+TEST(Grid, CombinedBeatsEitherAloneWhenBothMatter) {
+  // The paper's Figure 9 situation: cycles = I + 0.05*M + noise, I and M
+  // dependent but not collinear.
+  util::Rng rng(4);
+  std::vector<double> instr;
+  std::vector<double> misses;
+  std::vector<double> cycles;
+  for (int k = 0; k < 4000; ++k) {
+    const double i = rng.uniform(50, 150);
+    const double m = 5.0 * i + rng.uniform(0, 2000);  // correlated w/ spread
+    instr.push_back(i);
+    misses.push_back(m);
+    cycles.push_back(i + 0.05 * m + rng.uniform(0, 5));
+  }
+  const auto grid = correlation_grid(instr, misses, cycles);
+  const double rho_i = pearson(instr, cycles);
+  const double rho_m = pearson(misses, cycles);
+  EXPECT_GT(grid.best_rho, rho_i);
+  EXPECT_GT(grid.best_rho, rho_m);
+  EXPECT_GT(grid.best_alpha, 0.0);
+  EXPECT_GT(grid.best_beta, 0.0);
+}
+
+TEST(Grid, Validation) {
+  const std::vector<double> a{1, 2};
+  EXPECT_THROW(correlation_grid(a, a, {1.0}, 0.5), std::invalid_argument);
+  EXPECT_THROW(correlation_grid(a, a, a, 0.0), std::invalid_argument);
+  EXPECT_THROW(correlation_grid(a, a, a, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::stats

@@ -1,0 +1,74 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace whtlab::stats {
+namespace {
+
+TEST(Histogram, FiftyBinsMatchPaperSetup) {
+  util::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(rng.uniform(0, 1));
+  const Histogram h(xs, 50);
+  EXPECT_EQ(h.bins(), 50);
+  EXPECT_EQ(h.total(), 10000u);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  const std::vector<double> xs{0.0, 0.1, 0.95, 1.0};
+  const Histogram h(xs, 10);
+  EXPECT_EQ(h.count(0), 1u);  // 0.0
+  EXPECT_EQ(h.count(1), 1u);  // 0.1
+  EXPECT_EQ(h.count(9), 2u);  // 0.95 and the inclusive max 1.0
+}
+
+TEST(Histogram, TopEdgeInclusive) {
+  const std::vector<double> xs{0, 1, 2, 3, 4, 5};
+  const Histogram h(xs, 5);
+  EXPECT_EQ(h.count(4), 2u);  // 4 and 5
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, EdgesArithmetic) {
+  const std::vector<double> xs{0.0, 10.0};
+  const Histogram h(xs, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 6.25);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 10.0);
+}
+
+TEST(Histogram, DegenerateConstantSample) {
+  const std::vector<double> xs{7, 7, 7};
+  const Histogram h(xs, 5);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ModeBinOfSkewedData) {
+  std::vector<double> xs;
+  for (int i = 0; i < 90; ++i) xs.push_back(1.0);
+  for (int i = 0; i < 10; ++i) xs.push_back(9.0);
+  xs.push_back(0.0);
+  xs.push_back(10.0);
+  const Histogram h(xs, 10);
+  EXPECT_EQ(h.mode_bin(), 1);  // the cluster at 1.0
+}
+
+TEST(Histogram, RenderContainsBars) {
+  const std::vector<double> xs{0, 0, 0, 1};
+  const Histogram h(xs, 2);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram({}, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::stats

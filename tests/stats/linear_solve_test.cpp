@@ -1,0 +1,104 @@
+#include "stats/linear_solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace whtlab::stats {
+namespace {
+
+TEST(SolveLinear, TwoByTwo) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  const auto x = solve_linear({2, 1, 1, -1}, {5, 1});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear({0, 1, 1, 0}, {3, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, Identity) {
+  const auto x = solve_linear({1, 0, 0, 0, 1, 0, 0, 0, 1}, {4, 5, 6});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+  EXPECT_NEAR(x[2], 6.0, 1e-12);
+}
+
+TEST(SolveLinear, RandomSystemRoundTrips) {
+  util::Rng rng(1);
+  const std::size_t n = 6;
+  std::vector<double> a(n * n);
+  std::vector<double> truth(n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : truth) v = rng.uniform(-5, 5);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * truth[j];
+  }
+  const auto x = solve_linear(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  EXPECT_THROW(solve_linear({1, 2, 2, 4}, {1, 2}), std::domain_error);
+  EXPECT_THROW(solve_linear({1, 2, 3}, {1, 2}), std::invalid_argument);
+}
+
+TEST(LeastSquares, ExactFitRecovered) {
+  // y = 3*f0 - 2*f1, no noise.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const double f0 = rng.uniform(0, 10);
+    const double f1 = rng.uniform(0, 10);
+    x.push_back({f0, f1});
+    y.push_back(3 * f0 - 2 * f1);
+  }
+  const auto w = least_squares(x, y);
+  EXPECT_NEAR(w[0], 3.0, 1e-5);
+  EXPECT_NEAR(w[1], -2.0, 1e-5);
+}
+
+TEST(LeastSquares, NoisyFitApproximates) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double f0 = rng.uniform(0, 1);
+    x.push_back({f0, 1.0});
+    y.push_back(5 * f0 + 2 + rng.uniform(-0.1, 0.1));
+  }
+  const auto w = least_squares(x, y);
+  EXPECT_NEAR(w[0], 5.0, 0.02);
+  EXPECT_NEAR(w[1], 2.0, 0.02);
+}
+
+TEST(LeastSquares, RidgeHandlesCollinearFeatures) {
+  // Second feature is a copy of the first: plain normal equations are
+  // singular; ridge must keep this solvable with w0 + w1 ~ true weight.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double f = rng.uniform(1, 2);
+    x.push_back({f, f});
+    y.push_back(4 * f);
+  }
+  const auto w = least_squares(x, y, 1e-6);
+  EXPECT_NEAR(w[0] + w[1], 4.0, 1e-3);
+}
+
+TEST(LeastSquares, Validation) {
+  EXPECT_THROW(least_squares({}, {}), std::invalid_argument);
+  EXPECT_THROW(least_squares({{1, 2}}, {1.0}), std::invalid_argument);  // under-determined
+  EXPECT_THROW(least_squares({{1}, {2}}, {1.0}), std::invalid_argument);  // size mismatch
+}
+
+}  // namespace
+}  // namespace whtlab::stats

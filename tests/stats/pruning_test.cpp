@@ -1,0 +1,99 @@
+#include "stats/pruning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::stats {
+namespace {
+
+TEST(Pruning, CurveApproachesOneMinusP) {
+  // Correlated model/runtime population; the paper's limit statement: as the
+  // threshold approaches the max model value, the curve tends to 1 - p.
+  util::Rng rng(1);
+  std::vector<double> model;
+  std::vector<double> runtime;
+  for (int i = 0; i < 5000; ++i) {
+    const double m = rng.uniform(0, 100);
+    model.push_back(m);
+    runtime.push_back(m + rng.uniform(0, 20));
+  }
+  for (double p : {0.01, 0.05, 0.10}) {
+    const auto curve = pruning_curve(model, runtime, p);
+    EXPECT_NEAR(curve.outside_fraction.back(), 1.0 - p, 0.002) << p;
+  }
+}
+
+TEST(Pruning, PerfectModelCurveStartsAtZero) {
+  // With runtime == model, plans below the p-quantile threshold are exactly
+  // the top performers: the curve is 0 until the cutoff then rises.
+  std::vector<double> model;
+  for (int i = 0; i < 1000; ++i) model.push_back(static_cast<double>(i));
+  const auto curve = pruning_curve(model, model, 0.05);
+  EXPECT_DOUBLE_EQ(curve.outside_fraction.front(), 0.0);
+  // At a threshold just below the cutoff everything kept is top-5%.
+  int below = 0;
+  for (std::size_t i = 0; i < curve.thresholds.size(); ++i) {
+    if (curve.thresholds[i] <= curve.runtime_cutoff) {
+      EXPECT_DOUBLE_EQ(curve.outside_fraction[i], 0.0);
+      ++below;
+    }
+  }
+  EXPECT_GT(below, 2);
+}
+
+TEST(Pruning, AntiCorrelatedModelIsUseless) {
+  // Model inversely related to runtime: keeping small model values keeps the
+  // WORST plans, so the curve starts near 1.
+  std::vector<double> model;
+  std::vector<double> runtime;
+  for (int i = 0; i < 1000; ++i) {
+    model.push_back(static_cast<double>(i));
+    runtime.push_back(static_cast<double>(1000 - i));
+  }
+  const auto curve = pruning_curve(model, runtime, 0.05);
+  EXPECT_GT(curve.outside_fraction.front(), 0.95);
+}
+
+TEST(Pruning, CutoffIsTheQuantile) {
+  std::vector<double> runtime;
+  for (int i = 0; i < 100; ++i) runtime.push_back(static_cast<double>(i));
+  std::vector<double> model = runtime;
+  const auto curve = pruning_curve(model, runtime, 0.10);
+  EXPECT_DOUBLE_EQ(curve.runtime_cutoff, quantile(runtime, 0.10));
+}
+
+TEST(Pruning, ThresholdGridSpansModelRange) {
+  std::vector<double> model{5, 10, 20, 40};
+  std::vector<double> runtime{1, 2, 3, 4};
+  const auto curve = pruning_curve(model, runtime, 0.25, 11);
+  ASSERT_EQ(curve.thresholds.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.thresholds.front(), 5.0);
+  EXPECT_DOUBLE_EQ(curve.thresholds.back(), 40.0);
+}
+
+TEST(Pruning, MinSafeThresholdPerfectModel) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  // Top-5% by runtime are values 0..5; the smallest model value among them is 0.
+  EXPECT_DOUBLE_EQ(min_safe_threshold(values, values, 0.05), 0.0);
+}
+
+TEST(Pruning, MinSafeThresholdShuffledModel) {
+  const std::vector<double> runtime{10, 20, 30, 40};
+  const std::vector<double> model{7, 1, 9, 2};
+  // 0.25-quantile of runtime = 17.5; only runtime 10 qualifies -> model 7.
+  EXPECT_DOUBLE_EQ(min_safe_threshold(model, runtime, 0.25), 7.0);
+}
+
+TEST(Pruning, Validation) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_THROW(pruning_curve(xs, {1, 2}, 0.05), std::invalid_argument);
+  EXPECT_THROW(pruning_curve(xs, xs, 0.0), std::invalid_argument);
+  EXPECT_THROW(pruning_curve(xs, xs, 1.0), std::invalid_argument);
+  EXPECT_THROW(pruning_curve(xs, xs, 0.05, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::stats

@@ -1,0 +1,73 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace whtlab::stats {
+namespace {
+
+TEST(Regression, ExactLineIsRecovered) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const auto fit = linear_regression(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineApproximately) {
+  util::Rng rng(1);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(0, 10);
+    xs.push_back(x);
+    ys.push_back(2.0 * x + 1.0 + rng.uniform(-0.5, 0.5));
+  }
+  const auto fit = linear_regression(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Regression, ConstantXGivesMeanIntercept) {
+  const std::vector<double> xs{5, 5, 5};
+  const std::vector<double> ys{1, 2, 3};
+  const auto fit = linear_regression(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(Regression, Validation) {
+  EXPECT_THROW(linear_regression({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(linear_regression({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(JarqueBera, SmallForGaussianLike) {
+  util::Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 12; ++j) s += rng.uniform(0, 1);
+    xs.push_back(s);
+  }
+  EXPECT_LT(jarque_bera(xs), 15.0);
+}
+
+TEST(JarqueBera, LargeForSkewedSample) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform(0, 1);
+    xs.push_back(u * u * u);  // heavily right-skewed
+  }
+  EXPECT_GT(jarque_bera(xs), 100.0);
+}
+
+}  // namespace
+}  // namespace whtlab::stats

@@ -1,0 +1,148 @@
+#include "util/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace whtlab::util {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_double(), 0.0);
+}
+
+TEST(BigInt, FromU64RoundTrips) {
+  for (std::uint64_t v : {0ULL, 1ULL, 42ULL, 999999937ULL, ~0ULL}) {
+    BigInt b(v);
+    EXPECT_TRUE(b.fits_u64());
+    EXPECT_EQ(b.value64(), v);
+    EXPECT_EQ(b.to_string(), std::to_string(v));
+  }
+}
+
+TEST(BigInt, AdditionWithCarryAcrossLimbs) {
+  BigInt a(~0ULL);
+  a += BigInt(1);
+  EXPECT_EQ(a.to_string(), "18446744073709551616");  // 2^64
+  EXPECT_FALSE(a.fits_u64());
+  EXPECT_EQ(a.bit_length(), 65u);
+}
+
+TEST(BigInt, SubtractionWithBorrow) {
+  BigInt a(~0ULL);
+  a += BigInt(5);  // 2^64 + 4
+  a -= BigInt(10);
+  EXPECT_EQ(a.to_string(), "18446744073709551610");  // 2^64 - 6
+}
+
+TEST(BigInt, SubtractToZeroNormalizes) {
+  BigInt a(123);
+  a -= BigInt(123);
+  EXPECT_TRUE(a.is_zero());
+}
+
+TEST(BigInt, SubtractionUnderflowThrows) {
+  BigInt a(5);
+  EXPECT_THROW(a -= BigInt(6), std::underflow_error);
+}
+
+TEST(BigInt, MultiplicationSmall) {
+  EXPECT_EQ((BigInt(123456789) * BigInt(987654321)).to_string(),
+            "121932631112635269");
+}
+
+TEST(BigInt, MultiplicationMultiLimb) {
+  // (2^64)^2 = 2^128
+  BigInt a(~0ULL);
+  a += BigInt(1);
+  EXPECT_EQ((a * a).to_string(), "340282366920938463463374607431768211456");
+}
+
+TEST(BigInt, MultiplyByZero) {
+  BigInt a(999);
+  a *= BigInt(0);
+  EXPECT_TRUE(a.is_zero());
+}
+
+TEST(BigInt, PowerOfSevenMatchesKnownValue) {
+  // 7^30, relevant scale for plan-space counts (~7^n).
+  BigInt p(1);
+  for (int i = 0; i < 30; ++i) p *= BigInt(7);
+  EXPECT_EQ(p.to_string(), "22539340290692258087863249");
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  BigInt big(~0ULL);
+  big += BigInt(1);
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_GT(big, BigInt(~0ULL));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_LE(BigInt(7), BigInt(7));
+  EXPECT_NE(BigInt(7), BigInt(8));
+}
+
+TEST(BigInt, DivSmallReturnsRemainder) {
+  BigInt a = BigInt::from_decimal("1000000000000000000000007");
+  const std::uint64_t r = a.div_small(1000);
+  EXPECT_EQ(r, 7u);
+  EXPECT_EQ(a.to_string(), "1000000000000000000000");
+}
+
+TEST(BigInt, DivByZeroThrows) {
+  BigInt a(10);
+  EXPECT_THROW(a.div_small(0), std::domain_error);
+}
+
+TEST(BigInt, FromDecimalRoundTrip) {
+  const std::string text = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigInt::from_decimal(text).to_string(), text);
+  EXPECT_THROW(BigInt::from_decimal("12a3"), std::invalid_argument);
+}
+
+TEST(BigInt, ToDoubleApproximates) {
+  BigInt p(1);
+  for (int i = 0; i < 40; ++i) p *= BigInt(10);
+  EXPECT_NEAR(p.to_double(), 1e40, 1e25);
+}
+
+TEST(BigInt, BitAccess) {
+  BigInt a(0b1010);
+  EXPECT_FALSE(a.bit(0));
+  EXPECT_TRUE(a.bit(1));
+  EXPECT_FALSE(a.bit(2));
+  EXPECT_TRUE(a.bit(3));
+  EXPECT_FALSE(a.bit(64));  // out of range = 0
+}
+
+TEST(BigInt, RandomBelowIsInRangeAndCoversValues) {
+  Rng rng(5);
+  const BigInt bound(10);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const BigInt r = BigInt::random_below(bound, rng);
+    ASSERT_LT(r, bound);
+    ++seen[r.value64()];
+  }
+  for (int count : seen) EXPECT_GT(count, 100);  // roughly uniform
+}
+
+TEST(BigInt, RandomBelowMultiLimb) {
+  Rng rng(6);
+  BigInt bound(~0ULL);
+  bound *= BigInt(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigInt::random_below(bound, rng), bound);
+  }
+}
+
+TEST(BigInt, RandomBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(BigInt::random_below(BigInt(0), rng), std::domain_error);
+}
+
+}  // namespace
+}  // namespace whtlab::util

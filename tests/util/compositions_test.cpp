@@ -1,0 +1,80 @@
+#include "util/compositions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace whtlab::util {
+namespace {
+
+TEST(Compositions, CountAllParts) {
+  EXPECT_EQ(composition_count(1), 1u);
+  EXPECT_EQ(composition_count(2), 2u);
+  EXPECT_EQ(composition_count(5), 16u);
+  EXPECT_EQ(composition_count(10), 512u);
+}
+
+TEST(Compositions, CountAtLeastTwoParts) {
+  EXPECT_EQ(composition_count(1, 2), 0u);
+  EXPECT_EQ(composition_count(2, 2), 1u);
+  EXPECT_EQ(composition_count(5, 2), 15u);
+}
+
+TEST(Compositions, CountAtLeastThreeParts) {
+  // Compositions of 5 with >= 3 parts: 16 - 1 (one part) - 4 (two parts) = 11.
+  EXPECT_EQ(composition_count(5, 3), 11u);
+}
+
+TEST(Compositions, MaskZeroIsSinglePart) {
+  EXPECT_EQ(composition_from_mask(7, 0), (std::vector<int>{7}));
+}
+
+TEST(Compositions, MaskAllOnesIsAllUnits) {
+  EXPECT_EQ(composition_from_mask(4, 0b111), (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(Compositions, SpecificMask) {
+  // n=5, cuts after positions 2 and 3 -> bits 1 and 2 -> mask 0b0110.
+  EXPECT_EQ(composition_from_mask(5, 0b0110), (std::vector<int>{2, 1, 2}));
+}
+
+TEST(Compositions, MaskRoundTrip) {
+  const int n = 7;
+  for (std::uint64_t mask = 0; mask < (1ULL << (n - 1)); ++mask) {
+    const auto parts = composition_from_mask(n, mask);
+    EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), 0), n);
+    EXPECT_EQ(composition_to_mask(parts), mask);
+  }
+}
+
+TEST(Compositions, ForEachVisitsAllExactlyOnce) {
+  const int n = 6;
+  std::set<std::vector<int>> seen;
+  std::uint64_t visits = 0;
+  for_each_composition(n, 1, [&](const std::vector<int>& parts) {
+    ++visits;
+    EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), 0), n);
+    EXPECT_TRUE(seen.insert(parts).second) << "duplicate composition";
+  });
+  EXPECT_EQ(visits, composition_count(n, 1));
+}
+
+TEST(Compositions, ForEachRespectsMinParts) {
+  std::uint64_t visits = 0;
+  for_each_composition(6, 3, [&](const std::vector<int>& parts) {
+    EXPECT_GE(parts.size(), 3u);
+    ++visits;
+  });
+  EXPECT_EQ(visits, composition_count(6, 3));
+}
+
+TEST(Compositions, BadArgumentsThrow) {
+  EXPECT_THROW(composition_count(0), std::invalid_argument);
+  EXPECT_THROW(composition_count(64), std::invalid_argument);
+  EXPECT_THROW(composition_from_mask(0, 0), std::invalid_argument);
+  EXPECT_THROW(composition_from_mask(4, 0b1000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace whtlab::util

@@ -2,8 +2,6 @@
 
 #include <cstdio>
 
-#include "model/instruction_model.hpp"
-#include "search/dp_search.hpp"
 #include "search/sampler.hpp"
 #include "stats/descriptive.hpp"
 #include "util/csv.hpp"
@@ -53,18 +51,23 @@ Population build_population(int n, int samples, std::uint64_t seed,
 
   util::Rng rng(seed);
   search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  perf::MeasureOptions measure;
+  measure.repetitions = config.repetitions;
+  measure.warmup = config.warmup;
+  // Instruction/miss channels stay on the shared event facade; only the
+  // cycles channel moves to the api::Transform so populations are timed on
+  // the code path users execute.
   perf::EventConfig events;
-  events.measure.repetitions = config.repetitions;
-  events.measure.warmup = config.warmup;
+  events.collect_cycles = false;
   events.collect_misses = config.collect_misses;
   events.l1 = config.l1;
   events.l2 = config.l2;
-  events.use_min_cycles = true;  // least-interfered run; see events.hpp
 
   for (int i = 0; i < samples; ++i) {
     core::Plan plan = sampler.sample(n, rng);
+    // Minimum of the repetitions = least-interfered run, see perf/events.hpp.
+    pop.cycles.push_back(fixed_transform(plan).measure(measure).min_cycles);
     const auto counts = perf::collect_events(plan, events);
-    pop.cycles.push_back(counts.cycles);
     pop.instructions.push_back(counts.instructions);
     pop.misses.push_back(static_cast<double>(counts.l1_misses));
     pop.plans.push_back(std::move(plan));
@@ -89,18 +92,17 @@ core::Plan best_plan_by_runtime(int n, int repetitions) {
   perf::MeasureOptions measure;
   measure.repetitions = repetitions;
   measure.warmup = 1;
-  search::DpOptions options;
-  // Ternary splits while candidate plans are microsecond-scale, binary
-  // beyond (the package's practice; deeper splits are reachable through
-  // recursion anyway).
-  options.max_parts = n <= 12 ? 3 : 2;
-  const auto result = search::dp_search(
-      n,
-      [&measure](const core::Plan& plan) {
-        return perf::measure_plan(plan, measure).cycles();
-      },
-      options);
-  return result.plan;
+  // kMeasure = DP over measured cycles, ternary splits while candidates are
+  // microsecond-scale and binary beyond (the package's practice).
+  return api::Planner()
+      .strategy(api::Strategy::kMeasure)
+      .measure_options(measure)
+      .plan(n)
+      .plan();
+}
+
+api::Transform fixed_transform(const core::Plan& plan) {
+  return api::Planner().fixed(plan).plan();
 }
 
 void write_csv(const HarnessOptions& options, const std::string& name,

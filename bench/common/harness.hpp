@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "api/wht.hpp"
 #include "core/plan.hpp"
 #include "perf/events.hpp"
 #include "util/cli.hpp"
@@ -76,10 +77,14 @@ struct CanonicalSuite {
 };
 CanonicalSuite canonical_suite(int n);
 
-/// "Best" plan a la the WHT package: dynamic programming over measured
-/// runtime (binary/ternary splits; see DESIGN.md).  Deterministic given the
-/// machine; a few seconds at n = 18+.
+/// "Best" plan a la the WHT package: wht::Planner with Strategy::kMeasure
+/// (dynamic programming over measured runtime, binary/ternary splits; see
+/// DESIGN.md).  Deterministic given the machine; a few seconds at n = 18+.
 core::Plan best_plan_by_runtime(int n, int repetitions = 3);
+
+/// Wraps a fixed plan in the façade (generated backend) so figure drivers
+/// measure through the same code path users execute.
+api::Transform fixed_transform(const core::Plan& plan);
 
 /// Writes columns as CSV into options.csv_dir/<name>.csv (no-op when csv_dir
 /// is empty).  All columns must have equal length.

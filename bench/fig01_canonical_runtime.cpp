@@ -9,7 +9,6 @@
 
 #include "common/harness.hpp"
 #include "core/verify.hpp"
-#include "perf/measure.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -34,12 +33,14 @@ int run(const bench::HarnessOptions& options) {
   for (int n = 1; n <= options.max_n; ++n) {
     const core::Plan best = bench::best_plan_by_runtime(n);
     const auto canon = bench::canonical_suite(n);
-    const double best_cycles = perf::measure_plan(best, measure).cycles();
-    const double iter = perf::measure_plan(canon.iterative, measure).cycles();
+    const double best_cycles =
+        bench::fixed_transform(best).measure(measure).cycles();
+    const double iter =
+        bench::fixed_transform(canon.iterative).measure(measure).cycles();
     const double right =
-        perf::measure_plan(canon.right_recursive, measure).cycles();
+        bench::fixed_transform(canon.right_recursive).measure(measure).cycles();
     const double left =
-        perf::measure_plan(canon.left_recursive, measure).cycles();
+        bench::fixed_transform(canon.left_recursive).measure(measure).cycles();
 
     ns.push_back(n);
     ratio_iter.push_back(iter / best_cycles);

@@ -36,7 +36,7 @@ int run(const bench::HarnessOptions& options) {
         {"right", &canon.right_recursive},
         {"left", &canon.left_recursive}}) {
     markers.push_back({name, model::instruction_count(*plan),
-                       perf::measure_plan(*plan, measure).cycles()});
+                       bench::fixed_transform(*plan).measure(measure).cycles()});
   }
   bench::report_scatter(options, "fig07_scatter_large_instr", series, markers);
   return 0;

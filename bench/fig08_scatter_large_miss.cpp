@@ -38,7 +38,7 @@ int run(const bench::HarnessOptions& options) {
     markers.push_back(
         {name,
          static_cast<double>(cachesim::simulate_plan(*plan, l1).l1_misses),
-         perf::measure_plan(*plan, measure).cycles()});
+         bench::fixed_transform(*plan).measure(measure).cycles()});
   }
   bench::report_scatter(options, "fig08_scatter_large_miss", series, markers);
   return 0;

@@ -6,6 +6,7 @@
 // comparable.
 #include <benchmark/benchmark.h>
 
+#include "api/wht.hpp"
 #include "core/executor.hpp"
 #include "core/parallel_executor.hpp"
 #include "core/plan.hpp"
@@ -69,6 +70,28 @@ void BM_ParallelExecutor(benchmark::State& state) {
 }
 
 BENCHMARK(BM_ParallelExecutor)->Arg(1)->Arg(2)->Arg(4);
+
+// Façade overhead ablation: the same plan driven through a registry-created
+// backend (virtual dispatch per execute) vs core::execute above.
+void BM_TransformFacade(benchmark::State& state) {
+  auto transform =
+      wht::Planner()
+          .fixed(core::Plan::balanced_binary(static_cast<int>(state.range(0)), 6))
+          .plan();
+  util::AlignedBuffer x(transform.size());
+  util::Rng rng(3);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    transform.execute(x.data());
+    benchmark::DoNotOptimize(x.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(transform.size()) * transform.log2_size());
+}
+
+BENCHMARK(BM_TransformFacade)->DenseRange(8, 20, 4);
 
 }  // namespace
 

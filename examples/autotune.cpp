@@ -1,16 +1,17 @@
 // autotune — find a fast WHT plan for this machine, the WHT-package way.
 //
-// Runs the dynamic-programming search with measured runtime as cost and
-// compares the winner against the canonical algorithms, reproducing the
-// "best" line of the paper's Figure 1 for one size.
+// Uses the wht::Planner façade with Strategy::kMeasure (dynamic programming
+// over measured runtime) and compares the winner against the canonical
+// algorithms, reproducing the "best" line of the paper's Figure 1 for one
+// size.  Strategy::kEstimate would pick a plan without a single measurement
+// (the paper's concluding suggestion) — try swapping it in.
 //
 // Run:  ./autotune [n]           (default n = 16)
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/wht.hpp"
 #include "core/verify.hpp"
-#include "perf/measure.hpp"
-#include "search/dp_search.hpp"
 
 int main(int argc, char** argv) {
   using namespace whtlab;
@@ -24,43 +25,38 @@ int main(int argc, char** argv) {
   std::printf("autotuning WHT(2^%d) by dynamic programming over measured runtime...\n", n);
   perf::MeasureOptions measure;
   measure.repetitions = 5;
-  search::DpOptions options;
-  options.max_parts = n <= 12 ? 3 : 2;
-  const auto result = search::dp_search(
-      n,
-      [&measure](const core::Plan& plan) {
-        return perf::measure_plan(plan, measure).cycles();
-      },
-      options);
+  auto best = wht::Planner()
+                  .strategy(wht::Strategy::kMeasure)
+                  .measure_options(measure)
+                  .plan(n);
 
-  std::printf("evaluated %llu candidate plans\n",
-              static_cast<unsigned long long>(result.evaluations));
-  std::printf("best plan: %s\n", result.plan.to_string().c_str());
-  std::printf("verification error: %.3g\n\n", core::verify_plan(result.plan));
+  std::printf("evaluated %llu candidate plans (strategy '%s')\n",
+              static_cast<unsigned long long>(best.planning().evaluations),
+              wht::to_string(best.planning().strategy));
+  std::printf("best plan: %s\n", best.plan().to_string().c_str());
+  std::printf("verification error: %.3g\n\n", core::verify_plan(best.plan()));
 
   perf::MeasureOptions final_measure;
   final_measure.repetitions = 9;
-  const double best = perf::measure_plan(result.plan, final_measure).cycles();
-  const double iter =
-      perf::measure_plan(core::Plan::iterative(n), final_measure).cycles();
-  const double right =
-      perf::measure_plan(core::Plan::right_recursive(n), final_measure).cycles();
-  const double left =
-      perf::measure_plan(core::Plan::left_recursive(n), final_measure).cycles();
+  const auto canonical = [&](core::Plan plan) {
+    return wht::Planner().fixed(std::move(plan)).plan();
+  };
+  auto iterative = canonical(core::Plan::iterative(n));
+  auto right = canonical(core::Plan::right_recursive(n));
+  auto left = canonical(core::Plan::left_recursive(n));
+
+  const double best_cycles = best.measure(final_measure).cycles();
+  const double iter_cycles = iterative.measure(final_measure).cycles();
+  const double right_cycles = right.measure(final_measure).cycles();
+  const double left_cycles = left.measure(final_measure).cycles();
 
   std::printf("%-16s %14s %10s\n", "plan", "median cycles", "vs best");
-  std::printf("%-16s %14.0f %9.2fx\n", "best (DP)", best, 1.0);
-  std::printf("%-16s %14.0f %9.2fx\n", "iterative", iter, iter / best);
-  std::printf("%-16s %14.0f %9.2fx\n", "right recursive", right, right / best);
-  std::printf("%-16s %14.0f %9.2fx\n", "left recursive", left, left / best);
-
-  // Per-size table: the DP's intermediate winners (useful for seeing where
-  // base-case sizes stop growing and splits begin).
-  std::printf("\nDP winners by size:\n");
-  for (int m = 1; m <= n; ++m) {
-    std::printf("  n=%2d  %10.0f cycles  %s\n", m,
-                result.cost_by_size[static_cast<std::size_t>(m)],
-                result.best_by_size[static_cast<std::size_t>(m)].to_string().c_str());
-  }
+  std::printf("%-16s %14.0f %9.2fx\n", "best (DP)", best_cycles, 1.0);
+  std::printf("%-16s %14.0f %9.2fx\n", "iterative", iter_cycles,
+              iter_cycles / best_cycles);
+  std::printf("%-16s %14.0f %9.2fx\n", "right recursive", right_cycles,
+              right_cycles / best_cycles);
+  std::printf("%-16s %14.0f %9.2fx\n", "left recursive", left_cycles,
+              left_cycles / best_cycles);
   return 0;
 }

@@ -4,18 +4,17 @@
 // 2. Compute the instruction-count and cache-miss models from the plan
 //    descriptions alone (no execution).
 // 3. Measure real runtimes; report the model-runtime correlations.
-// 4. Run a model-pruned search (measure only the best decile by model) and
-//    compare against measuring everything — the measurement budget saved is
-//    the paper's payoff.
+// 4. Run a model-pruned search through the façade (Strategy::kSampled:
+//    measure only the best decile by model) and compare against measuring
+//    every candidate (keep_fraction = 1.0, same seed, so the candidate set
+//    is identical) — the measurement budget saved is the paper's payoff.
 //
 // Run:  ./model_pruning [n] [candidates]        (default n = 13, 150)
 #include <cstdio>
 #include <cstdlib>
 
-#include "model/combined_model.hpp"
-#include "model/instruction_model.hpp"
+#include "api/wht.hpp"
 #include "perf/events.hpp"
-#include "search/pruned_search.hpp"
 #include "search/sampler.hpp"
 #include "stats/correlation.hpp"
 #include "util/rng.hpp"
@@ -51,26 +50,29 @@ int main(int argc, char** argv) {
   std::printf("rho(misses, cycles)       = %.3f\n",
               stats::pearson(misses, cycles));
 
-  std::printf("\n== step 4: model-pruned search vs exhaustive measurement ==\n");
-  search::PrunedSearchOptions options;
-  options.candidates = candidates;
-  options.keep_fraction = 0.10;
-  options.measure.repetitions = 5;
-  model::CombinedModel combined;  // alpha*I + beta*M from the description
-  util::Rng search_rng(2007);
-  const auto result = search::model_pruned_search(
-      n, [&combined](const core::Plan& p) { return combined(p); }, search_rng,
-      options, /*audit=*/true);
+  std::printf("\n== step 4: model-pruned search vs measuring everything ==\n");
+  perf::MeasureOptions measure;
+  measure.repetitions = 5;
+  wht::Planner planner;
+  planner.strategy(wht::Strategy::kSampled)
+      .samples(candidates)
+      .seed(2007)
+      .measure_options(measure);
 
+  auto pruned = planner.keep_fraction(0.10).plan(n);
+  auto full = planner.keep_fraction(1.0).plan(n);
+
+  const auto measured = pruned.planning().evaluations;
+  const auto total = full.planning().evaluations;
   std::printf("measured %llu plans, pruned %llu (%.0f%% of measurements saved)\n",
-              static_cast<unsigned long long>(result.measured),
-              static_cast<unsigned long long>(result.pruned),
-              100.0 * static_cast<double>(result.pruned) /
-                  static_cast<double>(result.measured + result.pruned));
-  std::printf("best plan found   : %s\n", result.best_plan.to_string().c_str());
-  std::printf("its cycles        : %.0f\n", result.best_cycles);
+              static_cast<unsigned long long>(measured),
+              static_cast<unsigned long long>(total - measured),
+              100.0 * static_cast<double>(total - measured) /
+                  static_cast<double>(total));
+  std::printf("best plan found   : %s\n", pruned.plan().to_string().c_str());
+  std::printf("its cycles        : %.0f\n", pruned.planning().cost);
   std::printf("full-search cycles: %.0f  (pruned search is %.2fx off optimal)\n",
-              result.audit_best_cycles,
-              result.best_cycles / result.audit_best_cycles);
+              full.planning().cost,
+              pruned.planning().cost / full.planning().cost);
   return 0;
 }

@@ -1,6 +1,7 @@
 // quickstart — the 5-minute tour of the whtlab public API.
 //
-//   1. build or parse a WHT plan (the algorithm description),
+//   1. plan a transform through the wht::Planner façade (here: a fixed plan
+//      from the grammar; see autotune.cpp for the self-tuning strategies),
 //   2. execute it in place on a vector,
 //   3. verify against the dense definition,
 //   4. ask the performance models what they think of the plan.
@@ -9,42 +10,45 @@
 // e.g.  ./quickstart 'split[small[4],small[4]]'
 #include <cstdio>
 
+#include "api/wht.hpp"
 #include "cachesim/trace_runner.hpp"
-#include "core/executor.hpp"
-#include "core/plan_io.hpp"
 #include "core/verify.hpp"
 #include "model/cache_model.hpp"
 #include "model/instruction_model.hpp"
-#include "perf/measure.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace whtlab;
 
-  // 1. A plan is a divide-and-conquer recipe for WHT(2^n).  Parse one from
-  //    the grammar, or build canonical ones with the Plan factories.
+  // 1. A plan is a divide-and-conquer recipe for WHT(2^n).  The Planner
+  //    façade turns one into an executable Transform; strategy kFixed takes
+  //    the plan verbatim, the search strategies (kEstimate, kMeasure, ...)
+  //    find one for you.
   const std::string text =
       argc > 1 ? argv[1] : "split[small[2],split[small[3],small[3]]]";
-  core::Plan plan;
+  wht::Transform transform;
   try {
-    plan = core::parse_plan(text);
+    transform = wht::Planner().fixed(text).plan();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bad plan '%s': %s\n", text.c_str(), e.what());
     return 1;
   }
+  const core::Plan& plan = transform.plan();
   std::printf("plan        : %s\n", plan.to_string().c_str());
-  std::printf("transform   : WHT(2^%d) = WHT(%llu)\n", plan.log2_size(),
-              static_cast<unsigned long long>(plan.size()));
+  std::printf("transform   : WHT(2^%d) = WHT(%llu), backend '%s'\n",
+              transform.log2_size(),
+              static_cast<unsigned long long>(transform.size()),
+              transform.backend_name().c_str());
   std::printf("tree        : %d nodes, %d leaves, depth %d\n",
               plan.node_count(), plan.leaf_count(), plan.depth());
 
   // 2. Execute in place on a random vector.
-  util::AlignedBuffer x(plan.size());
+  util::AlignedBuffer x(transform.size());
   util::Rng rng(42);
   for (auto& v : x) v = rng.uniform(-1.0, 1.0);
   const double x0 = x[0];
-  core::execute(plan, x.data());
+  transform.execute(x.data());
   std::printf("x[0] before : %+.6f   after: %+.6f\n", x0, x[0]);
 
   // 3. Every plan computes the same transform; check against the reference.
@@ -64,8 +68,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sim.l1_misses),
               static_cast<unsigned long long>(sim.accesses));
 
-  // ...and real measured time, for comparison.
-  const auto measured = perf::measure_plan(plan);
+  // ...and real measured time, for comparison (driven through the backend
+  // the Transform owns).
+  const auto measured = transform.measure();
   std::printf("measured median cycles  : %.0f (inner loop %d)\n",
               measured.cycles(), measured.inner_loop);
   return 0;

@@ -13,8 +13,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/executor.hpp"
-#include "core/plan.hpp"
+#include "api/wht.hpp"
 #include "core/sequency.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/rng.hpp"
@@ -62,9 +61,10 @@ int main(int argc, char** argv) {
   }
   std::printf("input SNR : %6.2f dB\n", snr_db(clean, noisy.data()));
 
-  // Forward WHT with a balanced plan (what the autotuner typically picks).
-  const core::Plan plan = core::Plan::balanced_binary(n, 6);
-  core::execute(plan, noisy.data());
+  // Forward WHT, planned once by the model-based autotuner (kEstimate picks
+  // without measuring; it typically lands on a balanced big-leaf plan).
+  auto transform = wht::Planner().strategy(wht::Strategy::kEstimate).plan(n);
+  transform.execute(noisy.data());
 
   // Reorder to sequency, keep the strongest `keep` fraction, zero the rest.
   std::vector<double> spectrum(size);
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
 
   // Back to Hadamard order, inverse transform (WHT/N), compare.
   core::from_sequency_order(spectrum.data(), noisy.data(), n);
-  core::execute(plan, noisy.data());
+  transform.execute(noisy.data());
   const double scale = 1.0 / static_cast<double>(size);
   for (std::uint64_t i = 0; i < size; ++i) noisy[i] *= scale;
 

@@ -1,0 +1,215 @@
+#include "api/executor_backend.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/executor.hpp"
+#include "core/parallel_executor.hpp"
+#include "perf/cycle_timer.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::api {
+
+namespace {
+
+/// Sequential interpreter over a fixed codelet table.
+class SequentialBackend final : public ExecutorBackend {
+ public:
+  SequentialBackend(std::string name, core::CodeletBackend codelets)
+      : name_(std::move(name)), codelets_(codelets) {}
+
+  const std::string& name() const override { return name_; }
+
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+    core::execute_node(plan.root(), x, stride, core::codelet_table(codelets_));
+  }
+
+ private:
+  std::string name_;
+  core::CodeletBackend codelets_;
+};
+
+/// Op-counting interpreter; numerically identical to the sequential one.
+class InstrumentedBackend final : public ExecutorBackend {
+ public:
+  const std::string& name() const override { return name_; }
+
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+    if (stride == 1) {
+      counts_ = core::execute_instrumented(plan, x);
+    } else {
+      // The instrumented interpreter is unit-stride only; op counts are
+      // stride-independent, so count closed-form and run the plain path.
+      core::execute_node(plan.root(), x, stride,
+                         core::codelet_table(core::CodeletBackend::kGenerated));
+      counts_ = core::count_ops(plan);
+    }
+  }
+
+  const core::OpCounts* last_op_counts() const override { return &counts_; }
+
+ private:
+  std::string name_ = "instrumented";
+  core::OpCounts counts_{};
+};
+
+/// Fork-join executor over the root split.
+class ParallelBackend final : public ExecutorBackend {
+ public:
+  ParallelBackend(int threads, core::CodeletBackend codelets)
+      : threads_(threads), codelets_(codelets) {}
+
+  const std::string& name() const override { return name_; }
+
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+    core::execute_parallel_strided(plan, x, stride, threads_, codelets_);
+  }
+
+ private:
+  std::string name_ = "parallel";
+  int threads_;
+  core::CodeletBackend codelets_;
+};
+
+}  // namespace
+
+struct BackendRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Factory> factories;
+};
+
+BackendRegistry::BackendRegistry() : impl_(std::make_shared<Impl>()) {
+  impl_->factories["generated"] = [](const BackendOptions&) {
+    return std::make_unique<SequentialBackend>("generated",
+                                               core::CodeletBackend::kGenerated);
+  };
+  impl_->factories["template"] = [](const BackendOptions&) {
+    return std::make_unique<SequentialBackend>("template",
+                                               core::CodeletBackend::kTemplate);
+  };
+  impl_->factories["instrumented"] = [](const BackendOptions&) {
+    return std::make_unique<InstrumentedBackend>();
+  };
+  impl_->factories["parallel"] = [](const BackendOptions& options) {
+    return std::make_unique<ParallelBackend>(std::max(options.threads, 1),
+                                             options.codelets);
+  };
+}
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_factory(const std::string& name, Factory factory) {
+  if (name.empty()) throw std::invalid_argument("backend name must be non-empty");
+  if (!factory) throw std::invalid_argument("backend factory must be callable");
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->factories.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("backend '" + name + "' is already registered");
+  }
+}
+
+std::unique_ptr<ExecutorBackend> BackendRegistry::create(
+    const std::string& name, const BackendOptions& options) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->factories.find(name);
+    if (it != impl_->factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const auto& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown executor backend '" + name +
+                                "' (registered: " + known + ")");
+  }
+  auto backend = factory(options);
+  if (!backend) {
+    throw std::runtime_error("backend factory for '" + name + "' returned null");
+  }
+  return backend;
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->factories.count(name) != 0;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->factories.size());
+  for (const auto& [name, factory] : impl_->factories) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+perf::MeasureResult measure_with_backend(ExecutorBackend& backend,
+                                         const core::Plan& plan,
+                                         const perf::MeasureOptions& options) {
+  if (options.repetitions < 1) {
+    throw std::invalid_argument("measure_with_backend: repetitions must be >= 1");
+  }
+  if (options.warmup < 0) {
+    throw std::invalid_argument("measure_with_backend: warmup must be >= 0");
+  }
+  const std::uint64_t n = plan.size();
+  util::AlignedBuffer master(n);
+  util::AlignedBuffer work(n);
+  {
+    util::Rng rng(options.seed);
+    for (auto& v : master) v = rng.uniform(-1.0, 1.0);
+  }
+
+  // Probe once to size the timed batch (same ~50 us target as measure_plan).
+  int inner = options.inner_loop;
+  if (inner <= 0) {
+    std::memcpy(work.data(), master.data(), n * sizeof(double));
+    const std::uint64_t begin = perf::read_cycles();
+    backend.run(plan, work.data(), 1);
+    const std::uint64_t end = perf::read_cycles();
+    const double run_ns = perf::cycles_to_ns(end - begin);
+    constexpr double target_ns = 50'000.0;
+    inner = run_ns >= target_ns
+                ? 1
+                : static_cast<int>(std::min(target_ns / std::max(run_ns, 1.0),
+                                            65536.0)) +
+                      1;
+  }
+
+  for (int i = 0; i < options.warmup; ++i) {
+    std::memcpy(work.data(), master.data(), n * sizeof(double));
+    backend.run(plan, work.data(), 1);
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(options.repetitions));
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    std::memcpy(work.data(), master.data(), n * sizeof(double));
+    const std::uint64_t begin = perf::read_cycles();
+    for (int i = 0; i < inner; ++i) backend.run(plan, work.data(), 1);
+    const std::uint64_t end = perf::read_cycles();
+    samples.push_back(static_cast<double>(end - begin) /
+                      static_cast<double>(inner));
+  }
+
+  std::sort(samples.begin(), samples.end());
+  perf::MeasureResult result;
+  result.inner_loop = inner;
+  result.min_cycles = samples.front();
+  result.median_cycles = samples[samples.size() / 2];
+  double total = 0.0;
+  for (double s : samples) total += s;
+  result.mean_cycles = total / static_cast<double>(samples.size());
+  return result;
+}
+
+}  // namespace whtlab::api

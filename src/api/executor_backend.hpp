@@ -1,0 +1,100 @@
+// Pluggable execution backends for the wht::Transform façade.
+//
+// The repo grew three hand-wired ways to run a plan — core::execute (plain
+// interpreter over either codelet table), core::execute_parallel (fork-join
+// over the root split), and core::execute_instrumented (op-counting twin).
+// ExecutorBackend puts them behind one polymorphic interface so a Transform
+// can own "how to run" as a value, and BackendRegistry makes the set
+// open-ended: future SIMD / GPU / sharded backends register under a string
+// key and become reachable from the Planner without touching callers.
+//
+// Built-in keys (always registered):
+//   "generated"     sequential interpreter, build-time generated codelets
+//   "template"      sequential interpreter, compile-time template codelets
+//   "instrumented"  op-counting interpreter; tallies retrievable per run
+//   "parallel"      fork-join executor honouring BackendOptions::threads
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/codelet.hpp"
+#include "core/instrumented.hpp"
+#include "core/plan.hpp"
+#include "perf/measure.hpp"
+
+namespace whtlab::api {
+
+/// Knobs a factory may honour when instantiating a backend.
+struct BackendOptions {
+  int threads = 1;  ///< worker threads ("parallel"; ignored elsewhere)
+  core::CodeletBackend codelets = core::CodeletBackend::kGenerated;
+};
+
+/// One way of running a plan.  Implementations may keep per-run state (the
+/// instrumented backend records op tallies), so run() is non-const; a backend
+/// instance is not safe for concurrent use from multiple threads.
+class ExecutorBackend {
+ public:
+  virtual ~ExecutorBackend() = default;
+
+  /// Registry key this instance was created under.
+  virtual const std::string& name() const = 0;
+
+  /// Transforms the plan.size() elements x[0], x[stride], ... in place.
+  virtual void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) = 0;
+
+  /// Op tallies of the most recent run(); nullptr for backends that do not
+  /// instrument (all built-ins except "instrumented").
+  virtual const core::OpCounts* last_op_counts() const { return nullptr; }
+};
+
+/// String-keyed factory table.  The global() registry is pre-populated with
+/// the built-in backends; registration is explicit (no static-initializer
+/// self-registration, which a static library would silently drop).
+class BackendRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<ExecutorBackend>(const BackendOptions&)>;
+
+  /// Process-wide registry holding the built-ins.  Thread-safe.
+  static BackendRegistry& global();
+
+  /// Registers `factory` under `name`.  Throws std::invalid_argument if the
+  /// name is already taken (built-ins cannot be shadowed).
+  void register_factory(const std::string& name, Factory factory);
+
+  /// Instantiates the backend registered under `name`.  Throws
+  /// std::invalid_argument listing the known names when `name` is unknown.
+  std::unique_ptr<ExecutorBackend> create(const std::string& name,
+                                          const BackendOptions& options = {}) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();  ///< registers the built-ins
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Runs the perf measurement protocol (warmup, batched repetitions,
+/// master-copy restore; see perf/measure.hpp) with `backend` as the
+/// execution engine, so e.g. "parallel" is timed on its parallel code path.
+/// MeasureOptions::backend is ignored; repetitions must be >= 1.  Used by
+/// Transform::measure and by the Planner's measuring strategies (candidates
+/// are timed on the backend the planned Transform will actually use).
+perf::MeasureResult measure_with_backend(ExecutorBackend& backend,
+                                         const core::Plan& plan,
+                                         const perf::MeasureOptions& options = {});
+
+}  // namespace whtlab::api
+
+/// Terse spelling used throughout examples and docs: wht::Planner, ...
+namespace wht = whtlab::api;

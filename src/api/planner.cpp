@@ -1,0 +1,207 @@
+#include "api/planner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/plan_io.hpp"
+#include "model/combined_model.hpp"
+#include "search/dp_search.hpp"
+#include "search/exhaustive.hpp"
+#include "search/pruned_search.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::api {
+
+namespace {
+
+/// Beyond this the full space is too large to measure exhaustively
+/// (a(10) is already ~10^6 plans; see search/exhaustive.hpp).
+constexpr int kMaxExhaustive = 8;
+
+/// Largest transform the planner will build: 2^26 doubles = 512 MiB.
+constexpr int kMaxLog2Size = 26;
+
+}  // namespace
+
+Planner& Planner::strategy(Strategy s) {
+  strategy_ = s;
+  return *this;
+}
+
+Planner& Planner::backend(std::string name) {
+  backend_ = std::move(name);
+  return *this;
+}
+
+Planner& Planner::threads(int count) {
+  if (count < 1) throw std::invalid_argument("Planner: threads must be >= 1");
+  threads_ = count;
+  return *this;
+}
+
+Planner& Planner::codelets(core::CodeletBackend backend) {
+  codelets_ = backend;
+  return *this;
+}
+
+Planner& Planner::max_leaf(int k) {
+  if (k < 1 || k > core::kMaxUnrolled) {
+    throw std::invalid_argument("Planner: max_leaf out of [1, " +
+                                std::to_string(core::kMaxUnrolled) + "]");
+  }
+  max_leaf_ = k;
+  return *this;
+}
+
+Planner& Planner::max_parts(int parts) {
+  if (parts < -1) throw std::invalid_argument("Planner: bad max_parts");
+  max_parts_ = parts;
+  return *this;
+}
+
+Planner& Planner::samples(int count) {
+  if (count < 1) throw std::invalid_argument("Planner: samples must be >= 1");
+  samples_ = count;
+  return *this;
+}
+
+Planner& Planner::keep_fraction(double fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument("Planner: keep_fraction must be in (0, 1]");
+  }
+  keep_fraction_ = fraction;
+  return *this;
+}
+
+Planner& Planner::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+Planner& Planner::measure_options(const perf::MeasureOptions& options) {
+  measure_ = options;
+  return *this;
+}
+
+Planner& Planner::fixed(core::Plan plan) {
+  if (!plan.valid()) throw std::invalid_argument("Planner: fixed plan is empty");
+  fixed_ = std::move(plan);
+  strategy_ = Strategy::kFixed;
+  return *this;
+}
+
+Planner& Planner::fixed(const std::string& grammar) {
+  return fixed(core::parse_plan(grammar));
+}
+
+core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
+                                PlanningInfo& info) const {
+  // Candidates are timed through the backend the Transform will own, so a
+  // plan autotuned with threads(8) is the winner under fork-join execution,
+  // not under the sequential interpreter.
+  const perf::MeasureOptions& measure = measure_;
+  const auto measured_cost = [&measure, &backend](const core::Plan& candidate) {
+    return measure_with_backend(backend, candidate, measure).cycles();
+  };
+
+  switch (strategy_) {
+    case Strategy::kEstimate: {
+      search::DpOptions options;
+      options.max_leaf = max_leaf_;
+      options.max_parts = max_parts_ < 0 ? 4 : max_parts_;
+      const model::CombinedModel model;
+      const auto result = search::dp_search(
+          n, [&model](const core::Plan& candidate) { return model(candidate); },
+          options);
+      info.evaluations = result.evaluations;
+      info.cost = result.cost;
+      return result.plan;
+    }
+    case Strategy::kMeasure: {
+      search::DpOptions options;
+      options.max_leaf = max_leaf_;
+      // Ternary splits while candidates are cheap to time, binary beyond
+      // (the WHT package's practice; deeper splits remain reachable through
+      // recursion).
+      options.max_parts = max_parts_ < 0 ? (n <= 12 ? 3 : 2) : max_parts_;
+      const auto result = search::dp_search(n, measured_cost, options);
+      info.evaluations = result.evaluations;
+      info.cost = result.cost;
+      return result.plan;
+    }
+    case Strategy::kExhaustive: {
+      if (n > kMaxExhaustive) {
+        throw std::invalid_argument(
+            "Planner: exhaustive strategy is practical only for n <= " +
+            std::to_string(kMaxExhaustive) + ", got n = " + std::to_string(n) +
+            " (use kMeasure or kSampled)");
+      }
+      const auto result = search::exhaustive_search(n, measured_cost, max_leaf_);
+      info.evaluations = result.evaluated;
+      info.cost = result.best_cost;
+      return result.best;
+    }
+    case Strategy::kSampled: {
+      search::PrunedSearchOptions options;
+      options.candidates = samples_;
+      options.keep_fraction = keep_fraction_;
+      options.max_leaf = max_leaf_;
+      options.measure_fn = measured_cost;
+      const model::CombinedModel model;
+      util::Rng rng(seed_);
+      const auto result = search::model_pruned_search(
+          n, [&model](const core::Plan& candidate) { return model(candidate); },
+          rng, options);
+      info.evaluations = result.measured;
+      info.cost = result.best_cycles;
+      return result.best_plan;
+    }
+    case Strategy::kFixed: {
+      if (!fixed_.valid()) {
+        throw std::invalid_argument(
+            "Planner: kFixed strategy needs a plan — call fixed() first");
+      }
+      if (fixed_.log2_size() != n) {
+        throw std::invalid_argument(
+            "Planner: fixed plan computes WHT(2^" +
+            std::to_string(fixed_.log2_size()) + "), but plan(" +
+            std::to_string(n) + ") was requested");
+      }
+      info.evaluations = 0;
+      info.cost = 0.0;
+      return fixed_;
+    }
+  }
+  throw std::logic_error("Planner: unknown strategy");
+}
+
+Transform Planner::plan(int n) const {
+  if (n < 1 || n > kMaxLog2Size) {
+    throw std::invalid_argument("Planner: n out of [1, " +
+                                std::to_string(kMaxLog2Size) + "], got " +
+                                std::to_string(n));
+  }
+
+  BackendOptions options;
+  options.threads = threads_;
+  options.codelets = codelets_;
+  const std::string name =
+      !backend_.empty() ? backend_ : (threads_ > 1 ? "parallel" : "generated");
+  auto backend = BackendRegistry::global().create(name, options);
+
+  PlanningInfo info;
+  info.strategy = strategy_;
+  core::Plan chosen = search_plan(n, *backend, info);
+
+  return Transform(std::move(chosen), std::move(backend), info);
+}
+
+Transform Planner::plan() const {
+  if (strategy_ != Strategy::kFixed || !fixed_.valid()) {
+    throw std::invalid_argument(
+        "Planner: plan() without a size requires a fixed() plan");
+  }
+  return plan(fixed_.log2_size());
+}
+
+}  // namespace whtlab::api

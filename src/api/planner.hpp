@@ -1,0 +1,106 @@
+// wht::Planner — the FFTW-style planning façade.
+//
+// One fluent builder maps planning strategies onto the repo's search/ and
+// model/ modules and hands back a ready-to-run Transform:
+//
+//   auto t = wht::Planner()
+//                .strategy(wht::Strategy::kMeasure)
+//                .threads(4)
+//                .plan(16);
+//   t.execute(x);
+//
+// Strategy -> machinery:
+//   kEstimate    search::dp_search over model::CombinedModel — no execution,
+//                the paper's measurement-free autotuning suggestion
+//   kMeasure     search::dp_search over perf-measured cycles — the WHT
+//                package autotuner (Figure 1's "best")
+//   kExhaustive  search::exhaustive_search over measured cycles — ground
+//                truth, guarded to small n
+//   kSampled     search::model_pruned_search — random candidates ranked by
+//                the combined model, best fraction measured (Section 4)
+//   kFixed       the caller's plan verbatim (grammar string or core::Plan)
+//
+// Execution is delegated to an ExecutorBackend resolved by name from the
+// BackendRegistry; threads(>1) defaults the backend to "parallel".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/executor_backend.hpp"
+#include "api/transform.hpp"
+#include "core/plan.hpp"
+#include "perf/measure.hpp"
+
+namespace whtlab::api {
+
+class Planner {
+ public:
+  Planner() = default;
+
+  /// Planning strategy; default kEstimate (cheap and measurement-free).
+  Planner& strategy(Strategy s);
+
+  /// Executor backend by registry name ("generated", "template",
+  /// "instrumented", "parallel", or anything registered later).  Unset:
+  /// "generated", or "parallel" when threads() > 1.
+  Planner& backend(std::string name);
+
+  /// Worker threads for the parallel backend.  Values > 1 switch the
+  /// default backend to "parallel".
+  Planner& threads(int count);
+
+  /// Codelet flavour used by the sequential/parallel backends.
+  Planner& codelets(core::CodeletBackend backend);
+
+  /// Largest unrolled leaf the searches may use (1..core::kMaxUnrolled).
+  Planner& max_leaf(int k);
+
+  /// Cap on split arity explored by the DP strategies; 0 = all compositions,
+  /// -1 (default) = auto (binary/ternary, the WHT package's practice).
+  Planner& max_parts(int parts);
+
+  /// Random candidates drawn by kSampled (default 200).
+  Planner& samples(int count);
+
+  /// Fraction of kSampled candidates measured after model ranking
+  /// (default 0.1; 1.0 measures everything = no pruning).
+  Planner& keep_fraction(double fraction);
+
+  /// RNG seed for kSampled (default 1).
+  Planner& seed(std::uint64_t seed);
+
+  /// Measurement protocol for the measuring strategies.
+  Planner& measure_options(const perf::MeasureOptions& options);
+
+  /// Pins the plan (switches strategy to kFixed).
+  Planner& fixed(core::Plan plan);
+
+  /// Pins the plan from its grammar string, e.g. "split[small[4],small[4]]".
+  Planner& fixed(const std::string& grammar);
+
+  /// Plans WHT(2^n) and returns the executable Transform.  Throws
+  /// std::invalid_argument on bad arguments (n out of range, unknown
+  /// backend, kFixed size mismatch, kExhaustive size too large).
+  Transform plan(int n) const;
+
+  /// kFixed convenience: plans for the pinned plan's own size.
+  Transform plan() const;
+
+ private:
+  core::Plan search_plan(int n, ExecutorBackend& backend, PlanningInfo& info) const;
+
+  Strategy strategy_ = Strategy::kEstimate;
+  std::string backend_;  ///< empty = auto
+  int threads_ = 1;
+  core::CodeletBackend codelets_ = core::CodeletBackend::kGenerated;
+  int max_leaf_ = core::kMaxUnrolled;
+  int max_parts_ = -1;  ///< -1 = auto
+  int samples_ = 200;
+  double keep_fraction_ = 0.1;
+  std::uint64_t seed_ = 1;
+  perf::MeasureOptions measure_{};
+  core::Plan fixed_;
+};
+
+}  // namespace whtlab::api

@@ -1,0 +1,88 @@
+#include "api/transform.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace whtlab::api {
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kEstimate:
+      return "estimate";
+    case Strategy::kMeasure:
+      return "measure";
+    case Strategy::kExhaustive:
+      return "exhaustive";
+    case Strategy::kSampled:
+      return "sampled";
+    case Strategy::kFixed:
+      return "fixed";
+  }
+  return "unknown";
+}
+
+Transform::Transform(core::Plan plan, std::unique_ptr<ExecutorBackend> backend,
+                     PlanningInfo info)
+    : plan_(std::move(plan)),
+      backend_(std::move(backend)),
+      backend_name_(backend_->name()),
+      scratch_(plan_.size()),
+      info_(info) {}
+
+void Transform::ensure_valid() const {
+  if (!valid()) throw std::logic_error("wht::Transform: not planned");
+}
+
+void Transform::execute(double* x) { execute(x, 1); }
+
+void Transform::execute(double* x, std::ptrdiff_t stride) {
+  ensure_valid();
+  if (stride == 0) throw std::invalid_argument("Transform: stride must be nonzero");
+  backend_->run(plan_, x, stride);
+}
+
+void Transform::execute_many(double* x, std::size_t count) {
+  execute_many(x, count, static_cast<std::ptrdiff_t>(size()));
+}
+
+void Transform::execute_many(double* x, std::size_t count, std::ptrdiff_t dist) {
+  ensure_valid();
+  const auto span = static_cast<std::ptrdiff_t>(size());
+  if (dist > -span && dist < span) {
+    throw std::invalid_argument(
+        "Transform: |dist| must be >= size() so batch vectors do not overlap");
+  }
+  for (std::size_t v = 0; v < count; ++v) {
+    backend_->run(plan_, x + static_cast<std::ptrdiff_t>(v) * dist, 1);
+  }
+}
+
+void Transform::execute_copy(const double* in, double* out) {
+  ensure_valid();
+  if (out != in) std::memcpy(out, in, size() * sizeof(double));
+  backend_->run(plan_, out, 1);
+}
+
+std::vector<double> Transform::apply(const std::vector<double>& in) {
+  ensure_valid();
+  if (in.size() != size()) {
+    throw std::invalid_argument("Transform: input length " +
+                                std::to_string(in.size()) + " != transform size " +
+                                std::to_string(size()));
+  }
+  std::memcpy(scratch_.data(), in.data(), size() * sizeof(double));
+  backend_->run(plan_, scratch_.data(), 1);
+  return std::vector<double>(scratch_.begin(), scratch_.end());
+}
+
+const core::OpCounts* Transform::last_op_counts() const {
+  ensure_valid();
+  return backend_->last_op_counts();
+}
+
+perf::MeasureResult Transform::measure(const perf::MeasureOptions& options) {
+  ensure_valid();
+  return measure_with_backend(*backend_, plan_, options);
+}
+
+}  // namespace whtlab::api

@@ -1,0 +1,116 @@
+// wht::Transform — a planned WHT ready to execute (the FFTW plan analogue).
+//
+// A Transform owns everything needed to apply WHT(2^n) repeatedly: the
+// chosen core::Plan, the ExecutorBackend that runs it, and an aligned
+// scratch buffer for the out-of-place convenience paths.  Obtain one from
+// wht::Planner (planner.hpp); execute it as often as you like:
+//
+//   auto t = wht::Planner().strategy(wht::Strategy::kMeasure).plan(16);
+//   t.execute(x);                       // in place, 2^16 doubles
+//   t.execute(x, stride);               // strided in place
+//   t.execute_many(batch, 32);          // 32 contiguous vectors
+//   auto y = t.apply(input);            // copying convenience
+//
+// Transforms are move-only (they own a backend instance and scratch memory)
+// and cheap to move.  A backend instance is not internally synchronized:
+// share a Transform across threads only with external locking, or plan one
+// Transform per thread (plans are values; planning is the expensive step).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/executor_backend.hpp"
+#include "core/plan.hpp"
+#include "perf/measure.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace whtlab::api {
+
+/// How the Planner chooses a plan (see planner.hpp for the mapping onto the
+/// search/ and model/ modules).
+enum class Strategy {
+  kEstimate,    ///< cost-model DP — no measurement, instant
+  kMeasure,     ///< DP over measured runtime — the WHT package autotuner
+  kExhaustive,  ///< measure every plan in the space (small sizes only)
+  kSampled,     ///< random sample, model-pruned, best survivors measured
+  kFixed,       ///< caller-supplied plan, no search
+};
+
+/// Human-readable strategy name ("estimate", "measure", ...).
+const char* to_string(Strategy strategy);
+
+/// What planning did, kept on the Transform for reporting.
+struct PlanningInfo {
+  Strategy strategy = Strategy::kFixed;
+  std::uint64_t evaluations = 0;  ///< cost-function / measurement invocations
+  double cost = 0.0;              ///< winning plan's cost (model units or cycles)
+};
+
+class Transform {
+ public:
+  Transform() = default;  ///< empty; valid() is false, execute() throws
+
+  Transform(Transform&&) noexcept = default;
+  Transform& operator=(Transform&&) noexcept = default;
+  Transform(const Transform&) = delete;
+  Transform& operator=(const Transform&) = delete;
+
+  bool valid() const { return backend_ != nullptr; }
+
+  /// The plan this transform executes (round-trips through core::plan_io).
+  const core::Plan& plan() const { return plan_; }
+  int log2_size() const { return plan_.log2_size(); }
+  std::uint64_t size() const { return plan_.size(); }
+
+  const std::string& backend_name() const { return backend_name_; }
+  const PlanningInfo& planning() const { return info_; }
+
+  /// In-place transform of x[0 .. size()).
+  void execute(double* x);
+
+  /// In-place transform of the size() elements x[0], x[stride], ...
+  void execute(double* x, std::ptrdiff_t stride);
+
+  /// Batched transform: `count` vectors, vector v starting at x + v*dist
+  /// (dist in elements; defaults to size(), i.e. contiguous packing).
+  void execute_many(double* x, std::size_t count);
+  void execute_many(double* x, std::size_t count, std::ptrdiff_t dist);
+
+  /// Out-of-place: out[0 .. size()) = WHT(in[0 .. size())).  `in` and `out`
+  /// may alias exactly (degenerates to execute) but must not partially
+  /// overlap.
+  void execute_copy(const double* in, double* out);
+
+  /// Copying convenience; runs on the internal aligned scratch buffer.
+  /// in.size() must equal size().
+  std::vector<double> apply(const std::vector<double>& in);
+
+  /// Op tallies of the most recent execute (instrumented backend only;
+  /// nullptr otherwise).
+  const core::OpCounts* last_op_counts() const;
+
+  /// Measures this transform with the perf protocol (warmup, batched reps,
+  /// master-copy restore; see perf/measure.hpp) — but driven through the
+  /// owned backend, so "parallel" measures the parallel code path.
+  /// MeasureOptions::backend is ignored.
+  perf::MeasureResult measure(const perf::MeasureOptions& options = {});
+
+ private:
+  friend class Planner;
+
+  Transform(core::Plan plan, std::unique_ptr<ExecutorBackend> backend,
+            PlanningInfo info);
+
+  void ensure_valid() const;
+
+  core::Plan plan_;
+  std::unique_ptr<ExecutorBackend> backend_;
+  std::string backend_name_;
+  util::AlignedBuffer scratch_;
+  PlanningInfo info_;
+};
+
+}  // namespace whtlab::api

@@ -16,13 +16,13 @@ constexpr std::uint64_t kParallelThreshold = 1 << 12;
 
 }  // namespace
 
-void execute_parallel(const Plan& plan, double* x, int num_threads,
-                      CodeletBackend backend) {
+void execute_parallel_strided(const Plan& plan, double* x, std::ptrdiff_t stride,
+                              int num_threads, CodeletBackend backend) {
   const auto& table = codelet_table(backend);
   const PlanNode& root = plan.root();
   if (num_threads <= 1 || root.kind == NodeKind::kSmall ||
       root.size() < kParallelThreshold) {
-    execute_node(root, x, 1, table);
+    execute_node(root, x, stride, table);
     return;
   }
 
@@ -40,8 +40,9 @@ void execute_parallel(const Plan& plan, double* x, int num_threads,
     if (workers <= 1) {
       for (std::uint64_t j = 0; j < r; ++j) {
         for (std::uint64_t k = 0; k < s; ++k) {
-          execute_node(*child, x + (j * ni * s + k), static_cast<std::ptrdiff_t>(s),
-                       table);
+          execute_node(*child,
+                       x + static_cast<std::ptrdiff_t>(j * ni * s + k) * stride,
+                       static_cast<std::ptrdiff_t>(s) * stride, table);
         }
       }
     } else {
@@ -56,8 +57,9 @@ void execute_parallel(const Plan& plan, double* x, int num_threads,
           for (std::uint64_t task = begin; task < end; ++task) {
             const std::uint64_t j = task / s;
             const std::uint64_t k = task % s;
-            execute_node(*child, x + (j * ni * s + k),
-                         static_cast<std::ptrdiff_t>(s), table);
+            execute_node(*child,
+                         x + static_cast<std::ptrdiff_t>(j * ni * s + k) * stride,
+                         static_cast<std::ptrdiff_t>(s) * stride, table);
           }
         });
       }
@@ -65,6 +67,11 @@ void execute_parallel(const Plan& plan, double* x, int num_threads,
     }
     s *= ni;
   }
+}
+
+void execute_parallel(const Plan& plan, double* x, int num_threads,
+                      CodeletBackend backend) {
+  execute_parallel_strided(plan, x, 1, num_threads, backend);
 }
 
 }  // namespace whtlab::core

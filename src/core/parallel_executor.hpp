@@ -11,6 +11,8 @@
 // threading pays off, the root split already exposes ample parallelism.
 #pragma once
 
+#include <cstddef>
+
 #include "core/codelet.hpp"
 #include "core/plan.hpp"
 
@@ -20,5 +22,11 @@ namespace whtlab::core {
 /// num_threads <= 1 degenerates to the sequential executor.
 void execute_parallel(const Plan& plan, double* x, int num_threads,
                       CodeletBackend backend = CodeletBackend::kGenerated);
+
+/// Strided variant: operates on the plan.size() elements x[0], x[stride], ...
+/// (the entry point the api::Transform strided path uses).
+void execute_parallel_strided(const Plan& plan, double* x, std::ptrdiff_t stride,
+                              int num_threads,
+                              CodeletBackend backend = CodeletBackend::kGenerated);
 
 }  // namespace whtlab::core

@@ -191,10 +191,10 @@ bool nodes_equal(const PlanNode& a, const PlanNode& b) {
 
 }  // namespace
 
-int Plan::leaf_count() const { return count_leaves(*root_); }
-int Plan::node_count() const { return count_nodes(*root_); }
-int Plan::depth() const { return node_depth(*root_); }
-int Plan::max_leaf_log2() const { return max_leaf(*root_); }
+int Plan::leaf_count() const { return count_leaves(root()); }
+int Plan::node_count() const { return count_nodes(root()); }
+int Plan::depth() const { return node_depth(root()); }
+int Plan::max_leaf_log2() const { return max_leaf(root()); }
 
 bool Plan::operator==(const Plan& other) const {
   if (!valid() || !other.valid()) return valid() == other.valid();

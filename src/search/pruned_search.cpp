@@ -20,6 +20,13 @@ PrunedSearchResult model_pruned_search(int n, const ModelFn& model,
   }
   if (!model) throw std::invalid_argument("pruned search: null model");
 
+  std::function<double(const core::Plan&)> timed_cycles = options.measure_fn;
+  if (!timed_cycles) {
+    timed_cycles = [&options](const core::Plan& plan) {
+      return perf::measure_plan(plan, options.measure).cycles();
+    };
+  }
+
   RecursiveSplitSampler sampler(options.max_leaf);
   std::vector<core::Plan> plans;
   std::vector<double> scores;
@@ -48,7 +55,7 @@ PrunedSearchResult model_pruned_search(int n, const ModelFn& model,
   bool have = false;
   for (std::size_t rank = 0; rank < keep; ++rank) {
     const auto& plan = plans[order[rank]];
-    const double cycles = perf::measure_plan(plan, options.measure).cycles();
+    const double cycles = timed_cycles(plan);
     if (!have || cycles < result.best_cycles) {
       result.best_cycles = cycles;
       result.best_plan = plan;
@@ -61,7 +68,7 @@ PrunedSearchResult model_pruned_search(int n, const ModelFn& model,
     result.audit_best_cycles = result.best_cycles;
     for (std::size_t rank = keep; rank < plans.size(); ++rank) {
       const auto& plan = plans[order[rank]];
-      const double cycles = perf::measure_plan(plan, options.measure).cycles();
+      const double cycles = timed_cycles(plan);
       result.audit_best_cycles = std::min(result.audit_best_cycles, cycles);
     }
   }

@@ -25,6 +25,10 @@ struct PrunedSearchOptions {
   double keep_fraction = 0.1;  ///< fraction (by model rank) actually measured
   int max_leaf = core::kMaxUnrolled;
   perf::MeasureOptions measure{};
+  /// Optional override for candidate timing; unset = measure_plan(p, measure)
+  /// .cycles().  Lets callers time through another execution engine (the
+  /// api::Planner times candidates on the backend the Transform will own).
+  std::function<double(const core::Plan&)> measure_fn;
 };
 
 struct PrunedSearchResult {

@@ -4,6 +4,10 @@
 // this exists for quick experiments and the examples.
 #pragma once
 
+#include "api/executor_backend.hpp"      // IWYU pragma: export
+#include "api/planner.hpp"               // IWYU pragma: export
+#include "api/transform.hpp"             // IWYU pragma: export
+#include "api/wht.hpp"                   // IWYU pragma: export
 #include "cachesim/cache.hpp"            // IWYU pragma: export
 #include "cachesim/hierarchy.hpp"        // IWYU pragma: export
 #include "cachesim/trace_runner.hpp"     // IWYU pragma: export

@@ -1,0 +1,190 @@
+// BackendRegistry: built-in lookup, unknown-name errors, custom registration,
+// and numerical agreement of every built-in backend with core::execute.
+#include "api/executor_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/executor.hpp"
+#include "core/instrumented.hpp"
+#include "core/plan.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::api {
+namespace {
+
+TEST(BackendRegistry, BuiltinsAreRegistered) {
+  auto& registry = BackendRegistry::global();
+  for (const char* name : {"generated", "template", "instrumented", "parallel"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    const auto backend = registry.create(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+  }
+}
+
+TEST(BackendRegistry, NamesAreSortedAndContainBuiltins) {
+  const auto names = BackendRegistry::global().names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(BackendRegistry, UnknownNameThrowsListingKnownNames) {
+  try {
+    BackendRegistry::global().create("definitely-not-a-backend");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("definitely-not-a-backend"), std::string::npos);
+    EXPECT_NE(message.find("generated"), std::string::npos);
+    EXPECT_NE(message.find("parallel"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(BackendRegistry::global().register_factory(
+                   "generated",
+                   [](const BackendOptions&) {
+                     return BackendRegistry::global().create("template");
+                   }),
+               std::invalid_argument);
+}
+
+TEST(BackendRegistry, CustomBackendIsCreatable) {
+  // A future SIMD/GPU backend drops in exactly like this.
+  class NegatingBackend final : public ExecutorBackend {
+   public:
+    const std::string& name() const override { return name_; }
+    void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+      core::execute_node(plan.root(), x, stride,
+                         core::codelet_table(core::CodeletBackend::kGenerated));
+      for (std::uint64_t i = 0; i < plan.size(); ++i) {
+        x[static_cast<std::ptrdiff_t>(i) * stride] *= -1.0;
+      }
+    }
+
+   private:
+    std::string name_ = "negating-test";
+  };
+
+  auto& registry = BackendRegistry::global();
+  if (!registry.contains("negating-test")) {
+    registry.register_factory("negating-test", [](const BackendOptions&) {
+      return std::make_unique<NegatingBackend>();
+    });
+  }
+  const auto backend = registry.create("negating-test");
+  const core::Plan plan = core::Plan::iterative(4);
+  util::AlignedBuffer x(plan.size());
+  util::AlignedBuffer reference(plan.size());
+  util::Rng rng(11);
+  for (std::uint64_t i = 0; i < plan.size(); ++i) {
+    x[i] = reference[i] = rng.uniform(-1, 1);
+  }
+  backend->run(plan, x.data(), 1);
+  core::execute(plan, reference.data());
+  for (std::uint64_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(x[i], -reference[i]) << i;
+  }
+}
+
+class BuiltinBackendTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BuiltinBackendTest, MatchesCoreExecute) {
+  BackendOptions options;
+  options.threads = 2;
+  const auto backend = BackendRegistry::global().create(GetParam(), options);
+  const core::Plan plan = core::Plan::balanced_binary(12, 4);
+  util::AlignedBuffer x(plan.size());
+  util::AlignedBuffer reference(plan.size());
+  util::Rng rng(5);
+  for (std::uint64_t i = 0; i < plan.size(); ++i) {
+    x[i] = reference[i] = rng.uniform(-1, 1);
+  }
+  backend->run(plan, x.data(), 1);
+  core::execute(plan, reference.data());
+  for (std::uint64_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(x[i], reference[i]) << GetParam() << " at " << i;
+  }
+}
+
+TEST_P(BuiltinBackendTest, StridedRunMatchesGather) {
+  const auto backend = BackendRegistry::global().create(GetParam());
+  const core::Plan plan = core::Plan::balanced_binary(8, 3);
+  const std::uint64_t n = plan.size();
+  constexpr std::ptrdiff_t kStride = 3;
+  util::AlignedBuffer strided(n * kStride);
+  util::AlignedBuffer dense(n);
+  util::Rng rng(17);
+  strided.fill(-7.0);  // sentinels between the strided elements
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double v = rng.uniform(-1, 1);
+    strided[i * kStride] = v;
+    dense[i] = v;
+  }
+  backend->run(plan, strided.data(), kStride);
+  core::execute(plan, dense.data());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(strided[i * kStride], dense[i]) << GetParam() << " at " << i;
+  }
+  // Elements between the strided slots are untouched.
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    for (std::ptrdiff_t off = 1; off < kStride; ++off) {
+      EXPECT_EQ(strided[i * kStride + static_cast<std::uint64_t>(off)], -7.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuiltins, BuiltinBackendTest,
+                         ::testing::Values("generated", "template",
+                                           "instrumented", "parallel"));
+
+TEST(ParallelBackend, StridedForkJoinMatchesDense) {
+  // Large enough (>= 2^12) and threaded, so the fork-join branches of
+  // execute_parallel_strided run — not the sequential early-return.
+  BackendOptions options;
+  options.threads = 3;
+  const auto backend = BackendRegistry::global().create("parallel", options);
+  const core::Plan plan = core::Plan::balanced_binary(13, 5);
+  const std::uint64_t n = plan.size();
+  constexpr std::ptrdiff_t kStride = 2;
+  util::AlignedBuffer strided(n * kStride);
+  util::AlignedBuffer dense(n);
+  util::Rng rng(23);
+  strided.fill(-3.0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double v = rng.uniform(-1, 1);
+    strided[i * kStride] = v;
+    dense[i] = v;
+  }
+  backend->run(plan, strided.data(), kStride);
+  core::execute(plan, dense.data());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(strided[i * kStride], dense[i]) << i;
+  }
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    ASSERT_EQ(strided[i * kStride + 1], -3.0) << i;  // gaps untouched
+  }
+}
+
+TEST(InstrumentedBackend, OpCountsMatchClosedForm) {
+  const auto backend = BackendRegistry::global().create("instrumented");
+  const core::Plan plan = core::Plan::right_recursive(9);
+  util::AlignedBuffer x(plan.size());
+  x.fill(1.0);
+  backend->run(plan, x.data(), 1);
+  const core::OpCounts* counts = backend->last_op_counts();
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(*counts, core::count_ops(plan));
+}
+
+TEST(SequentialBackend, DoesNotInstrument) {
+  const auto backend = BackendRegistry::global().create("generated");
+  EXPECT_EQ(backend->last_op_counts(), nullptr);
+}
+
+}  // namespace
+}  // namespace whtlab::api

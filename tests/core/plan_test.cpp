@@ -18,6 +18,26 @@ TEST(Plan, SmallFactoryBuildsLeaf) {
   EXPECT_EQ(p.max_leaf_log2(), 3);
 }
 
+TEST(Plan, EmptyPlanAccessorsThrow) {
+  const Plan empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.root(), std::logic_error);
+  EXPECT_THROW(empty.log2_size(), std::logic_error);
+  EXPECT_THROW(empty.size(), std::logic_error);
+  EXPECT_THROW(empty.leaf_count(), std::logic_error);
+  EXPECT_THROW(empty.node_count(), std::logic_error);
+  EXPECT_THROW(empty.depth(), std::logic_error);
+  EXPECT_THROW(empty.max_leaf_log2(), std::logic_error);
+}
+
+TEST(Plan, MovedFromPlanThrowsInsteadOfCrashing) {
+  Plan p = Plan::small(2);
+  const Plan q = std::move(p);
+  EXPECT_FALSE(p.valid());  // NOLINT(bugprone-use-after-move): contract test
+  EXPECT_THROW(p.log2_size(), std::logic_error);
+  EXPECT_EQ(q.log2_size(), 2);
+}
+
 TEST(Plan, SmallRejectsOutOfRange) {
   EXPECT_THROW(Plan::small(0), std::invalid_argument);
   EXPECT_THROW(Plan::small(-2), std::invalid_argument);

@@ -1,0 +1,139 @@
+// bench_simd_compare — scalar-vs-SIMD perf trajectory (BENCH_simd.json).
+//
+// For each size n in [nmin, nmax], plans once with the measurement-free
+// kEstimate strategy and times the SAME plan on the "generated" (scalar)
+// and "simd" backends, single-shot and batched (execute_many over `batch`
+// packed vectors — the high-throughput serving shape).  Emits an aligned
+// table on stdout and a JSON trajectory:
+//
+//   { "bench": "simd_compare", "level": "avx512", "vector_width": 8, ...,
+//     "results": [ { "n": 10, "single_scalar_cycles": ...,
+//                    "single_simd_cycles": ..., "single_speedup": ...,
+//                    "batch_scalar_cycles_per_vec": ...,
+//                    "batch_simd_cycles_per_vec": ...,
+//                    "batch_speedup": ... }, ... ] }
+//
+// Run:  ./bench_simd_compare [--out FILE] [--nmin N] [--nmax N]
+//                            [--batch N] [--reps N] [--level scalar|avx2|avx512]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/wht.hpp"
+#include "perf/measure.hpp"
+#include "simd/cpu_features.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whtlab;
+
+  std::string out = "BENCH_simd.json";
+  int nmin = 10;
+  int nmax = 20;
+  std::size_t batch = 32;
+  int reps = 7;
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--out")) {
+      out = argv[++i];
+    } else if (flag("--nmin")) {
+      nmin = std::atoi(argv[++i]);
+    } else if (flag("--nmax")) {
+      nmax = std::atoi(argv[++i]);
+    } else if (flag("--batch")) {
+      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (flag("--reps")) {
+      reps = std::atoi(argv[++i]);
+    } else if (flag("--level")) {
+      simd::force_level(simd::parse_level(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--nmin N] [--nmax N] [--batch N] "
+                   "[--reps N] [--level scalar|avx2|avx512]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const simd::SimdLevel level = simd::active_level();
+  std::printf("simd level: %s (width %d), batch %zu, reps %d\n",
+              simd::to_string(level), simd::vector_width(level), batch, reps);
+  std::printf("%4s %16s %16s %8s %16s %16s %8s\n", "n", "scalar cyc",
+              "simd cyc", "speedup", "scalar cyc/vec", "simd cyc/vec",
+              "speedup");
+
+  perf::MeasureOptions options;
+  options.repetitions = reps;
+
+  struct Row {
+    int n;
+    double single_scalar, single_simd, batch_scalar, batch_simd;
+  };
+  std::vector<Row> rows;
+
+  auto scalar_backend = wht::BackendRegistry::global().create("generated");
+  auto simd_backend = wht::BackendRegistry::global().create("simd");
+
+  for (int n = nmin; n <= nmax; ++n) {
+    const core::Plan plan = wht::Planner().plan(n).plan();
+    const std::ptrdiff_t dist = static_cast<std::ptrdiff_t>(plan.size());
+
+    Row row{};
+    row.n = n;
+    row.single_scalar =
+        wht::measure_with_backend(*scalar_backend, plan, options).cycles();
+    row.single_simd =
+        wht::measure_with_backend(*simd_backend, plan, options).cycles();
+
+    const std::uint64_t total = plan.size() * batch;
+    row.batch_scalar =
+        perf::measure_run(
+            [&](double* x) { scalar_backend->run_many(plan, x, batch, dist); },
+            total, options)
+            .cycles() /
+        static_cast<double>(batch);
+    row.batch_simd =
+        perf::measure_run(
+            [&](double* x) { simd_backend->run_many(plan, x, batch, dist); },
+            total, options)
+            .cycles() /
+        static_cast<double>(batch);
+    rows.push_back(row);
+
+    std::printf("%4d %16.0f %16.0f %7.2fx %16.0f %16.0f %7.2fx\n", n,
+                row.single_scalar, row.single_simd,
+                row.single_scalar / row.single_simd, row.batch_scalar,
+                row.batch_simd, row.batch_scalar / row.batch_simd);
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"simd_compare\",\n  \"level\": \"%s\",\n"
+               "  \"vector_width\": %d,\n  \"batch\": %zu,\n"
+               "  \"repetitions\": %d,\n  \"results\": [\n",
+               simd::to_string(level), simd::vector_width(level), batch, reps);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"n\": %d, \"single_scalar_cycles\": %.1f, "
+                 "\"single_simd_cycles\": %.1f, \"single_speedup\": %.3f, "
+                 "\"batch_scalar_cycles_per_vec\": %.1f, "
+                 "\"batch_simd_cycles_per_vec\": %.1f, "
+                 "\"batch_speedup\": %.3f}%s\n",
+                 r.n, r.single_scalar, r.single_simd,
+                 r.single_scalar / r.single_simd, r.batch_scalar, r.batch_simd,
+                 r.batch_scalar / r.batch_simd,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -36,6 +36,17 @@ int main(int argc, char** argv) {
   std::printf("best plan: %s\n", best.plan().to_string().c_str());
   std::printf("verification error: %.3g\n\n", core::verify_plan(best.plan()));
 
+  // The DP's winners-by-size table: every sub-size's best plan was found on
+  // the way to n (and is what larger splits were assembled from).
+  std::printf("%-4s %14s  %s\n", "m", "cost (cycles)", "best plan of size 2^m");
+  const auto& planning = best.planning();
+  for (std::size_t m = 1; m < planning.best_by_size.size(); ++m) {
+    if (!planning.best_by_size[m].valid()) continue;
+    std::printf("%-4zu %14.0f  %s\n", m, planning.cost_by_size[m],
+                planning.best_by_size[m].to_string().c_str());
+  }
+  std::printf("\n");
+
   perf::MeasureOptions final_measure;
   final_measure.repetitions = 9;
   const auto canonical = [&](core::Plan plan) {
@@ -50,8 +61,15 @@ int main(int argc, char** argv) {
   const double right_cycles = right.measure(final_measure).cycles();
   const double left_cycles = left.measure(final_measure).cycles();
 
+  // The same winning plan on the vectorized backend (runtime CPU dispatch;
+  // identical output, fewer cycles).
+  auto simd = wht::Planner().fixed(best.plan()).backend("simd").plan();
+  const double simd_cycles = simd.measure(final_measure).cycles();
+
   std::printf("%-16s %14s %10s\n", "plan", "median cycles", "vs best");
   std::printf("%-16s %14.0f %9.2fx\n", "best (DP)", best_cycles, 1.0);
+  std::printf("%-16s %14.0f %9.2fx\n", "best on simd", simd_cycles,
+              simd_cycles / best_cycles);
   std::printf("%-16s %14.0f %9.2fx\n", "iterative", iter_cycles,
               iter_cycles / best_cycles);
   std::printf("%-16s %14.0f %9.2fx\n", "right recursive", right_cycles,

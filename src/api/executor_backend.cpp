@@ -1,17 +1,16 @@
 #include "api/executor_backend.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <map>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "core/executor.hpp"
 #include "core/parallel_executor.hpp"
-#include "perf/cycle_timer.hpp"
-#include "util/aligned_buffer.hpp"
-#include "util/rng.hpp"
+#include "simd/simd_executor.hpp"
+#include "util/parallel_chunks.hpp"
 
 namespace whtlab::api {
 
@@ -70,10 +69,53 @@ class ParallelBackend final : public ExecutorBackend {
     core::execute_parallel_strided(plan, x, stride, threads_, codelets_);
   }
 
+  /// Batches parallelize across vectors, not within one transform: each
+  /// worker runs whole transforms sequentially (no per-factor join points),
+  /// the ROADMAP's batch-parallel execute_many.
+  void run_many(const core::Plan& plan, double* x, std::size_t count,
+                std::ptrdiff_t dist) override {
+    const auto& table = core::codelet_table(codelets_);
+    util::parallel_chunks(
+        count, threads_, [&plan, &table, x, dist](std::uint64_t begin,
+                                                  std::uint64_t end) {
+          for (std::uint64_t v = begin; v < end; ++v) {
+            core::execute_node(plan.root(),
+                               x + static_cast<std::ptrdiff_t>(v) * dist, 1,
+                               table);
+          }
+        });
+  }
+
  private:
   std::string name_ = "parallel";
   int threads_;
   core::CodeletBackend codelets_;
+};
+
+/// Vectorized tree walk with runtime CPUID dispatch; batches run
+/// interleaved in SIMD lanes (simd/simd_executor.hpp).
+class SimdBackend final : public ExecutorBackend {
+ public:
+  explicit SimdBackend(int threads) : threads_(threads) {}
+
+  const std::string& name() const override { return name_; }
+
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+    simd::execute(plan, x, stride);
+  }
+
+  void run_many(const core::Plan& plan, double* x, std::size_t count,
+                std::ptrdiff_t dist) override {
+    simd::execute_many(plan, x, count, dist, threads_);
+  }
+
+  int vector_width() const override {
+    return simd::vector_width(simd::active_level());
+  }
+
+ private:
+  std::string name_ = "simd";
+  int threads_;
 };
 
 }  // namespace
@@ -98,6 +140,9 @@ BackendRegistry::BackendRegistry() : impl_(std::make_shared<Impl>()) {
   impl_->factories["parallel"] = [](const BackendOptions& options) {
     return std::make_unique<ParallelBackend>(std::max(options.threads, 1),
                                              options.codelets);
+  };
+  impl_->factories["simd"] = [](const BackendOptions& options) {
+    return std::make_unique<SimdBackend>(std::max(options.threads, 1));
   };
 }
 
@@ -155,61 +200,12 @@ std::vector<std::string> BackendRegistry::names() const {
 perf::MeasureResult measure_with_backend(ExecutorBackend& backend,
                                          const core::Plan& plan,
                                          const perf::MeasureOptions& options) {
-  if (options.repetitions < 1) {
-    throw std::invalid_argument("measure_with_backend: repetitions must be >= 1");
-  }
-  if (options.warmup < 0) {
-    throw std::invalid_argument("measure_with_backend: warmup must be >= 0");
-  }
-  const std::uint64_t n = plan.size();
-  util::AlignedBuffer master(n);
-  util::AlignedBuffer work(n);
-  {
-    util::Rng rng(options.seed);
-    for (auto& v : master) v = rng.uniform(-1.0, 1.0);
-  }
-
-  // Probe once to size the timed batch (same ~50 us target as measure_plan).
-  int inner = options.inner_loop;
-  if (inner <= 0) {
-    std::memcpy(work.data(), master.data(), n * sizeof(double));
-    const std::uint64_t begin = perf::read_cycles();
-    backend.run(plan, work.data(), 1);
-    const std::uint64_t end = perf::read_cycles();
-    const double run_ns = perf::cycles_to_ns(end - begin);
-    constexpr double target_ns = 50'000.0;
-    inner = run_ns >= target_ns
-                ? 1
-                : static_cast<int>(std::min(target_ns / std::max(run_ns, 1.0),
-                                            65536.0)) +
-                      1;
-  }
-
-  for (int i = 0; i < options.warmup; ++i) {
-    std::memcpy(work.data(), master.data(), n * sizeof(double));
-    backend.run(plan, work.data(), 1);
-  }
-
-  std::vector<double> samples;
-  samples.reserve(static_cast<std::size_t>(options.repetitions));
-  for (int rep = 0; rep < options.repetitions; ++rep) {
-    std::memcpy(work.data(), master.data(), n * sizeof(double));
-    const std::uint64_t begin = perf::read_cycles();
-    for (int i = 0; i < inner; ++i) backend.run(plan, work.data(), 1);
-    const std::uint64_t end = perf::read_cycles();
-    samples.push_back(static_cast<double>(end - begin) /
-                      static_cast<double>(inner));
-  }
-
-  std::sort(samples.begin(), samples.end());
-  perf::MeasureResult result;
-  result.inner_loop = inner;
-  result.min_cycles = samples.front();
-  result.median_cycles = samples[samples.size() / 2];
-  double total = 0.0;
-  for (double s : samples) total += s;
-  result.mean_cycles = total / static_cast<double>(samples.size());
-  return result;
+  // The protocol (warmup, probe-sized batches, master-copy restore) lives
+  // once, in perf::measure_run; this merely plugs the backend in as the
+  // engine so e.g. "parallel" and "simd" are timed on their own code paths.
+  return perf::measure_run(
+      [&backend, &plan](double* x) { backend.run(plan, x, 1); }, plan.size(),
+      options);
 }
 
 }  // namespace whtlab::api

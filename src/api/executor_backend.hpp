@@ -13,6 +13,9 @@
 //   "template"      sequential interpreter, compile-time template codelets
 //   "instrumented"  op-counting interpreter; tallies retrievable per run
 //   "parallel"      fork-join executor honouring BackendOptions::threads
+//   "simd"          vectorized tree walk + batch-interleaved run_many with
+//                   runtime CPUID dispatch (AVX-512F / AVX2 / scalar; see
+//                   simd/simd_executor.hpp); threads fan out batch chunks
 #pragma once
 
 #include <cstddef>
@@ -30,7 +33,7 @@ namespace whtlab::api {
 
 /// Knobs a factory may honour when instantiating a backend.
 struct BackendOptions {
-  int threads = 1;  ///< worker threads ("parallel"; ignored elsewhere)
+  int threads = 1;  ///< worker threads ("parallel", "simd"; ignored elsewhere)
   core::CodeletBackend codelets = core::CodeletBackend::kGenerated;
 };
 
@@ -47,9 +50,27 @@ class ExecutorBackend {
   /// Transforms the plan.size() elements x[0], x[stride], ... in place.
   virtual void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) = 0;
 
+  /// Batched transform: `count` vectors, vector v at x + v*dist.  The
+  /// default runs them one by one; backends with a faster batch shape
+  /// override it ("simd" interleaves vectors into SIMD lanes, "parallel"
+  /// fans vectors out across threads).  Callers guarantee |dist| >= size.
+  virtual void run_many(const core::Plan& plan, double* x, std::size_t count,
+                        std::ptrdiff_t dist) {
+    for (std::size_t v = 0; v < count; ++v) {
+      run(plan, x + static_cast<std::ptrdiff_t>(v) * dist, 1);
+    }
+  }
+
   /// Op tallies of the most recent run(); nullptr for backends that do not
   /// instrument (all built-ins except "instrumented").
   virtual const core::OpCounts* last_op_counts() const { return nullptr; }
+
+  /// Doubles retired per arithmetic instruction on this backend's hot path
+  /// (1 for scalar backends).  The Planner's model-driven strategies feed
+  /// this into CombinedModel::vector_width so candidates are priced for the
+  /// backend that will run them — custom vectorized backends get correct
+  /// pricing by overriding this, not by being named "simd".
+  virtual int vector_width() const { return 1; }
 };
 
 /// String-keyed factory table.  The global() registry is pre-populated with

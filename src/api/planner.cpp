@@ -7,6 +7,7 @@
 #include "model/combined_model.hpp"
 #include "search/dp_search.hpp"
 #include "search/exhaustive.hpp"
+#include "search/local_search.hpp"
 #include "search/pruned_search.hpp"
 #include "util/rng.hpp"
 
@@ -20,6 +21,15 @@ constexpr int kMaxExhaustive = 8;
 
 /// Largest transform the planner will build: 2^26 doubles = 512 MiB.
 constexpr int kMaxLog2Size = 26;
+
+/// Cost model pricing the backend the Transform will own: vectorized
+/// backends ("simd" and any custom backend overriding vector_width()) are
+/// priced at their vector width, everything else at scalar counts.
+model::CombinedModel model_for(const ExecutorBackend& backend) {
+  model::CombinedModel model;
+  model.vector_width = backend.vector_width();
+  return model;
+}
 
 }  // namespace
 
@@ -78,6 +88,14 @@ Planner& Planner::seed(std::uint64_t seed) {
   return *this;
 }
 
+Planner& Planner::anneal_options(const search::AnnealOptions& options) {
+  if (options.iterations < 1) {
+    throw std::invalid_argument("Planner: anneal iterations must be >= 1");
+  }
+  anneal_ = options;
+  return *this;
+}
+
 Planner& Planner::measure_options(const perf::MeasureOptions& options) {
   measure_ = options;
   return *this;
@@ -109,12 +127,14 @@ core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
       search::DpOptions options;
       options.max_leaf = max_leaf_;
       options.max_parts = max_parts_ < 0 ? 4 : max_parts_;
-      const model::CombinedModel model;
-      const auto result = search::dp_search(
+      const model::CombinedModel model = model_for(backend);
+      auto result = search::dp_search(
           n, [&model](const core::Plan& candidate) { return model(candidate); },
           options);
       info.evaluations = result.evaluations;
       info.cost = result.cost;
+      info.best_by_size = std::move(result.best_by_size);
+      info.cost_by_size = std::move(result.cost_by_size);
       return result.plan;
     }
     case Strategy::kMeasure: {
@@ -124,9 +144,11 @@ core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
       // (the WHT package's practice; deeper splits remain reachable through
       // recursion).
       options.max_parts = max_parts_ < 0 ? (n <= 12 ? 3 : 2) : max_parts_;
-      const auto result = search::dp_search(n, measured_cost, options);
+      auto result = search::dp_search(n, measured_cost, options);
       info.evaluations = result.evaluations;
       info.cost = result.cost;
+      info.best_by_size = std::move(result.best_by_size);
+      info.cost_by_size = std::move(result.cost_by_size);
       return result.plan;
     }
     case Strategy::kExhaustive: {
@@ -155,6 +177,18 @@ core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
       info.evaluations = result.measured;
       info.cost = result.best_cycles;
       return result.best_plan;
+    }
+    case Strategy::kAnneal: {
+      search::AnnealOptions options = anneal_;
+      options.max_leaf = max_leaf_;
+      const model::CombinedModel model = model_for(backend);
+      util::Rng rng(seed_);
+      const auto result = search::anneal_search(
+          n, [&model](const core::Plan& candidate) { return model(candidate); },
+          rng, options);
+      info.evaluations = result.evaluations;
+      info.cost = result.best_cost;
+      return result.best;
     }
     case Strategy::kFixed: {
       if (!fixed_.valid()) {

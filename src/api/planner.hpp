@@ -18,7 +18,16 @@
 //                truth, guarded to small n
 //   kSampled     search::model_pruned_search — random candidates ranked by
 //                the combined model, best fraction measured (Section 4)
+//   kAnneal      search::anneal_search over the combined model — local
+//                search by subtree mutation, measurement-free like kEstimate
+//                but not bound by DP's optimal-substructure assumption
 //   kFixed       the caller's plan verbatim (grammar string or core::Plan)
+//
+// The model-driven strategies (kEstimate, kAnneal) price the backend that
+// will execute the plan: with backend("simd") the instruction term uses the
+// SIMD cost model at the runtime-dispatched vector width
+// (model/simd_cost.hpp) instead of scalar counts.  The measuring strategies
+// get this for free — candidates are timed through the chosen backend.
 //
 // Execution is delegated to an ExecutorBackend resolved by name from the
 // BackendRegistry; threads(>1) defaults the backend to "parallel".
@@ -31,6 +40,7 @@
 #include "api/transform.hpp"
 #include "core/plan.hpp"
 #include "perf/measure.hpp"
+#include "search/local_search.hpp"
 
 namespace whtlab::api {
 
@@ -67,8 +77,12 @@ class Planner {
   /// (default 0.1; 1.0 measures everything = no pruning).
   Planner& keep_fraction(double fraction);
 
-  /// RNG seed for kSampled (default 1).
+  /// RNG seed for kSampled and kAnneal (default 1).
   Planner& seed(std::uint64_t seed);
+
+  /// Annealing schedule for kAnneal (iterations, temperature, cooling).
+  /// AnnealOptions::max_leaf is overridden by Planner::max_leaf().
+  Planner& anneal_options(const search::AnnealOptions& options);
 
   /// Measurement protocol for the measuring strategies.
   Planner& measure_options(const perf::MeasureOptions& options);
@@ -99,6 +113,7 @@ class Planner {
   int samples_ = 200;
   double keep_fraction_ = 0.1;
   std::uint64_t seed_ = 1;
+  search::AnnealOptions anneal_{};
   perf::MeasureOptions measure_{};
   core::Plan fixed_;
 };

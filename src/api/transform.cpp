@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 namespace whtlab::api {
 
@@ -15,6 +16,8 @@ const char* to_string(Strategy strategy) {
       return "exhaustive";
     case Strategy::kSampled:
       return "sampled";
+    case Strategy::kAnneal:
+      return "anneal";
     case Strategy::kFixed:
       return "fixed";
   }
@@ -27,7 +30,7 @@ Transform::Transform(core::Plan plan, std::unique_ptr<ExecutorBackend> backend,
       backend_(std::move(backend)),
       backend_name_(backend_->name()),
       scratch_(plan_.size()),
-      info_(info) {}
+      info_(std::move(info)) {}
 
 void Transform::ensure_valid() const {
   if (!valid()) throw std::logic_error("wht::Transform: not planned");
@@ -52,9 +55,7 @@ void Transform::execute_many(double* x, std::size_t count, std::ptrdiff_t dist) 
     throw std::invalid_argument(
         "Transform: |dist| must be >= size() so batch vectors do not overlap");
   }
-  for (std::size_t v = 0; v < count; ++v) {
-    backend_->run(plan_, x + static_cast<std::ptrdiff_t>(v) * dist, 1);
-  }
+  backend_->run_many(plan_, x, count, dist);
 }
 
 void Transform::execute_copy(const double* in, double* out) {

@@ -36,6 +36,7 @@ enum class Strategy {
   kMeasure,     ///< DP over measured runtime — the WHT package autotuner
   kExhaustive,  ///< measure every plan in the space (small sizes only)
   kSampled,     ///< random sample, model-pruned, best survivors measured
+  kAnneal,      ///< simulated annealing over the cost model (local search)
   kFixed,       ///< caller-supplied plan, no search
 };
 
@@ -47,6 +48,12 @@ struct PlanningInfo {
   Strategy strategy = Strategy::kFixed;
   std::uint64_t evaluations = 0;  ///< cost-function / measurement invocations
   double cost = 0.0;              ///< winning plan's cost (model units or cycles)
+
+  /// The DP strategies' winners-by-size table (index m = best plan of size
+  /// 2^m and its cost; entries below min size are empty / 0).  The old
+  /// examples/autotune output, re-exposed; empty for non-DP strategies.
+  std::vector<core::Plan> best_by_size;
+  std::vector<double> cost_by_size;
 };
 
 class Transform {
@@ -76,6 +83,9 @@ class Transform {
 
   /// Batched transform: `count` vectors, vector v starting at x + v*dist
   /// (dist in elements; defaults to size(), i.e. contiguous packing).
+  /// Delegates to the backend's batch path: "simd" interleaves vectors into
+  /// SIMD lanes, "parallel" fans vectors out across threads; others run
+  /// vectors one by one.
   void execute_many(double* x, std::size_t count);
   void execute_many(double* x, std::size_t count, std::ptrdiff_t dist);
 

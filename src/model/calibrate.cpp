@@ -54,4 +54,13 @@ CalibrationResult calibrate_weights(const std::vector<core::Plan>& plans,
   return calibrate_weights(ops, cycles);
 }
 
+CalibrationResult calibrate_weights(
+    const std::vector<core::Plan>& plans,
+    const std::function<double(const core::Plan&)>& measure) {
+  std::vector<double> cycles;
+  cycles.reserve(plans.size());
+  for (const auto& plan : plans) cycles.push_back(measure(plan));
+  return calibrate_weights(plans, cycles);
+}
+
 }  // namespace whtlab::model

@@ -15,6 +15,7 @@
 // population it was fit to.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/instrumented.hpp"
@@ -42,5 +43,13 @@ CalibrationResult calibrate_weights(const std::vector<core::Plan>& plans,
 /// Same fit from pre-computed op tallies.
 CalibrationResult calibrate_weights(const std::vector<core::OpCounts>& ops,
                                     const std::vector<double>& cycles);
+
+/// Calibration against an arbitrary execution engine: measures every plan
+/// through `measure` (e.g. a lambda over api::measure_with_backend, so the
+/// fit prices the "simd" or "parallel" code path rather than the scalar
+/// interpreter) and fits the grouped costs to the observed cycles.
+CalibrationResult calibrate_weights(
+    const std::vector<core::Plan>& plans,
+    const std::function<double(const core::Plan&)>& measure);
 
 }  // namespace whtlab::model

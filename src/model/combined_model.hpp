@@ -11,6 +11,7 @@
 #include "core/plan.hpp"
 #include "model/cache_model.hpp"
 #include "model/instruction_model.hpp"
+#include "model/simd_cost.hpp"
 
 namespace whtlab::model {
 
@@ -19,10 +20,17 @@ struct CombinedModel {
   double beta = 0.05;
   core::InstructionWeights weights{};
   CacheModelConfig cache = CacheModelConfig::opteron_l1();
+  /// > 1 prices the instruction term for the SIMD executor at that vector
+  /// width (model/simd_cost.hpp); the miss term is unchanged (the SIMD walk
+  /// touches the same cache lines in the same order).
+  int vector_width = 1;
 
   /// Model value for a plan, computed from its description alone.
   double operator()(const core::Plan& plan) const {
-    return alpha * instruction_count(plan, weights) +
+    const double instructions =
+        vector_width > 1 ? simd_instruction_count(plan, weights, vector_width)
+                         : instruction_count(plan, weights);
+    return alpha * instructions +
            beta * static_cast<double>(direct_mapped_misses(plan, cache));
   }
 

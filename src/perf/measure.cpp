@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 #include "core/executor.hpp"
 #include "perf/cycle_timer.hpp"
@@ -19,13 +20,12 @@ void fill_random(util::AlignedBuffer& buffer, std::uint64_t seed) {
 
 }  // namespace
 
-int auto_inner_loop(const core::Plan& plan, core::CodeletBackend backend) {
-  const std::uint64_t size = plan.size();
+int auto_inner_loop(const RunFn& run, std::uint64_t size) {
   util::AlignedBuffer x(size);
   fill_random(x, 1);
   // One probe execution to estimate the per-run cost.
   const std::uint64_t begin = read_cycles();
-  core::execute(plan, x.data(), backend);
+  run(x.data());
   const std::uint64_t end = read_cycles();
   const double run_ns = cycles_to_ns(end - begin);
   constexpr double target_ns = 50'000.0;
@@ -34,20 +34,30 @@ int auto_inner_loop(const core::Plan& plan, core::CodeletBackend backend) {
   return static_cast<int>(std::min(batches, 65536.0)) + 1;
 }
 
-MeasureResult measure_plan(const core::Plan& plan,
-                           const MeasureOptions& options) {
-  const std::uint64_t size = plan.size();
+int auto_inner_loop(const core::Plan& plan, core::CodeletBackend backend) {
+  return auto_inner_loop(
+      [&plan, backend](double* x) { core::execute(plan, x, backend); },
+      plan.size());
+}
+
+MeasureResult measure_run(const RunFn& run, std::uint64_t size,
+                          const MeasureOptions& options) {
+  if (options.repetitions < 1) {
+    throw std::invalid_argument("measure_run: repetitions must be >= 1");
+  }
+  if (options.warmup < 0) {
+    throw std::invalid_argument("measure_run: warmup must be >= 0");
+  }
   util::AlignedBuffer master(size);
   util::AlignedBuffer work(size);
   fill_random(master, options.seed);
 
-  const int inner = options.inner_loop > 0
-                        ? options.inner_loop
-                        : auto_inner_loop(plan, options.backend);
+  const int inner =
+      options.inner_loop > 0 ? options.inner_loop : auto_inner_loop(run, size);
 
   for (int i = 0; i < options.warmup; ++i) {
     std::memcpy(work.data(), master.data(), size * sizeof(double));
-    core::execute(plan, work.data(), options.backend);
+    run(work.data());
   }
 
   std::vector<double> samples;
@@ -55,9 +65,7 @@ MeasureResult measure_plan(const core::Plan& plan,
   for (int rep = 0; rep < options.repetitions; ++rep) {
     std::memcpy(work.data(), master.data(), size * sizeof(double));
     const std::uint64_t begin = read_cycles();
-    for (int i = 0; i < inner; ++i) {
-      core::execute(plan, work.data(), options.backend);
-    }
+    for (int i = 0; i < inner; ++i) run(work.data());
     const std::uint64_t end = read_cycles();
     samples.push_back(static_cast<double>(end - begin) /
                       static_cast<double>(inner));
@@ -72,6 +80,14 @@ MeasureResult measure_plan(const core::Plan& plan,
   for (double s : samples) total += s;
   result.mean_cycles = total / static_cast<double>(samples.size());
   return result;
+}
+
+MeasureResult measure_plan(const core::Plan& plan,
+                           const MeasureOptions& options) {
+  const core::CodeletBackend backend = options.backend;
+  return measure_run(
+      [&plan, backend](double* x) { core::execute(plan, x, backend); },
+      plan.size(), options);
 }
 
 }  // namespace whtlab::perf

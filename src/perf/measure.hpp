@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/codelet.hpp"
@@ -48,10 +49,30 @@ struct MeasureResult {
   double cycles() const { return median_cycles; }
 };
 
-/// Picks a batch size so one timed unit of `plan` takes >= ~50 us.
+/// One in-place execution over a buffer of doubles — whatever engine the
+/// caller wants timed (core::execute, an api::ExecutorBackend, a SIMD
+/// batch, ...).  The protocol owns the buffer; `run` must transform
+/// x[0 .. size) in place.
+using RunFn = std::function<void(double* x)>;
+
+/// Picks a batch size so one timed unit of `run` over `size` doubles takes
+/// >= ~50 us (one probe execution on a random buffer).
+int auto_inner_loop(const RunFn& run, std::uint64_t size);
+
+/// Same heuristic for a plan under core::execute with `backend` codelets.
 int auto_inner_loop(const core::Plan& plan, core::CodeletBackend backend);
 
-/// Measures `plan` per the protocol above.
+/// The measurement protocol itself, engine-agnostic: times `run` on a
+/// master-restored aligned buffer of `size` doubles per the steps above.
+/// MeasureOptions::backend is ignored (the engine is `run`).  Throws
+/// std::invalid_argument on repetitions < 1 or warmup < 0.  Every other
+/// measurement entry point (measure_plan, api::measure_with_backend) is a
+/// thin wrapper over this, so the protocol exists exactly once.
+MeasureResult measure_run(const RunFn& run, std::uint64_t size,
+                          const MeasureOptions& options = {});
+
+/// Measures `plan` per the protocol above via core::execute with
+/// options.backend's codelets.
 MeasureResult measure_plan(const core::Plan& plan,
                            const MeasureOptions& options = {});
 

@@ -1,0 +1,92 @@
+#include "simd/cpu_features.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/env.hpp"
+
+namespace whtlab::simd {
+
+namespace {
+
+/// Sentinel for "no force_level() cap in effect".
+constexpr int kNoForce = -1;
+
+std::atomic<int> g_forced{kNoForce};
+
+SimdLevel env_cap() {
+  static const SimdLevel cap = [] {
+    const auto value = util::env_string("WHTLAB_SIMD");
+    if (!value) return SimdLevel::kAvx512;  // no cap
+    return parse_level(*value);
+  }();
+  return cap;
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+int vector_width(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return 1;
+    case SimdLevel::kAvx2:
+      return 4;
+    case SimdLevel::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+SimdLevel parse_level(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  if (name == "auto") return detected_level();
+  throw std::invalid_argument(
+      "WHTLAB_SIMD: expected scalar|avx2|avx512|auto, got '" + name + "'");
+}
+
+SimdLevel detected_level() {
+  static const SimdLevel level = [] {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#if defined(WHTLAB_HAVE_AVX512)
+    if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+#endif
+#if defined(WHTLAB_HAVE_AVX2)
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+#endif
+    return SimdLevel::kScalar;
+  }();
+  return level;
+}
+
+SimdLevel active_level() {
+  SimdLevel level = detected_level();
+  if (env_cap() < level) level = env_cap();
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced != kNoForce && static_cast<SimdLevel>(forced) < level) {
+    level = static_cast<SimdLevel>(forced);
+  }
+  return level;
+}
+
+void force_level(SimdLevel level) {
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void reset_forced_level() { g_forced.store(kNoForce, std::memory_order_relaxed); }
+
+}  // namespace whtlab::simd

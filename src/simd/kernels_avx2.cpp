@@ -1,0 +1,20 @@
+// AVX2 kernel table (4 doubles per register).  This TU is compiled with
+// -mavx2 (see the WHTLAB_SIMD_AVX2_FLAGS logic in CMakeLists.txt) and is
+// only entered after cpu_features.hpp has confirmed the host supports it.
+#include "simd/kernels.hpp"
+#include "simd/kernels_impl.hpp"
+
+namespace whtlab::simd {
+
+const KernelSet& avx2_kernels() {
+  static constexpr KernelSet kernels = {
+      /*width=*/4,
+      /*leaf_unit=*/&detail::leaf_unit<4>,
+      /*leaf_lockstep=*/&detail::leaf_lockstep<4>,
+      /*interleave_in=*/&detail::interleave_in<4>,
+      /*interleave_out=*/&detail::interleave_out<4>,
+  };
+  return kernels;
+}
+
+}  // namespace whtlab::simd

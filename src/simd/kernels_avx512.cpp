@@ -1,0 +1,20 @@
+// AVX-512F kernel table (8 doubles per register).  This TU is compiled with
+// -mavx512f (see the WHTLAB_SIMD_AVX512_FLAGS logic in CMakeLists.txt) and
+// is only entered after cpu_features.hpp has confirmed the host supports it.
+#include "simd/kernels.hpp"
+#include "simd/kernels_impl.hpp"
+
+namespace whtlab::simd {
+
+const KernelSet& avx512_kernels() {
+  static constexpr KernelSet kernels = {
+      /*width=*/8,
+      /*leaf_unit=*/&detail::leaf_unit<8>,
+      /*leaf_lockstep=*/&detail::leaf_lockstep<8>,
+      /*interleave_in=*/&detail::interleave_in<8>,
+      /*interleave_out=*/&detail::interleave_out<8>,
+  };
+  return kernels;
+}
+
+}  // namespace whtlab::simd

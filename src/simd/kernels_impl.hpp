@@ -1,0 +1,248 @@
+// Width-generic SIMD codelet bodies — include ONLY from a translation unit
+// compiled with the matching -m flags (kernels_avx2.cpp, kernels_avx512.cpp).
+//
+// Written against GCC/Clang vector extensions rather than <immintrin.h> so
+// one body serves every width: vector add/sub/multiply lower to the ISA the
+// TU is compiled for, and __builtin_shufflevector lowers to the in-register
+// permutes (vshufpd / vperm2f128 / vshuff64x2) the stride-1 butterflies
+// need.  Which templates are instantiated where is kept disjoint per TU
+// (W = 4 only in the AVX2 unit, W = 8 only in the AVX-512 unit) so no
+// function body ever ends up compiled with the wrong target flags.
+//
+// Numerical contract: bit-identical to the scalar codelets.  Every butterfly
+// is the same (a+b, a−b) pair in the same stage order as template_codelet /
+// the generated straight-line code; the in-register stages compute a−b as
+// a + (−1)·b, which is exact for IEEE doubles.  The parity tests assert
+// equality with EXPECT_EQ, not a tolerance.
+#pragma once
+
+#include <cstddef>
+
+#include "core/plan.hpp"
+
+namespace whtlab::simd::detail {
+
+typedef double v4df __attribute__((vector_size(32)));
+typedef double v8df __attribute__((vector_size(64)));
+
+template <int W>
+struct VecOf;
+template <>
+struct VecOf<4> {
+  using type = v4df;
+};
+template <>
+struct VecOf<8> {
+  using type = v8df;
+};
+template <int W>
+using vec_t = typename VecOf<W>::type;
+
+// memcpy-based loads/stores compile to single unaligned vector moves, which
+// run at aligned speed on aligned addresses — and the executor's recursion
+// keeps lockstep addresses W-aligned relative to the caller's base pointer.
+template <int W>
+inline vec_t<W> vload(const double* p) {
+  vec_t<W> v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+template <int W>
+inline void vstore(double* p, vec_t<W> v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+/// One butterfly stage at lane distance D, entirely inside one register:
+/// out[l] = v[l & ~D] + sign_l * v[l | D] with sign_l = (l & D) ? -1 : +1,
+/// i.e. lane pairs (l, l+D) become (a+b, a-b).
+template <int W, int D>
+inline vec_t<W> lane_butterfly(vec_t<W> v) {
+  if constexpr (W == 4 && D == 1) {
+    const v4df lo = __builtin_shufflevector(v, v, 0, 0, 2, 2);
+    const v4df hi = __builtin_shufflevector(v, v, 1, 1, 3, 3);
+    const v4df sign = {1.0, -1.0, 1.0, -1.0};
+    return lo + sign * hi;
+  } else if constexpr (W == 4 && D == 2) {
+    const v4df lo = __builtin_shufflevector(v, v, 0, 1, 0, 1);
+    const v4df hi = __builtin_shufflevector(v, v, 2, 3, 2, 3);
+    const v4df sign = {1.0, 1.0, -1.0, -1.0};
+    return lo + sign * hi;
+  } else if constexpr (W == 8 && D == 1) {
+    const v8df lo = __builtin_shufflevector(v, v, 0, 0, 2, 2, 4, 4, 6, 6);
+    const v8df hi = __builtin_shufflevector(v, v, 1, 1, 3, 3, 5, 5, 7, 7);
+    const v8df sign = {1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0};
+    return lo + sign * hi;
+  } else if constexpr (W == 8 && D == 2) {
+    const v8df lo = __builtin_shufflevector(v, v, 0, 1, 0, 1, 4, 5, 4, 5);
+    const v8df hi = __builtin_shufflevector(v, v, 2, 3, 2, 3, 6, 7, 6, 7);
+    const v8df sign = {1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0};
+    return lo + sign * hi;
+  } else if constexpr (W == 8 && D == 4) {
+    const v8df lo = __builtin_shufflevector(v, v, 0, 1, 2, 3, 0, 1, 2, 3);
+    const v8df hi = __builtin_shufflevector(v, v, 4, 5, 6, 7, 4, 5, 6, 7);
+    const v8df sign = {1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0};
+    return lo + sign * hi;
+  } else {
+    // Fail the build, not the lanes, when a new width forgets its shuffles.
+    static_assert(W != W, "lane_butterfly: unsupported (W, D) combination");
+  }
+}
+
+template <int W>
+inline constexpr int kLog2Width = W == 4 ? 2 : 3;
+
+/// WHT(2^k) on 2^k contiguous doubles, 2^k >= W.  Stages 0..log2(W)-1 run
+/// inside registers via lane_butterfly; stages log2(W).. are full-width
+/// add/sub between registers — the same stage order as the scalar codelets.
+template <int W>
+void leaf_unit(int k, double* x) {
+  using vec = vec_t<W>;
+  const int m = 1 << k;
+  const int nv = m / W;
+  vec t[(1 << core::kMaxUnrolled) / W];
+  for (int i = 0; i < nv; ++i) t[i] = vload<W>(x + i * W);
+  for (int i = 0; i < nv; ++i) {
+    vec v = t[i];
+    v = lane_butterfly<W, 1>(v);
+    v = lane_butterfly<W, 2>(v);
+    if constexpr (W == 8) v = lane_butterfly<W, 4>(v);
+    t[i] = v;
+  }
+  for (int stage = kLog2Width<W>; stage < k; ++stage) {
+    const int hw = 1 << (stage - kLog2Width<W>);  // butterfly span in vectors
+    for (int base = 0; base < nv; base += 2 * hw) {
+      for (int off = 0; off < hw; ++off) {
+        const vec a = t[base + off];
+        const vec b = t[base + off + hw];
+        t[base + off] = a + b;
+        t[base + off + hw] = a - b;
+      }
+    }
+  }
+  for (int i = 0; i < nv; ++i) vstore<W>(x + i * W, t[i]);
+}
+
+/// In-register W x W transpose: r[i][j] <-> r[j][i].  log2(W) levels of
+/// pairwise two-vector shuffles (its own inverse, so one routine serves
+/// both interleave directions).
+template <int W>
+inline void transpose_registers(vec_t<W>* r) {
+  if constexpr (W == 4) {
+    const v4df s0 = __builtin_shufflevector(r[0], r[2], 0, 1, 4, 5);
+    const v4df s1 = __builtin_shufflevector(r[1], r[3], 0, 1, 4, 5);
+    const v4df s2 = __builtin_shufflevector(r[0], r[2], 2, 3, 6, 7);
+    const v4df s3 = __builtin_shufflevector(r[1], r[3], 2, 3, 6, 7);
+    r[0] = __builtin_shufflevector(s0, s1, 0, 4, 2, 6);
+    r[1] = __builtin_shufflevector(s0, s1, 1, 5, 3, 7);
+    r[2] = __builtin_shufflevector(s2, s3, 0, 4, 2, 6);
+    r[3] = __builtin_shufflevector(s2, s3, 1, 5, 3, 7);
+  } else if constexpr (W == 8) {
+    v8df s[8];
+    for (int i = 0; i < 4; ++i) {
+      s[i] = __builtin_shufflevector(r[i], r[i + 4], 0, 1, 2, 3, 8, 9, 10, 11);
+      s[i + 4] =
+          __builtin_shufflevector(r[i], r[i + 4], 4, 5, 6, 7, 12, 13, 14, 15);
+    }
+    for (int g = 0; g < 8; g += 4) {
+      const v8df t0 =
+          __builtin_shufflevector(s[g], s[g + 2], 0, 1, 8, 9, 4, 5, 12, 13);
+      const v8df t1 =
+          __builtin_shufflevector(s[g + 1], s[g + 3], 0, 1, 8, 9, 4, 5, 12, 13);
+      const v8df t2 =
+          __builtin_shufflevector(s[g], s[g + 2], 2, 3, 10, 11, 6, 7, 14, 15);
+      const v8df t3 = __builtin_shufflevector(s[g + 1], s[g + 3], 2, 3, 10, 11,
+                                              6, 7, 14, 15);
+      r[g] = __builtin_shufflevector(t0, t1, 0, 8, 2, 10, 4, 12, 6, 14);
+      r[g + 1] = __builtin_shufflevector(t0, t1, 1, 9, 3, 11, 5, 13, 7, 15);
+      r[g + 2] = __builtin_shufflevector(t2, t3, 0, 8, 2, 10, 4, 12, 6, 14);
+      r[g + 3] = __builtin_shufflevector(t2, t3, 1, 9, 3, 11, 5, 13, 7, 15);
+    }
+  } else {
+    static_assert(W != W, "transpose_registers: unsupported width");
+  }
+}
+
+/// Gathers W batch vectors (lane l at base + l*dist) into the interleaved
+/// scratch layout (element j of lane l at scratch[j*W + l]) one W x W
+/// register block at a time.  n < W (tiny transforms) falls back to scalar
+/// copies.
+template <int W>
+void interleave_in(double* scratch, const double* base, std::ptrdiff_t dist,
+                   std::uint64_t n) {
+  if (n < W) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      for (int l = 0; l < W; ++l) {
+        scratch[j * W + static_cast<std::uint64_t>(l)] =
+            base[static_cast<std::ptrdiff_t>(l) * dist +
+                 static_cast<std::ptrdiff_t>(j)];
+      }
+    }
+    return;
+  }
+  vec_t<W> r[W];
+  for (std::uint64_t j = 0; j < n; j += W) {
+    for (int l = 0; l < W; ++l) {
+      r[l] = vload<W>(base + static_cast<std::ptrdiff_t>(l) * dist +
+                      static_cast<std::ptrdiff_t>(j));
+    }
+    transpose_registers<W>(r);
+    for (int c = 0; c < W; ++c) {
+      vstore<W>(scratch + (j + static_cast<std::uint64_t>(c)) * W, r[c]);
+    }
+  }
+}
+
+/// Scatters the interleaved scratch back into the W batch vectors — the
+/// exact inverse of interleave_in.
+template <int W>
+void interleave_out(double* base, const double* scratch, std::ptrdiff_t dist,
+                    std::uint64_t n) {
+  if (n < W) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      for (int l = 0; l < W; ++l) {
+        base[static_cast<std::ptrdiff_t>(l) * dist +
+             static_cast<std::ptrdiff_t>(j)] =
+            scratch[j * W + static_cast<std::uint64_t>(l)];
+      }
+    }
+    return;
+  }
+  vec_t<W> r[W];
+  for (std::uint64_t j = 0; j < n; j += W) {
+    for (int c = 0; c < W; ++c) {
+      r[c] = vload<W>(scratch + (j + static_cast<std::uint64_t>(c)) * W);
+    }
+    transpose_registers<W>(r);
+    for (int l = 0; l < W; ++l) {
+      vstore<W>(base + static_cast<std::ptrdiff_t>(l) * dist +
+                    static_cast<std::ptrdiff_t>(j),
+                r[l]);
+    }
+  }
+}
+
+/// W transforms in lockstep: lane l's element j at x[l + j*stride],
+/// stride >= W.  Structurally template_codelet with every scalar widened to
+/// a vector — no shuffles anywhere.
+template <int W>
+void leaf_lockstep(int k, double* x, std::ptrdiff_t stride) {
+  using vec = vec_t<W>;
+  const int m = 1 << k;
+  vec t[1 << core::kMaxUnrolled];
+  for (int j = 0; j < m; ++j) t[j] = vload<W>(x + j * stride);
+  for (int stage = 0; stage < k; ++stage) {
+    const int half = 1 << stage;
+    for (int base = 0; base < m; base += 2 * half) {
+      for (int off = 0; off < half; ++off) {
+        const vec a = t[base + off];
+        const vec b = t[base + off + half];
+        t[base + off] = a + b;
+        t[base + off + half] = a - b;
+      }
+    }
+  }
+  for (int j = 0; j < m; ++j) vstore<W>(x + j * stride, t[j]);
+}
+
+}  // namespace whtlab::simd::detail

@@ -24,6 +24,7 @@
 #include "model/calibrate.hpp"           // IWYU pragma: export
 #include "model/combined_model.hpp"      // IWYU pragma: export
 #include "model/instruction_model.hpp"   // IWYU pragma: export
+#include "model/simd_cost.hpp"           // IWYU pragma: export
 #include "model/space_stats.hpp"         // IWYU pragma: export
 #include "perf/cycle_timer.hpp"          // IWYU pragma: export
 #include "perf/events.hpp"               // IWYU pragma: export
@@ -35,6 +36,8 @@
 #include "search/pruned_search.hpp"      // IWYU pragma: export
 #include "search/sampler.hpp"            // IWYU pragma: export
 #include "search/space.hpp"              // IWYU pragma: export
+#include "simd/cpu_features.hpp"         // IWYU pragma: export
+#include "simd/simd_executor.hpp"        // IWYU pragma: export
 #include "stats/correlation.hpp"         // IWYU pragma: export
 #include "stats/descriptive.hpp"         // IWYU pragma: export
 #include "stats/grid_opt.hpp"            // IWYU pragma: export

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "core/executor.hpp"
 #include "core/instrumented.hpp"
@@ -18,7 +19,8 @@ namespace {
 
 TEST(BackendRegistry, BuiltinsAreRegistered) {
   auto& registry = BackendRegistry::global();
-  for (const char* name : {"generated", "template", "instrumented", "parallel"}) {
+  for (const char* name :
+       {"generated", "template", "instrumented", "parallel", "simd"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     const auto backend = registry.create(name);
     ASSERT_NE(backend, nullptr) << name;
@@ -28,7 +30,7 @@ TEST(BackendRegistry, BuiltinsAreRegistered) {
 
 TEST(BackendRegistry, NamesAreSortedAndContainBuiltins) {
   const auto names = BackendRegistry::global().names();
-  ASSERT_GE(names.size(), 4u);
+  ASSERT_GE(names.size(), 5u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
@@ -140,7 +142,34 @@ TEST_P(BuiltinBackendTest, StridedRunMatchesGather) {
 
 INSTANTIATE_TEST_SUITE_P(AllBuiltins, BuiltinBackendTest,
                          ::testing::Values("generated", "template",
-                                           "instrumented", "parallel"));
+                                           "instrumented", "parallel", "simd"));
+
+TEST(BackendRunMany, DefaultLoopAndOverridesAgree) {
+  // Every built-in's batch path must equal per-vector runs of "generated" —
+  // including the overriding backends ("simd" interleaved, "parallel"
+  // across-vector fork-join).
+  const core::Plan plan = core::Plan::balanced_binary(10, 4);
+  const std::size_t count = 6;
+  const std::ptrdiff_t dist = static_cast<std::ptrdiff_t>(plan.size()) + 3;
+  std::vector<double> master(count * static_cast<std::size_t>(dist));
+  util::Rng rng(31);
+  for (auto& v : master) v = rng.uniform(-1, 1);
+
+  std::vector<double> reference = master;
+  for (std::size_t v = 0; v < count; ++v) {
+    core::execute(plan, reference.data() + v * static_cast<std::size_t>(dist));
+  }
+
+  BackendOptions options;
+  options.threads = 3;
+  for (const char* name :
+       {"generated", "template", "instrumented", "parallel", "simd"}) {
+    auto backend = BackendRegistry::global().create(name, options);
+    std::vector<double> batch = master;
+    backend->run_many(plan, batch.data(), count, dist);
+    EXPECT_EQ(batch, reference) << name;
+  }
+}
 
 TEST(ParallelBackend, StridedForkJoinMatchesDense) {
   // Large enough (>= 2^12) and threaded, so the fork-join branches of

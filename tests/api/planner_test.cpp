@@ -10,6 +10,8 @@
 #include "model/combined_model.hpp"
 #include "search/dp_search.hpp"
 #include "search/exhaustive.hpp"
+#include "search/local_search.hpp"
+#include "simd/cpu_features.hpp"
 
 namespace whtlab::api {
 namespace {
@@ -42,6 +44,58 @@ TEST(Planner, EstimateIsDeterministic) {
   auto a = Planner().plan(10);
   auto b = Planner().plan(10);
   EXPECT_EQ(a.plan(), b.plan());
+}
+
+TEST(Planner, DpStrategiesExposeWinnersBySize) {
+  // The DP winners-by-size table (the old examples/autotune output) rides
+  // on PlanningInfo: entry m is the best plan of size 2^m under the same
+  // cost, and the top entry is the chosen plan.
+  const int n = 9;
+  auto t = Planner().strategy(Strategy::kEstimate).plan(n);
+  const auto& info = t.planning();
+  ASSERT_EQ(info.best_by_size.size(), static_cast<std::size_t>(n) + 1);
+  ASSERT_EQ(info.cost_by_size.size(), static_cast<std::size_t>(n) + 1);
+  EXPECT_EQ(info.best_by_size[static_cast<std::size_t>(n)], t.plan());
+  EXPECT_DOUBLE_EQ(info.cost_by_size[static_cast<std::size_t>(n)], info.cost);
+  const model::CombinedModel model;
+  for (int m = 1; m <= n; ++m) {
+    const auto& best = info.best_by_size[static_cast<std::size_t>(m)];
+    ASSERT_TRUE(best.valid()) << m;
+    EXPECT_EQ(best.log2_size(), m);
+    EXPECT_DOUBLE_EQ(model(best), info.cost_by_size[static_cast<std::size_t>(m)]);
+  }
+  // Non-DP strategies leave the table empty.
+  EXPECT_TRUE(Planner().fixed(core::Plan::small(4)).plan().planning()
+                  .best_by_size.empty());
+}
+
+TEST(Planner, AnnealStrategyIsReachableAndSeedDeterministic) {
+  search::AnnealOptions schedule;
+  schedule.iterations = 120;
+  auto a = Planner().strategy(Strategy::kAnneal).anneal_options(schedule)
+               .seed(5).plan(10);
+  auto b = Planner().strategy(Strategy::kAnneal).anneal_options(schedule)
+               .seed(5).plan(10);
+  EXPECT_EQ(a.planning().strategy, Strategy::kAnneal);
+  EXPECT_GT(a.planning().evaluations, 0u);
+  EXPECT_GT(a.planning().cost, 0.0);
+  EXPECT_EQ(a.plan(), b.plan());  // same seed, same schedule -> same walk
+  EXPECT_EQ(a.log2_size(), 10);
+  EXPECT_LT(core::verify_plan(a.plan()), 1e-10);
+}
+
+TEST(Planner, AnnealRespectsMaxLeaf) {
+  search::AnnealOptions schedule;
+  schedule.iterations = 80;
+  auto t = Planner().strategy(Strategy::kAnneal).anneal_options(schedule)
+               .max_leaf(3).plan(9);
+  EXPECT_LE(t.plan().max_leaf_log2(), 3);
+}
+
+TEST(Planner, AnnealOptionValidation) {
+  search::AnnealOptions bad;
+  bad.iterations = 0;
+  EXPECT_THROW(Planner().anneal_options(bad), std::invalid_argument);
 }
 
 TEST(Planner, MeasureStrategyProducesValidPlan) {
@@ -162,7 +216,24 @@ TEST(Strategy, ToStringCoversAllValues) {
   EXPECT_STREQ(to_string(Strategy::kMeasure), "measure");
   EXPECT_STREQ(to_string(Strategy::kExhaustive), "exhaustive");
   EXPECT_STREQ(to_string(Strategy::kSampled), "sampled");
+  EXPECT_STREQ(to_string(Strategy::kAnneal), "anneal");
   EXPECT_STREQ(to_string(Strategy::kFixed), "fixed");
+}
+
+TEST(Planner, SimdBackendIsPricedAtVectorWidth) {
+  // kEstimate planning for the "simd" backend must run on the SIMD cost
+  // model at the runtime-dispatched width; on a host that dispatches to
+  // scalar the two models coincide, so only agreement is asserted there.
+  const int n = 10;
+  auto t = Planner().strategy(Strategy::kEstimate).backend("simd").plan(n);
+  model::CombinedModel model;
+  model.vector_width = simd::vector_width(simd::active_level());
+  search::DpOptions options;
+  options.max_parts = 4;
+  const auto direct = search::dp_search(
+      n, [&model](const core::Plan& p) { return model(p); }, options);
+  EXPECT_EQ(t.plan(), direct.plan);
+  EXPECT_DOUBLE_EQ(t.planning().cost, direct.cost);
 }
 
 }  // namespace

@@ -93,5 +93,28 @@ TEST(Calibrate, Validation) {
   EXPECT_THROW(calibrate_weights(ops, cycles), std::invalid_argument);
 }
 
+TEST(Calibrate, MeasureCallbackOverloadMatchesPairedFit) {
+  // The engine-callback overload (the hook backends use to calibrate their
+  // own code path) must produce the same fit as measuring up front.
+  util::Rng rng(4);
+  search::RecursiveSplitSampler sampler(core::kMaxUnrolled);
+  std::vector<core::Plan> plans;
+  for (int i = 0; i < 12; ++i) plans.push_back(sampler.sample(8, rng));
+  // A deterministic stand-in "measurement" keeps the equality exact.
+  const auto fake_measure = [](const core::Plan& plan) {
+    const auto c = core::count_ops(plan);
+    return 2.0 * static_cast<double>(c.loads + c.stores) +
+           1.0 * static_cast<double>(c.flops);
+  };
+  std::vector<double> cycles;
+  for (const auto& plan : plans) cycles.push_back(fake_measure(plan));
+  const auto via_callback = calibrate_weights(plans, fake_measure);
+  const auto via_pairs = calibrate_weights(plans, cycles);
+  EXPECT_DOUBLE_EQ(via_callback.cost_memory, via_pairs.cost_memory);
+  EXPECT_DOUBLE_EQ(via_callback.cost_flop, via_pairs.cost_flop);
+  EXPECT_DOUBLE_EQ(via_callback.cost_loop, via_pairs.cost_loop);
+  EXPECT_DOUBLE_EQ(via_callback.cost_call, via_pairs.cost_call);
+}
+
 }  // namespace
 }  // namespace whtlab::model

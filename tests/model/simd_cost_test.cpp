@@ -1,0 +1,83 @@
+// SIMD instruction-cost model: reduction to the scalar model at width 1,
+// agreement with the executor's dispatch rules on hand-checkable plans, and
+// the plan-space ordering consequences planning relies on.
+#include "model/simd_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/combined_model.hpp"
+#include "model/instruction_model.hpp"
+
+namespace whtlab::model {
+namespace {
+
+TEST(SimdCost, WidthOneIsTheScalarModel) {
+  const core::InstructionWeights weights;
+  for (const auto& plan :
+       {core::Plan::iterative(10), core::Plan::right_recursive(10),
+        core::Plan::balanced_binary(10, 4)}) {
+    EXPECT_DOUBLE_EQ(simd_instruction_count(plan, weights, 1),
+                     instruction_count(plan, weights));
+  }
+}
+
+TEST(SimdCost, LoneLeafPricesTheInRegisterCodelet) {
+  // A stride-1 leaf of >= W elements runs the in-register codelet: its
+  // whole leaf cost is divided by W.  small[2] has only 4 elements, so at
+  // width 8 it stays scalar.
+  const core::InstructionWeights weights;
+  EXPECT_DOUBLE_EQ(simd_instruction_count(core::Plan::small(4), weights, 4),
+                   leaf_cost(4, weights) / 4.0);
+  EXPECT_DOUBLE_EQ(simd_instruction_count(core::Plan::small(2), weights, 8),
+                   leaf_cost(2, weights));
+}
+
+TEST(SimdCost, LockstepSubtreeIsFullyDiscounted) {
+  // split[small[4],small[4]]: the executor runs the last child (S = 1) at
+  // unit stride (in-register, /W) and the first child at S = 16 >= W in
+  // lockstep (/W, overhead included? overhead of the split itself stays
+  // scalar).  Verify against the closed form.
+  const core::InstructionWeights weights;
+  const core::Plan plan = core::Plan::split(
+      {core::Plan::small(4), core::Plan::small(4)});
+  const int width = 4;
+  const double mult = child_multiplicity(8, 4);  // 16 calls each
+  const double expected = split_overhead(8, {4, 4}, weights) +
+                          mult * (leaf_cost(4, weights) / width) +  // lockstep
+                          mult * (leaf_cost(4, weights) / width);   // unit
+  EXPECT_DOUBLE_EQ(simd_instruction_count(plan, weights, width), expected);
+}
+
+TEST(SimdCost, WiderVectorsNeverCostMore) {
+  const core::InstructionWeights weights;
+  for (const auto& plan :
+       {core::Plan::iterative(12), core::Plan::right_recursive(12),
+        core::Plan::balanced_binary(12, 6), core::Plan::iterative_radix(12, 4)}) {
+    const double scalar = simd_instruction_count(plan, weights, 1);
+    const double avx2 = simd_instruction_count(plan, weights, 4);
+    const double avx512 = simd_instruction_count(plan, weights, 8);
+    EXPECT_LE(avx2, scalar) << plan.to_string();
+    EXPECT_LE(avx512, avx2) << plan.to_string();
+    // And SIMD actually helps on every one of these shapes.
+    EXPECT_LT(avx2, scalar) << plan.to_string();
+  }
+}
+
+TEST(SimdCost, CombinedModelRoutesThroughVectorWidth) {
+  const core::Plan plan = core::Plan::balanced_binary(11, 5);
+  CombinedModel scalar_model;
+  CombinedModel simd_model;
+  simd_model.vector_width = 4;
+  const double miss_term =
+      scalar_model.beta *
+      static_cast<double>(direct_mapped_misses(plan, scalar_model.cache));
+  EXPECT_DOUBLE_EQ(scalar_model(plan),
+                   instruction_count(plan, scalar_model.weights) + miss_term);
+  EXPECT_DOUBLE_EQ(
+      simd_model(plan),
+      simd_instruction_count(plan, simd_model.weights, 4) + miss_term);
+  EXPECT_LT(simd_model(plan), scalar_model(plan));
+}
+
+}  // namespace
+}  // namespace whtlab::model

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "core/executor.hpp"
 #include "core/plan.hpp"
 #include "perf/cycle_timer.hpp"
 #include "perf/events.hpp"
@@ -54,6 +57,63 @@ TEST(Measure, ExplicitInnerLoopIsHonored) {
 TEST(Measure, AutoInnerLoopBatchesTinyTransforms) {
   EXPECT_GT(auto_inner_loop(core::Plan::small(2), core::CodeletBackend::kGenerated),
             8);
+}
+
+TEST(MeasureRun, TimesAnArbitraryEngine) {
+  // The engine-agnostic protocol core: invocation count must be exactly
+  // probe + warmup + repetitions * inner_loop, and the summary ordered.
+  MeasureOptions options;
+  options.warmup = 2;
+  options.repetitions = 3;
+  options.inner_loop = 0;  // auto: one probe run sizes the batch
+  int invocations = 0;
+  const auto result = measure_run(
+      [&invocations](double* x) {
+        ++invocations;
+        x[0] += 1.0;  // touch the buffer so the engine is not optimized out
+      },
+      16, options);
+  EXPECT_EQ(invocations, 1 + options.warmup + options.repetitions * result.inner_loop);
+  EXPECT_GT(result.min_cycles, 0.0);
+  EXPECT_LE(result.min_cycles, result.median_cycles);
+  EXPECT_LE(result.min_cycles, result.mean_cycles);
+}
+
+TEST(MeasureRun, ExplicitInnerLoopSkipsProbe) {
+  MeasureOptions options;
+  options.warmup = 0;
+  options.repetitions = 2;
+  options.inner_loop = 5;
+  int invocations = 0;
+  const auto result =
+      measure_run([&invocations](double*) { ++invocations; }, 8, options);
+  EXPECT_EQ(result.inner_loop, 5);
+  EXPECT_EQ(invocations, 10);
+}
+
+TEST(MeasureRun, RejectsBadProtocolOptions) {
+  MeasureOptions options;
+  options.repetitions = 0;
+  EXPECT_THROW(measure_run([](double*) {}, 8, options), std::invalid_argument);
+  options.repetitions = 1;
+  options.warmup = -1;
+  EXPECT_THROW(measure_run([](double*) {}, 8, options), std::invalid_argument);
+}
+
+TEST(MeasureRun, MeasurePlanIsAThinWrapper) {
+  // measure_plan must agree with measure_run driving core::execute — same
+  // protocol, same options, statistically indistinguishable cycles (assert
+  // only that both produce sane summaries for the same work).
+  const core::Plan plan = core::Plan::iterative(8);
+  MeasureOptions options;
+  options.repetitions = 3;
+  options.inner_loop = 4;
+  const auto direct = measure_plan(plan, options);
+  const auto via_run = measure_run(
+      [&plan](double* x) { core::execute(plan, x); }, plan.size(), options);
+  EXPECT_EQ(direct.inner_loop, via_run.inner_loop);
+  EXPECT_GT(direct.min_cycles, 0.0);
+  EXPECT_GT(via_run.min_cycles, 0.0);
 }
 
 TEST(Measure, DeterministicCountsAreStableAcrossCalls) {

@@ -1,0 +1,85 @@
+// Runtime CPU dispatch: level ordering, width mapping, forced scalar
+// fallback, and the env-value parser.  These tests must pass on any host —
+// including one with no AVX at all — because force_level() can only lower
+// the active level, never raise it past what CPUID reports.
+#include "simd/cpu_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/executor.hpp"
+#include "core/plan.hpp"
+#include "simd/simd_executor.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::simd {
+namespace {
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { reset_forced_level(); }
+};
+
+TEST_F(DispatchTest, DetectedLevelIsStable) {
+  EXPECT_EQ(detected_level(), detected_level());
+  EXPECT_GE(detected_level(), SimdLevel::kScalar);
+}
+
+TEST_F(DispatchTest, ActiveDefaultsToDetected) {
+  // No WHTLAB_SIMD is set in the test environment and nothing is forced.
+  EXPECT_EQ(active_level(), detected_level());
+}
+
+TEST_F(DispatchTest, VectorWidthMapping) {
+  EXPECT_EQ(vector_width(SimdLevel::kScalar), 1);
+  EXPECT_EQ(vector_width(SimdLevel::kAvx2), 4);
+  EXPECT_EQ(vector_width(SimdLevel::kAvx512), 8);
+}
+
+TEST_F(DispatchTest, ToStringCoversAllLevels) {
+  EXPECT_STREQ(to_string(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(to_string(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(to_string(SimdLevel::kAvx512), "avx512");
+}
+
+TEST_F(DispatchTest, ForceLowersButNeverRaises) {
+  force_level(SimdLevel::kScalar);
+  EXPECT_EQ(active_level(), SimdLevel::kScalar);
+  // Forcing above the detected level cannot grant an ISA the host lacks.
+  force_level(SimdLevel::kAvx512);
+  EXPECT_LE(active_level(), detected_level());
+  reset_forced_level();
+  EXPECT_EQ(active_level(), detected_level());
+}
+
+TEST_F(DispatchTest, ParseLevelAcceptsKnownNamesOnly) {
+  EXPECT_EQ(parse_level("scalar"), SimdLevel::kScalar);
+  EXPECT_EQ(parse_level("avx2"), SimdLevel::kAvx2);
+  EXPECT_EQ(parse_level("avx512"), SimdLevel::kAvx512);
+  EXPECT_EQ(parse_level("auto"), detected_level());
+  EXPECT_THROW(parse_level("sse9"), std::invalid_argument);
+  EXPECT_THROW(parse_level(""), std::invalid_argument);
+}
+
+TEST_F(DispatchTest, ForcedScalarFallbackMatchesCoreExecute) {
+  // The portable path every binary can take regardless of CPUID: with the
+  // level forced to scalar, simd::execute must be the plain interpreter.
+  force_level(SimdLevel::kScalar);
+  const core::Plan plan = core::Plan::balanced_binary(12, 5);
+  util::AlignedBuffer x(plan.size());
+  util::AlignedBuffer reference(plan.size());
+  util::Rng rng(41);
+  for (std::uint64_t i = 0; i < plan.size(); ++i) {
+    x[i] = reference[i] = rng.uniform(-1, 1);
+  }
+  simd::execute(plan, x.data());
+  core::execute(plan, reference.data());
+  for (std::uint64_t i = 0; i < plan.size(); ++i) {
+    ASSERT_EQ(x[i], reference[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace whtlab::simd

@@ -15,48 +15,42 @@
 //
 // Run:  ./bench_simd_compare [--out FILE] [--nmin N] [--nmax N]
 //                            [--batch N] [--reps N] [--level scalar|avx2|avx512]
+//       (util::Cli parsing: --name value and --name=value both work;
+//        --benchmark_repetitions is an alias for --reps, the same
+//        repetitions-then-median convention as the google-benchmark micros;
+//        every reported cycle count is the median over reps.)
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "api/wht.hpp"
 #include "perf/measure.hpp"
 #include "simd/cpu_features.hpp"
+#include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace whtlab;
 
-  std::string out = "BENCH_simd.json";
-  int nmin = 10;
-  int nmax = 20;
-  std::size_t batch = 32;
-  int reps = 7;
-  for (int i = 1; i < argc; ++i) {
-    const auto flag = [&](const char* name) {
-      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
-    };
-    if (flag("--out")) {
-      out = argv[++i];
-    } else if (flag("--nmin")) {
-      nmin = std::atoi(argv[++i]);
-    } else if (flag("--nmax")) {
-      nmax = std::atoi(argv[++i]);
-    } else if (flag("--batch")) {
-      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (flag("--reps")) {
-      reps = std::atoi(argv[++i]);
-    } else if (flag("--level")) {
-      simd::force_level(simd::parse_level(argv[++i]));
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--out FILE] [--nmin N] [--nmax N] [--batch N] "
-                   "[--reps N] [--level scalar|avx2|avx512]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  util::Cli cli;
+  cli.add_flag("out", "output JSON path", "BENCH_simd.json");
+  cli.add_flag("nmin", "smallest size log2", "10");
+  cli.add_flag("nmax", "largest size log2", "20");
+  cli.add_flag("batch", "vectors per execute_many batch", "32");
+  cli.add_flag("reps", "timed repetitions per cell (median reported)", "7");
+  cli.add_flag("benchmark_repetitions", "alias for --reps");
+  cli.add_flag("level", "cap the SIMD level: scalar|avx2|avx512");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const std::string out = cli.get("out");
+  const int nmin = static_cast<int>(cli.get_int("nmin", 10));
+  const int nmax = static_cast<int>(cli.get_int("nmax", 20));
+  const std::size_t batch =
+      static_cast<std::size_t>(cli.get_int("batch", 32));
+  const int reps = static_cast<int>(cli.has("benchmark_repetitions")
+                                        ? cli.get_int("benchmark_repetitions", 7)
+                                        : cli.get_int("reps", 7));
+  if (cli.has("level")) simd::force_level(simd::parse_level(cli.get("level")));
 
   const simd::SimdLevel level = simd::active_level();
   std::printf("simd level: %s (width %d), batch %zu, reps %d\n",

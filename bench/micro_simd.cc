@@ -1,14 +1,23 @@
 // Scalar vs SIMD executor ablation: single-transform throughput by size and
-// level, and the batch-interleaved execute_many against a per-vector scalar
-// loop.  Items/sec counts butterfly outputs (size * log2size per transform)
-// so sizes and shapes are comparable; a forced-scalar series isolates what
+// level, the batch-interleaved execute_many against a per-vector scalar
+// loop, and the cache-blocked fused engine against the tree walk.
+// Items/sec counts butterfly outputs (size * log2size per transform) so
+// sizes and shapes are comparable; a forced-scalar series isolates what
 // vectorization buys over the identical tree walk.
+//
+// Noise convention (1-vCPU hosts): run with --benchmark_repetitions=N and
+// --benchmark_report_aggregates_only=true and read the *_median lines —
+// google-benchmark (1.7.1 here: --benchmark_min_time takes a bare double)
+// aggregates mean/median/stddev across repetitions.  See README's bench
+// section.
 #include <benchmark/benchmark.h>
 
 #include "api/wht.hpp"
 #include "core/executor.hpp"
 #include "core/plan.hpp"
+#include "core/schedule.hpp"
 #include "simd/cpu_features.hpp"
+#include "simd/fused_executor.hpp"
 #include "simd/simd_executor.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/rng.hpp"
@@ -50,8 +59,27 @@ void BM_SimdExecute(benchmark::State& state) {
                           plan.log2_size());
 }
 
+void BM_FusedExecute(benchmark::State& state) {
+  const core::Plan plan = bench_plan(static_cast<int>(state.range(0)));
+  const core::Schedule schedule =
+      core::lower_plan(plan, simd::detect_blocking());
+  util::AlignedBuffer x(plan.size());
+  util::Rng rng(3);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  state.SetLabel(simd::to_string(simd::active_level()));
+  for (auto _ : state) {
+    simd::execute_fused(schedule, x.data());
+    benchmark::DoNotOptimize(x.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plan.size()) *
+                          plan.log2_size());
+}
+
 BENCHMARK(BM_ScalarExecute)->DenseRange(8, 20, 2);
 BENCHMARK(BM_SimdExecute)->DenseRange(8, 20, 2);
+BENCHMARK(BM_FusedExecute)->DenseRange(8, 20, 2);
 
 constexpr std::size_t kBatch = 32;
 

@@ -9,6 +9,9 @@
 
 #include "core/executor.hpp"
 #include "core/parallel_executor.hpp"
+#include "core/schedule.hpp"
+#include "model/blocked_cost.hpp"
+#include "simd/fused_executor.hpp"
 #include "simd/simd_executor.hpp"
 #include "util/parallel_chunks.hpp"
 
@@ -118,6 +121,57 @@ class SimdBackend final : public ExecutorBackend {
   int threads_;
 };
 
+/// Cache-blocked stage-fused engine: plans lower to a flat blocked schedule
+/// (a property of the size and the probed cache geometry, not of the tree
+/// shape), executed by the fused SIMD kernels with scalar/strided fallback.
+class FusedBackend final : public ExecutorBackend {
+ public:
+  explicit FusedBackend(int threads)
+      : threads_(threads), blocking_(simd::detect_blocking()) {}
+
+  const std::string& name() const override { return name_; }
+
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+    simd::execute_fused(schedule_for(plan), x, stride);
+  }
+
+  void run_many(const core::Plan& plan, double* x, std::size_t count,
+                std::ptrdiff_t dist) override {
+    simd::execute_fused_many(schedule_for(plan), x, count, dist, threads_);
+  }
+
+  int vector_width() const override {
+    return simd::vector_width(simd::active_level());
+  }
+
+  std::function<double(const core::Plan&)> cost_model() const override {
+    model::BlockedCostConfig config;
+    config.blocking = blocking_;
+    config.vector_width = vector_width();
+    return [config](const core::Plan& plan) {
+      return model::blocked_cost(plan, config);
+    };
+  }
+
+ private:
+  /// Schedules depend only on (size, blocking); memoized so repeated runs
+  /// and batches re-lower nothing.  Backend instances are documented as not
+  /// thread-safe, so no locking around the cache.
+  const core::Schedule& schedule_for(const core::Plan& plan) {
+    const int n = plan.log2_size();
+    auto it = schedules_.find(n);
+    if (it == schedules_.end()) {
+      it = schedules_.emplace(n, core::lower_plan(plan, blocking_)).first;
+    }
+    return it->second;
+  }
+
+  std::string name_ = "fused";
+  int threads_;
+  core::BlockingConfig blocking_;
+  std::map<int, core::Schedule> schedules_;
+};
+
 }  // namespace
 
 struct BackendRegistry::Impl {
@@ -143,6 +197,9 @@ BackendRegistry::BackendRegistry() : impl_(std::make_shared<Impl>()) {
   };
   impl_->factories["simd"] = [](const BackendOptions& options) {
     return std::make_unique<SimdBackend>(std::max(options.threads, 1));
+  };
+  impl_->factories["fused"] = [](const BackendOptions& options) {
+    return std::make_unique<FusedBackend>(std::max(options.threads, 1));
   };
 }
 

@@ -16,6 +16,10 @@
 //   "simd"          vectorized tree walk + batch-interleaved run_many with
 //                   runtime CPUID dispatch (AVX-512F / AVX2 / scalar; see
 //                   simd/simd_executor.hpp); threads fan out batch chunks
+//   "fused"         cache-blocked stage-fused schedule engine: plans lower
+//                   to flat blocked passes (core/schedule.hpp) run by the
+//                   fused SIMD kernels (simd/fused_executor.hpp) — the
+//                   memory-bound big-n engine; threads fan out batch chunks
 #pragma once
 
 #include <cstddef>
@@ -71,6 +75,16 @@ class ExecutorBackend {
   /// backend that will run them — custom vectorized backends get correct
   /// pricing by overriding this, not by being named "simd".
   virtual int vector_width() const { return 1; }
+
+  /// Optional full replacement for the Planner's model-driven pricing: a
+  /// callable mapping a candidate plan to this backend's model cost, or an
+  /// empty function (the default) to use the CombinedModel at
+  /// vector_width().  Backends whose execution does not follow the tree
+  /// walk override this — "fused" prices lowered schedules (memory passes,
+  /// not just butterflies; model/blocked_cost.hpp).
+  virtual std::function<double(const core::Plan&)> cost_model() const {
+    return {};
+  }
 };
 
 /// String-keyed factory table.  The global() registry is pre-populated with

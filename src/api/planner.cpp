@@ -3,8 +3,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/wisdom.hpp"
 #include "core/plan_io.hpp"
 #include "model/combined_model.hpp"
+#include "simd/cpu_features.hpp"
 #include "search/dp_search.hpp"
 #include "search/exhaustive.hpp"
 #include "search/local_search.hpp"
@@ -22,13 +24,18 @@ constexpr int kMaxExhaustive = 8;
 /// Largest transform the planner will build: 2^26 doubles = 512 MiB.
 constexpr int kMaxLog2Size = 26;
 
-/// Cost model pricing the backend the Transform will own: vectorized
-/// backends ("simd" and any custom backend overriding vector_width()) are
-/// priced at their vector width, everything else at scalar counts.
-model::CombinedModel model_for(const ExecutorBackend& backend) {
+/// Model-driven pricing for the backend the Transform will own: a backend
+/// supplying its own cost_model() (e.g. "fused", which prices memory
+/// passes of the lowered schedule) is taken at its word; otherwise the
+/// CombinedModel prices the tree walk, with vectorized backends ("simd"
+/// and any custom backend overriding vector_width()) priced at their
+/// vector width and everything else at scalar counts.
+std::function<double(const core::Plan&)> model_for(
+    const ExecutorBackend& backend) {
+  if (auto own = backend.cost_model()) return own;
   model::CombinedModel model;
   model.vector_width = backend.vector_width();
-  return model;
+  return [model](const core::Plan& candidate) { return model(candidate); };
 }
 
 }  // namespace
@@ -112,6 +119,11 @@ Planner& Planner::fixed(const std::string& grammar) {
   return fixed(core::parse_plan(grammar));
 }
 
+Planner& Planner::wisdom_file(std::string path) {
+  wisdom_file_ = std::move(path);
+  return *this;
+}
+
 core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
                                 PlanningInfo& info) const {
   // Candidates are timed through the backend the Transform will own, so a
@@ -127,10 +139,7 @@ core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
       search::DpOptions options;
       options.max_leaf = max_leaf_;
       options.max_parts = max_parts_ < 0 ? 4 : max_parts_;
-      const model::CombinedModel model = model_for(backend);
-      auto result = search::dp_search(
-          n, [&model](const core::Plan& candidate) { return model(candidate); },
-          options);
+      auto result = search::dp_search(n, model_for(backend), options);
       info.evaluations = result.evaluations;
       info.cost = result.cost;
       info.best_by_size = std::move(result.best_by_size);
@@ -181,11 +190,9 @@ core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
     case Strategy::kAnneal: {
       search::AnnealOptions options = anneal_;
       options.max_leaf = max_leaf_;
-      const model::CombinedModel model = model_for(backend);
       util::Rng rng(seed_);
-      const auto result = search::anneal_search(
-          n, [&model](const core::Plan& candidate) { return model(candidate); },
-          rng, options);
+      const auto result =
+          search::anneal_search(n, model_for(backend), rng, options);
       info.evaluations = result.evaluations;
       info.cost = result.best_cost;
       return result.best;
@@ -225,6 +232,29 @@ Transform Planner::plan(int n) const {
 
   PlanningInfo info;
   info.strategy = strategy_;
+
+  // Wisdom short-circuit: a recorded winner for this exact (cpu, n,
+  // strategy, backend) tuple replaces the search; a miss runs the strategy
+  // and persists the winner so the next process skips it.
+  if (!wisdom_file_.empty() && strategy_ != Strategy::kFixed) {
+    Wisdom wisdom = Wisdom::load(wisdom_file_);
+    const Wisdom::Key key{simd::to_string(simd::active_level()), n,
+                          to_string(strategy_), name};
+    const core::Plan* hit = wisdom.lookup(key);
+    // The key does not carry every planner knob (see wisdom.hpp), but the
+    // leaf cap is a hard constraint, not a preference: a cached winner
+    // using larger codelets than this planner allows is a miss, and the
+    // re-search overwrites it.
+    if (hit != nullptr && hit->max_leaf_log2() <= max_leaf_) {
+      info.from_wisdom = true;
+      return Transform(*hit, std::move(backend), info);
+    }
+    core::Plan chosen = search_plan(n, *backend, info);
+    wisdom.insert(key, chosen);
+    wisdom.save(wisdom_file_);
+    return Transform(std::move(chosen), std::move(backend), info);
+  }
+
   core::Plan chosen = search_plan(n, *backend, info);
 
   return Transform(std::move(chosen), std::move(backend), info);

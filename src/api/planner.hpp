@@ -93,6 +93,14 @@ class Planner {
   /// Pins the plan from its grammar string, e.g. "split[small[4],small[4]]".
   Planner& fixed(const std::string& grammar);
 
+  /// Wisdom plan cache (api/wisdom.hpp): before searching, plan(n) consults
+  /// `path` for a plan recorded under (cpu level, n, strategy, backend) and
+  /// uses it verbatim on a hit (planning().from_wisdom reports this); on a
+  /// miss the strategy runs and the winner is appended to the file — so
+  /// kMeasure / kAnneal cost is paid once per machine.  Empty (the default)
+  /// disables the cache; kFixed never consults it.
+  Planner& wisdom_file(std::string path);
+
   /// Plans WHT(2^n) and returns the executable Transform.  Throws
   /// std::invalid_argument on bad arguments (n out of range, unknown
   /// backend, kFixed size mismatch, kExhaustive size too large).
@@ -116,6 +124,7 @@ class Planner {
   search::AnnealOptions anneal_{};
   perf::MeasureOptions measure_{};
   core::Plan fixed_;
+  std::string wisdom_file_;  ///< empty = no wisdom cache
 };
 
 }  // namespace whtlab::api

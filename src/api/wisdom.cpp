@@ -1,0 +1,79 @@
+#include "api/wisdom.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/plan_io.hpp"
+
+namespace whtlab::api {
+
+namespace {
+
+constexpr char kHeader[] = "# whtlab wisdom v1";
+
+}  // namespace
+
+Wisdom Wisdom::load(const std::string& path) {
+  Wisdom wisdom;
+  std::ifstream in(path);
+  if (!in) return wisdom;  // no file yet: empty wisdom, not an error
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    Key key;
+    std::string n_text, grammar;
+    if (!std::getline(fields, key.cpu, '\t') ||
+        !std::getline(fields, n_text, '\t') ||
+        !std::getline(fields, key.strategy, '\t') ||
+        !std::getline(fields, key.backend, '\t') ||
+        !std::getline(fields, grammar)) {
+      throw std::invalid_argument("wisdom: malformed line " +
+                                  std::to_string(lineno) + " in " + path);
+    }
+    try {
+      key.n = std::stoi(n_text);
+      core::Plan plan = core::parse_plan(grammar);
+      if (plan.log2_size() != key.n) {
+        throw std::invalid_argument(
+            "plan computes WHT(2^" + std::to_string(plan.log2_size()) +
+            ") but the entry claims n = " + std::to_string(key.n));
+      }
+      // Last entry wins, matching insert()'s replace semantics — appending
+      // a re-tuned line to a wisdom file supersedes the older one.
+      wisdom.entries_[std::move(key)] = std::move(plan);
+    } catch (const std::exception& error) {
+      throw std::invalid_argument("wisdom: bad entry at line " +
+                                  std::to_string(lineno) + " in " + path +
+                                  ": " + error.what());
+    }
+  }
+  return wisdom;
+}
+
+void Wisdom::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("wisdom: cannot write " + path);
+  out << kHeader << "\n";
+  for (const auto& [key, plan] : entries_) {
+    out << key.cpu << '\t' << key.n << '\t' << key.strategy << '\t'
+        << key.backend << '\t' << core::format_plan(plan) << "\n";
+  }
+  if (!out) throw std::runtime_error("wisdom: write failed for " + path);
+}
+
+const core::Plan* Wisdom::lookup(const Key& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Wisdom::insert(const Key& key, core::Plan plan) {
+  entries_[key] = std::move(plan);
+}
+
+}  // namespace whtlab::api

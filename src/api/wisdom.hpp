@@ -1,0 +1,76 @@
+// Plan-cache "wisdom" — the FFTW wisdom analogue.
+//
+// kMeasure / kAnneal / kExhaustive pay a real search cost per (machine,
+// size); a Wisdom file persists their winners so that cost is paid once per
+// machine.  Entries are keyed by everything that changes the answer:
+//
+//   (cpu level, n, strategy, backend)  ->  plan
+//
+// where the cpu level is the runtime-dispatched SIMD level (a plan tuned on
+// an AVX-512 host is not evidence about a scalar one).  Plans round-trip
+// through the core::plan_io grammar, so a wisdom file is a human-readable
+// tab-separated text file:
+//
+//   # whtlab wisdom v1
+//   avx512<TAB>16<TAB>measure<TAB>simd<TAB>split[small[4],...]
+//
+// Hook it up with Planner::wisdom_file(path): lookups hit before any
+// search; misses run the strategy and append the winner.
+//
+// Key granularity: the tuple above is what changes the answer *shape*;
+// finer planner knobs (samples, seed, measure options, thread count) tune
+// the same search and are deliberately not part of the key — a winner
+// recorded under one is a valid (if possibly stale) plan under another.
+// The one hard constraint, max_leaf, is enforced at lookup time by the
+// Planner: a cached plan using larger leaves than the current cap is
+// treated as a miss and re-searched.  Writers are last-wins, whole-file
+// rewrite; concurrent tuning processes should use separate files.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/plan.hpp"
+
+namespace whtlab::api {
+
+class Wisdom {
+ public:
+  struct Key {
+    std::string cpu;       ///< simd::to_string(active level)
+    int n = 0;             ///< transform size log2
+    std::string strategy;  ///< to_string(Strategy)
+    std::string backend;   ///< registry name
+
+    bool operator<(const Key& other) const {
+      return std::tie(cpu, n, strategy, backend) <
+             std::tie(other.cpu, other.n, other.strategy, other.backend);
+    }
+  };
+
+  Wisdom() = default;
+
+  /// Parses a wisdom file.  A missing file yields empty wisdom (first run);
+  /// a malformed line throws std::invalid_argument with the line number —
+  /// silently dropping tuned plans would hide corruption.
+  static Wisdom load(const std::string& path);
+
+  /// Writes all entries (sorted, stable) to `path`.  Throws
+  /// std::runtime_error when the file cannot be written.
+  void save(const std::string& path) const;
+
+  /// The cached plan for `key`, or nullptr.
+  const core::Plan* lookup(const Key& key) const;
+
+  /// Inserts or replaces the entry for `key`.
+  void insert(const Key& key, core::Plan plan);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<Key, core::Plan> entries_;
+};
+
+}  // namespace whtlab::api

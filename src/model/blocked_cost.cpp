@@ -1,0 +1,31 @@
+#include "model/blocked_cost.hpp"
+
+namespace whtlab::model {
+
+double schedule_cost(const core::Schedule& schedule,
+                     const BlockedCostConfig& config) {
+  const double n = static_cast<double>(std::uint64_t{1} << schedule.log2_size);
+  const double width = config.vector_width > 1 ? config.vector_width : 1.0;
+
+  // Butterfly term: n stages of N outputs each, retired `width` at a time.
+  double cost = config.butterfly_weight * n *
+                static_cast<double>(schedule.log2_size) / width;
+
+  // Memory term: each top-level round streams the full array once; the
+  // whole-array working set (not the round's block size) decides which
+  // level it streams from, because consecutive blocks evict each other
+  // once N exceeds the level.
+  const int l1 = config.blocking.l1_block_log2;
+  const int l2 = config.blocking.l2_block_log2;
+  double sweep_weight = config.l1_sweep_weight;
+  if (schedule.log2_size > l1) sweep_weight = config.l2_sweep_weight;
+  if (schedule.log2_size > l2) sweep_weight = config.mem_sweep_weight;
+  cost += static_cast<double>(sweep_count(schedule)) * n * sweep_weight;
+  return cost;
+}
+
+double blocked_cost(const core::Plan& plan, const BlockedCostConfig& config) {
+  return schedule_cost(core::lower_plan(plan, config.blocking), config);
+}
+
+}  // namespace whtlab::model

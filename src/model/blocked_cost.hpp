@@ -1,0 +1,49 @@
+// Memory-pass cost model for the fused-schedule execution engine.
+//
+// The instruction-count models (instruction_model.hpp, simd_cost.hpp) price
+// the butterfly work; that is the right currency while the working set fits
+// in cache.  The fused engine targets the other regime: beyond L2 every
+// full-array sweep is a round trip to memory, and runtime is proportional
+// to *pass count*, not butterfly count.  blocked_cost() therefore prices a
+// plan by lowering it (core/schedule.hpp) and charging
+//
+//   butterfly term:  N·n adds, divided by the backend's vector width
+//   memory term:     per top-level round, N doubles moved, weighted by the
+//                    slowest level the sweep's blocks stream through
+//                    (L1-resident ≈ free, L2-resident cheap, beyond-L2 the
+//                    dominant term)
+//
+// Because lowering re-blocks freely, two plans of equal size price
+// identically — the model says, correctly, that under this engine the
+// machine's cache geometry decides the schedule, not the tree shape.  The
+// value of kEstimate pricing with this model is the *pass-count* term: it
+// is what a future cross-backend arbiter compares against the tree-walk
+// models to decide when to switch engines.
+#pragma once
+
+#include "core/plan.hpp"
+#include "core/schedule.hpp"
+
+namespace whtlab::model {
+
+struct BlockedCostConfig {
+  core::BlockingConfig blocking{};  ///< geometry being priced
+  int vector_width = 1;             ///< doubles retired per arithmetic op
+  double butterfly_weight = 1.0;    ///< cost per scalar butterfly output
+  /// Cost per double moved by one full-array sweep, by the cache level the
+  /// sweep streams through.  Defaults follow the combined model's spirit
+  /// (weights are ratios, not cycles): L1 sweeps are loop overhead only,
+  /// beyond-L2 sweeps cost an order of magnitude more than in-cache work.
+  double l1_sweep_weight = 0.25;
+  double l2_sweep_weight = 1.0;
+  double mem_sweep_weight = 8.0;
+};
+
+/// Model value of one fused execution of `schedule` under `config`.
+double schedule_cost(const core::Schedule& schedule,
+                     const BlockedCostConfig& config);
+
+/// Lowers `plan` with config.blocking and prices the resulting schedule.
+double blocked_cost(const core::Plan& plan, const BlockedCostConfig& config);
+
+}  // namespace whtlab::model

@@ -1,7 +1,10 @@
 #include "simd/cpu_features.hpp"
 
 #include <atomic>
+#include <cstdint>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "util/env.hpp"
 
@@ -88,5 +91,61 @@ void force_level(SimdLevel level) {
 }
 
 void reset_forced_level() { g_forced.store(kNoForce, std::memory_order_relaxed); }
+
+namespace {
+
+std::string read_sysfs_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return {};
+}
+
+/// Parses sysfs cache sizes: "48K", "2048K", "8M" (decimal bytes otherwise).
+std::size_t parse_cache_size(const std::string& text) {
+  if (text.empty()) return 0;
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i < text.size()) {
+    if (text[i] == 'K' || text[i] == 'k') value <<= 10;
+    if (text[i] == 'M' || text[i] == 'm') value <<= 20;
+    if (text[i] == 'G' || text[i] == 'g') value <<= 30;
+  }
+  return value;
+}
+
+CacheSizes probe_cache_sizes() {
+  CacheSizes sizes;
+  // cpu0's view is what a single-threaded transform sees; shared levels
+  // report their full capacity, which is the right block-sizing bound.
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int index = 0; index < 8; ++index) {
+    const std::string dir = base + std::to_string(index) + "/";
+    const std::string level = read_sysfs_line(dir + "level");
+    if (level.empty()) break;
+    const std::string type = read_sysfs_line(dir + "type");
+    const std::size_t bytes = parse_cache_size(read_sysfs_line(dir + "size"));
+    if (bytes == 0 || type == "Instruction") continue;
+    if (level == "1") sizes.l1d_bytes = bytes;
+    if (level == "2") sizes.l2_bytes = bytes;
+    if (level == "3") sizes.l3_bytes = bytes;
+  }
+  const std::int64_t l1 = util::env_int("WHTLAB_L1_BYTES", 0);
+  const std::int64_t l2 = util::env_int("WHTLAB_L2_BYTES", 0);
+  if (l1 > 0) sizes.l1d_bytes = static_cast<std::size_t>(l1);
+  if (l2 > 0) sizes.l2_bytes = static_cast<std::size_t>(l2);
+  return sizes;
+}
+
+}  // namespace
+
+const CacheSizes& cache_sizes() {
+  static const CacheSizes sizes = probe_cache_sizes();
+  return sizes;
+}
 
 }  // namespace whtlab::simd

@@ -17,6 +17,7 @@
 // it still yields what the host supports, never an illegal-instruction trap.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace whtlab::simd {
@@ -52,5 +53,20 @@ void reset_forced_level();
 /// Parses a WHTLAB_SIMD value.  Throws std::invalid_argument on anything
 /// but "scalar" / "avx2" / "avx512" / "auto" (auto = detected_level()).
 SimdLevel parse_level(const std::string& name);
+
+/// Data-cache capacities the fused-schedule blocker sizes its blocks to.
+/// A 0 entry means the level could not be determined (absent on the host,
+/// or no sysfs).  Consumers apply their own fallbacks — see
+/// simd::detect_blocking() in fused_executor.hpp.
+struct CacheSizes {
+  std::size_t l1d_bytes = 0;
+  std::size_t l2_bytes = 0;
+  std::size_t l3_bytes = 0;
+};
+
+/// Probed once per process from /sys/devices/system/cpu/cpu0/cache (Linux);
+/// WHTLAB_L1_BYTES / WHTLAB_L2_BYTES environment variables override the
+/// corresponding probed entries (the cross-machine reproducibility knob).
+const CacheSizes& cache_sizes();
 
 }  // namespace whtlab::simd

@@ -1,0 +1,46 @@
+// Vectorized interpreter for cache-blocked fused schedules.
+//
+// core/schedule.hpp lowers a plan into nested cache-blocked rounds of fused
+// passes; this module executes such a schedule with the per-ISA fused
+// kernels (simd/kernels.hpp): the unit pass is the in-register contiguous
+// codelet swept across a block, and every strided pass is a flat streaming
+// loop of radix-2/4/8 register tiles, W columns per step.  Dispatch follows
+// the same runtime rules as the tree-walk executor (cpu_features.hpp);
+// scalar level, strided invocations, and schedules a width cannot cover
+// (transform or unit pass smaller than a vector) fall back to the scalar
+// schedule interpreter — the parity reference.
+//
+// This is the execution engine behind the "fused" backend, and the layer
+// future big-n backends (sharded/NUMA, GPU) lower through: they consume the
+// same core::Schedule, swapping only the per-pass kernels.
+#pragma once
+
+#include <cstddef>
+
+#include "core/schedule.hpp"
+#include "simd/cpu_features.hpp"
+
+namespace whtlab::simd {
+
+/// Blocking geometry for this host: L1/L2 block sizes derived from the
+/// probed cache_sizes() (half of each level, in doubles), defaults where a
+/// level is unknown.  WHTLAB_FUSED_L1_LOG2 / WHTLAB_FUSED_L2_LOG2 /
+/// WHTLAB_FUSED_STREAM_RADIX override the computed values (the ablation /
+/// cross-machine knobs).
+core::BlockingConfig detect_blocking();
+
+/// Executes `schedule` in place on the 2^n elements x[0], x[stride], ...
+/// at the given (or active) SIMD level.  Bit-identical to core::execute on
+/// any plan of the same size.
+void execute_fused(const core::Schedule& schedule, double* x,
+                   std::ptrdiff_t stride, SimdLevel level);
+void execute_fused(const core::Schedule& schedule, double* x,
+                   std::ptrdiff_t stride = 1);
+
+/// Batched fused execution: `count` vectors, vector v at x + v*dist, fanned
+/// out over `threads` workers (each vector runs the whole schedule — the
+/// schedule lowering is shared, which is what run_many batching buys here).
+void execute_fused_many(const core::Schedule& schedule, double* x,
+                        std::size_t count, std::ptrdiff_t dist, int threads);
+
+}  // namespace whtlab::simd

@@ -43,6 +43,16 @@ struct KernelSet {
                         std::ptrdiff_t dist, std::uint64_t n) = nullptr;
   void (*interleave_out)(double* base, const double* scratch,
                          std::ptrdiff_t dist, std::uint64_t n) = nullptr;
+
+  /// Fused-schedule passes (core/schedule.hpp; driven by
+  /// simd/fused_executor.hpp).  fused_unit_pass runs WHT(2^u) on each of
+  /// `runs` contiguous 2^u-double runs (requires 2^u >= width);
+  /// fused_lockstep_pass retires stages [stage, stage+k) over one
+  /// contiguous block as radix-2^k register tiles at stride 2^stage,
+  /// `width` columns per step (requires 2^stage >= width).
+  void (*fused_unit_pass)(int u, double* x, std::uint64_t runs) = nullptr;
+  void (*fused_lockstep_pass)(int k, int stage, double* x,
+                              std::uint64_t block) = nullptr;
 };
 
 /// Kernel tables for the ISA-specific translation units.  Only declared
@@ -54,5 +64,13 @@ const KernelSet& avx2_kernels();
 #if defined(WHTLAB_HAVE_AVX512)
 const KernelSet& avx512_kernels();
 #endif
+
+enum class SimdLevel;
+
+/// The kernel table for `level`, or nullptr when the level is scalar or was
+/// not compiled into this binary (callers then take their scalar path).
+/// Shared by the tree-walk (simd_executor.cpp) and fused-schedule
+/// (fused_executor.cpp) executors.
+const KernelSet* kernels_for(SimdLevel level);
 
 }  // namespace whtlab::simd

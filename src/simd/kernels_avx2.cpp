@@ -13,6 +13,8 @@ const KernelSet& avx2_kernels() {
       /*leaf_lockstep=*/&detail::leaf_lockstep<4>,
       /*interleave_in=*/&detail::interleave_in<4>,
       /*interleave_out=*/&detail::interleave_out<4>,
+      /*fused_unit_pass=*/&detail::fused_unit_pass<4>,
+      /*fused_lockstep_pass=*/&detail::fused_lockstep_pass<4>,
   };
   return kernels;
 }

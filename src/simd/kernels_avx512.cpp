@@ -13,6 +13,8 @@ const KernelSet& avx512_kernels() {
       /*leaf_lockstep=*/&detail::leaf_lockstep<8>,
       /*interleave_in=*/&detail::interleave_in<8>,
       /*interleave_out=*/&detail::interleave_out<8>,
+      /*fused_unit_pass=*/&detail::fused_unit_pass<8>,
+      /*fused_lockstep_pass=*/&detail::fused_lockstep_pass<8>,
   };
   return kernels;
 }

@@ -12,11 +12,15 @@
 // Numerical contract: bit-identical to the scalar codelets.  Every butterfly
 // is the same (a+b, a−b) pair in the same stage order as template_codelet /
 // the generated straight-line code; the in-register stages compute a−b as
-// a + (−1)·b, which is exact for IEEE doubles.  The parity tests assert
-// equality with EXPECT_EQ, not a tolerance.
+// a + (b XOR signbit), which is exact for IEEE doubles (sign-bit flip is
+// exact negation, and a + (−b) ≡ a − b).  The XOR replaces the previous
+// ±1.0 multiply: vxorpd has lower latency than vmulpd, runs on more ports,
+// and cannot be FMA-contracted into the critical path.  The parity tests
+// assert equality with EXPECT_EQ, not a tolerance.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/plan.hpp"
 
@@ -24,19 +28,28 @@ namespace whtlab::simd::detail {
 
 typedef double v4df __attribute__((vector_size(32)));
 typedef double v8df __attribute__((vector_size(64)));
+typedef std::int64_t v4di __attribute__((vector_size(32)));
+typedef std::int64_t v8di __attribute__((vector_size(64)));
 
 template <int W>
 struct VecOf;
 template <>
 struct VecOf<4> {
   using type = v4df;
+  using itype = v4di;
 };
 template <>
 struct VecOf<8> {
   using type = v8df;
+  using itype = v8di;
 };
 template <int W>
 using vec_t = typename VecOf<W>::type;
+template <int W>
+using ivec_t = typename VecOf<W>::itype;
+
+/// IEEE-754 double sign bit, for XOR-based sign flips.
+inline constexpr std::int64_t kSignBit = std::int64_t{1} << 63;
 
 // memcpy-based loads/stores compile to single unaligned vector moves, which
 // run at aligned speed on aligned addresses — and the executor's recursion
@@ -53,36 +66,46 @@ inline void vstore(double* p, vec_t<W> v) {
   __builtin_memcpy(p, &v, sizeof(v));
 }
 
+/// Flips the sign of the lanes whose mask entry is kSignBit (XOR on the
+/// reinterpreted bits; C-style casts between same-size vector types are
+/// bit-level reinterprets under the GCC/Clang vector extensions).
+template <int W>
+inline vec_t<W> flip_lanes(vec_t<W> v, ivec_t<W> mask) {
+  return (vec_t<W>)((ivec_t<W>)v ^ mask);
+}
+
 /// One butterfly stage at lane distance D, entirely inside one register:
 /// out[l] = v[l & ~D] + sign_l * v[l | D] with sign_l = (l & D) ? -1 : +1,
-/// i.e. lane pairs (l, l+D) become (a+b, a-b).
+/// i.e. lane pairs (l, l+D) become (a+b, a-b).  The sign is applied by
+/// XOR-ing the sign bit, not by multiplying.
 template <int W, int D>
 inline vec_t<W> lane_butterfly(vec_t<W> v) {
+  constexpr std::int64_t kNeg = kSignBit;
   if constexpr (W == 4 && D == 1) {
     const v4df lo = __builtin_shufflevector(v, v, 0, 0, 2, 2);
     const v4df hi = __builtin_shufflevector(v, v, 1, 1, 3, 3);
-    const v4df sign = {1.0, -1.0, 1.0, -1.0};
-    return lo + sign * hi;
+    const v4di mask = {0, kNeg, 0, kNeg};
+    return lo + flip_lanes<4>(hi, mask);
   } else if constexpr (W == 4 && D == 2) {
     const v4df lo = __builtin_shufflevector(v, v, 0, 1, 0, 1);
     const v4df hi = __builtin_shufflevector(v, v, 2, 3, 2, 3);
-    const v4df sign = {1.0, 1.0, -1.0, -1.0};
-    return lo + sign * hi;
+    const v4di mask = {0, 0, kNeg, kNeg};
+    return lo + flip_lanes<4>(hi, mask);
   } else if constexpr (W == 8 && D == 1) {
     const v8df lo = __builtin_shufflevector(v, v, 0, 0, 2, 2, 4, 4, 6, 6);
     const v8df hi = __builtin_shufflevector(v, v, 1, 1, 3, 3, 5, 5, 7, 7);
-    const v8df sign = {1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0};
-    return lo + sign * hi;
+    const v8di mask = {0, kNeg, 0, kNeg, 0, kNeg, 0, kNeg};
+    return lo + flip_lanes<8>(hi, mask);
   } else if constexpr (W == 8 && D == 2) {
     const v8df lo = __builtin_shufflevector(v, v, 0, 1, 0, 1, 4, 5, 4, 5);
     const v8df hi = __builtin_shufflevector(v, v, 2, 3, 2, 3, 6, 7, 6, 7);
-    const v8df sign = {1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0};
-    return lo + sign * hi;
+    const v8di mask = {0, 0, kNeg, kNeg, 0, 0, kNeg, kNeg};
+    return lo + flip_lanes<8>(hi, mask);
   } else if constexpr (W == 8 && D == 4) {
     const v8df lo = __builtin_shufflevector(v, v, 0, 1, 2, 3, 0, 1, 2, 3);
     const v8df hi = __builtin_shufflevector(v, v, 4, 5, 6, 7, 4, 5, 6, 7);
-    const v8df sign = {1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0};
-    return lo + sign * hi;
+    const v8di mask = {0, 0, 0, 0, kNeg, kNeg, kNeg, kNeg};
+    return lo + flip_lanes<8>(hi, mask);
   } else {
     // Fail the build, not the lanes, when a new width forgets its shuffles.
     static_assert(W != W, "lane_butterfly: unsupported (W, D) combination");
@@ -243,6 +266,102 @@ void leaf_lockstep(int k, double* x, std::ptrdiff_t stride) {
     }
   }
   for (int j = 0; j < m; ++j) vstore<W>(x + j * stride, t[j]);
+}
+
+// --- fused-schedule pass kernels (core/schedule.hpp lowering) --------------
+
+/// Unit pass of a fused schedule: WHT(2^u) on each of `runs` contiguous
+/// 2^u-double runs — the in-register codelet, flat-looped inside the TU so
+/// one call covers a whole cache block.
+template <int W>
+void fused_unit_pass(int u, double* x, std::uint64_t runs) {
+  const std::uint64_t m = std::uint64_t{1} << u;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    leaf_unit<W>(u, x + r * m);
+  }
+}
+
+/// Radix-M fused tile on W adjacent columns: element i of column c at
+/// x[c + i*s], log2(M) butterfly stages carried entirely in registers
+/// (M vectors live — 16 zmm at the radix-8 / width-8 peak).  Constant trip
+/// counts: fully unrolled, plain W-wide add/sub, no shuffles.
+template <int W, int M>
+inline void radix_cols(double* x, std::ptrdiff_t s) {
+  using vec = vec_t<W>;
+  vec t[M];
+  for (int i = 0; i < M; ++i) t[i] = vload<W>(x + i * s);
+  for (int half = 1; half < M; half *= 2) {
+    for (int base = 0; base < M; base += 2 * half) {
+      for (int off = 0; off < half; ++off) {
+        const vec a = t[base + off];
+        const vec b = t[base + off + half];
+        t[base + off] = a + b;
+        t[base + off + half] = a - b;
+      }
+    }
+  }
+  for (int i = 0; i < M; ++i) vstore<W>(x + i * s, t[i]);
+}
+
+template <int W, int M>
+void lockstep_pass_radix(double* x, std::uint64_t s, std::uint64_t block) {
+  // Prefetch distance in doubles (8 cache lines ahead on each of the M row
+  // streams).  A radix-16/32 pass walks more concurrent strided streams
+  // than the hardware prefetchers track, so the kernel asks for its own
+  // read-ahead; the hint is ISA-neutral and harmless where HW prefetch
+  // already covers the streams.
+  constexpr std::uint64_t kPrefetchAhead = 64;
+  const std::uint64_t span = s * M;
+  for (std::uint64_t j = 0; j < block; j += span) {
+    double* base = x + j;
+    for (std::uint64_t t = 0; t < s; t += W) {
+      if (t + kPrefetchAhead < s) {
+        for (int i = 0; i < M; ++i) {
+          __builtin_prefetch(base + t + kPrefetchAhead + i * s, 1);
+        }
+      }
+      radix_cols<W, M>(base + t, static_cast<std::ptrdiff_t>(s));
+    }
+  }
+}
+
+/// Strided pass of a fused schedule over one contiguous block of `block`
+/// doubles: stages [stage, stage+k) as radix-2^k tiles at stride 2^stage,
+/// W columns per kernel call (requires 2^stage >= W; the column loop walks
+/// contiguous addresses, so a pass is one streaming sweep of the block).
+/// Radix-16/32 are the streaming shapes: 16/32 vectors live per tile (the
+/// whole register file at radix-32 / width-8; narrower ISAs spill to
+/// L1-resident stack, which is still far cheaper than the memory sweep the
+/// wider radix saves).
+template <int W>
+void fused_lockstep_pass(int k, int stage, double* x, std::uint64_t block) {
+  const std::uint64_t s = std::uint64_t{1} << stage;
+  switch (k) {
+    case 1:
+      lockstep_pass_radix<W, 2>(x, s, block);
+      return;
+    case 2:
+      lockstep_pass_radix<W, 4>(x, s, block);
+      return;
+    case 3:
+      lockstep_pass_radix<W, 8>(x, s, block);
+      return;
+    case 4:
+      lockstep_pass_radix<W, 16>(x, s, block);
+      return;
+    case 5:
+      lockstep_pass_radix<W, 32>(x, s, block);
+      return;
+    default:
+      // Beyond the widest unrolled tile: route through the generic
+      // lockstep leaf (runtime trip counts, stack-array temporaries).
+      for (std::uint64_t j = 0; j < block; j += s << k) {
+        for (std::uint64_t t = 0; t < s; t += W) {
+          leaf_lockstep<W>(k, x + j + t, static_cast<std::ptrdiff_t>(s));
+        }
+      }
+      return;
+  }
 }
 
 }  // namespace whtlab::simd::detail

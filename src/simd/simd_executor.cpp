@@ -20,23 +20,6 @@ namespace {
 /// width 8; see bench_simd_compare).
 constexpr std::uint64_t kInterleaveMaxDoubles = 512;
 
-const KernelSet* kernels_for(SimdLevel level) {
-  switch (level) {
-    case SimdLevel::kScalar:
-      return nullptr;
-#if defined(WHTLAB_HAVE_AVX2)
-    case SimdLevel::kAvx2:
-      return &avx2_kernels();
-#endif
-#if defined(WHTLAB_HAVE_AVX512)
-    case SimdLevel::kAvx512:
-      return &avx512_kernels();
-#endif
-    default:
-      return nullptr;  // level compiled out of this binary
-  }
-}
-
 struct WalkContext {
   const KernelSet* kernels;  // never null inside the vectorized walk
   const std::array<core::CodeletFn, core::kMaxUnrolled + 1>* scalar;
@@ -109,6 +92,23 @@ void walk(const core::PlanNode& node, double* x, std::ptrdiff_t stride,
 }
 
 }  // namespace
+
+const KernelSet* kernels_for(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return nullptr;
+#if defined(WHTLAB_HAVE_AVX2)
+    case SimdLevel::kAvx2:
+      return &avx2_kernels();
+#endif
+#if defined(WHTLAB_HAVE_AVX512)
+    case SimdLevel::kAvx512:
+      return &avx512_kernels();
+#endif
+    default:
+      return nullptr;  // level compiled out of this binary
+  }
+}
 
 void execute(const core::Plan& plan, double* x, std::ptrdiff_t stride,
              SimdLevel level) {

@@ -8,6 +8,7 @@
 #include "api/planner.hpp"               // IWYU pragma: export
 #include "api/transform.hpp"             // IWYU pragma: export
 #include "api/wht.hpp"                   // IWYU pragma: export
+#include "api/wisdom.hpp"                // IWYU pragma: export
 #include "cachesim/cache.hpp"            // IWYU pragma: export
 #include "cachesim/hierarchy.hpp"        // IWYU pragma: export
 #include "cachesim/trace_runner.hpp"     // IWYU pragma: export
@@ -18,8 +19,10 @@
 #include "core/plan.hpp"                 // IWYU pragma: export
 #include "core/plan_io.hpp"              // IWYU pragma: export
 #include "core/plan_stats.hpp"           // IWYU pragma: export
+#include "core/schedule.hpp"             // IWYU pragma: export
 #include "core/sequency.hpp"             // IWYU pragma: export
 #include "core/verify.hpp"               // IWYU pragma: export
+#include "model/blocked_cost.hpp"        // IWYU pragma: export
 #include "model/cache_model.hpp"         // IWYU pragma: export
 #include "model/calibrate.hpp"           // IWYU pragma: export
 #include "model/combined_model.hpp"      // IWYU pragma: export
@@ -37,6 +40,7 @@
 #include "search/sampler.hpp"            // IWYU pragma: export
 #include "search/space.hpp"              // IWYU pragma: export
 #include "simd/cpu_features.hpp"         // IWYU pragma: export
+#include "simd/fused_executor.hpp"       // IWYU pragma: export
 #include "simd/simd_executor.hpp"        // IWYU pragma: export
 #include "stats/correlation.hpp"         // IWYU pragma: export
 #include "stats/descriptive.hpp"         // IWYU pragma: export

@@ -19,9 +19,9 @@
 //        --benchmark_repetitions is an alias for --reps;
 //        --no-baseline skips the slow scalar column for quick ablations —
 //        its JSON fields become null;
-//        --wisdom caches the kEstimate winners — planning the "simd"
-//        column at n = 22 walks the cache model over ~10^8 accesses, so
-//        repeat runs want the plan cache.)
+//        --wisdom caches the kEstimate winners so repeat runs skip even
+//        the sub-second analytic planning pass — see bench_plan_time for
+//        the planning-cost trajectory itself.)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>

@@ -145,15 +145,47 @@ class FusedBackend final : public ExecutorBackend {
   }
 
   std::function<double(const core::Plan&)> cost_model() const override {
-    model::BlockedCostConfig config;
-    config.blocking = blocking_;
-    config.vector_width = vector_width();
+    const model::BlockedCostConfig config = cost_config();
     return [config](const core::Plan& plan) {
       return model::blocked_cost(plan, config);
     };
   }
 
+  bool apply_cost_calibration(const std::string& serialized) override {
+    const auto parsed = model::BlockedCalibration::parse(serialized);
+    if (!parsed) return false;
+    calibration_ = *parsed;
+    return true;
+  }
+
+  std::optional<std::string> run_cost_calibration(
+      const std::function<double(const core::Plan&)>& measure) override {
+    // Probe sizes straddling the blocking geometry so each regime of the
+    // model (L1-resident, L2-resident, streaming) contributes fit rows.
+    const int l1 = blocking_.l1_block_log2;
+    const int l2 = blocking_.l2_block_log2;
+    std::vector<int> sizes;
+    for (int n : {l1 - 1, l1 + 1, l2 - 1, l2 + 1, l2 + 2}) {
+      n = std::max(4, std::min(n, 22));
+      if (sizes.empty() || sizes.back() != n) sizes.push_back(n);
+    }
+    while (sizes.size() < 4) sizes.push_back(sizes.back() + 1);
+    model::BlockedCostConfig base;
+    base.blocking = blocking_;
+    base.vector_width = vector_width();
+    calibration_ = model::calibrate_blocked_weights(sizes, measure, base);
+    return calibration_->serialize();
+  }
+
  private:
+  model::BlockedCostConfig cost_config() const {
+    model::BlockedCostConfig config;
+    config.blocking = blocking_;
+    config.vector_width = vector_width();
+    if (calibration_) calibration_->apply(config);
+    return config;
+  }
+
   /// Schedules depend only on (size, blocking); memoized so repeated runs
   /// and batches re-lower nothing.  Backend instances are documented as not
   /// thread-safe, so no locking around the cache.
@@ -169,6 +201,7 @@ class FusedBackend final : public ExecutorBackend {
   std::string name_ = "fused";
   int threads_;
   core::BlockingConfig blocking_;
+  std::optional<model::BlockedCalibration> calibration_;
   std::map<int, core::Schedule> schedules_;
 };
 

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,21 @@ class ExecutorBackend {
   /// not just butterflies; model/blocked_cost.hpp).
   virtual std::function<double(const core::Plan&)> cost_model() const {
     return {};
+  }
+
+  /// Host calibration of the backend's own cost model (backends without one
+  /// return false / nullopt and are skipped).  run_cost_calibration measures
+  /// probe plans through `measure` (cycles), fits the model's parameters,
+  /// applies them to this instance, and returns the fit in a serialized form
+  /// suitable for a wisdom property; apply_cost_calibration restores such a
+  /// fit without measuring (the next process's fast path).  The Planner
+  /// drives both when calibrate() is enabled — see api/planner.hpp.
+  virtual bool apply_cost_calibration(const std::string& /*serialized*/) {
+    return false;
+  }
+  virtual std::optional<std::string> run_cost_calibration(
+      const std::function<double(const core::Plan&)>& /*measure*/) {
+    return std::nullopt;
   }
 };
 

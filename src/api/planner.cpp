@@ -29,12 +29,15 @@ constexpr int kMaxLog2Size = 26;
 /// passes of the lowered schedule) is taken at its word; otherwise the
 /// CombinedModel prices the tree walk, with vectorized backends ("simd"
 /// and any custom backend overriding vector_width()) priced at their
-/// vector width and everything else at scalar counts.
+/// vector width and everything else at scalar counts.  `cache` memoizes
+/// the CombinedModel's per-subtree miss recursion across the search; it
+/// must outlive the returned callable.
 std::function<double(const core::Plan&)> model_for(
-    const ExecutorBackend& backend) {
+    const ExecutorBackend& backend, model::CostCache* cache) {
   if (auto own = backend.cost_model()) return own;
   model::CombinedModel model;
   model.vector_width = backend.vector_width();
+  model.cost_cache = cache;
   return [model](const core::Plan& candidate) { return model(candidate); };
 }
 
@@ -124,6 +127,37 @@ Planner& Planner::wisdom_file(std::string path) {
   return *this;
 }
 
+Planner& Planner::calibrate(bool enabled) {
+  calibrate_ = enabled;
+  return *this;
+}
+
+void Planner::ensure_calibrated(ExecutorBackend& backend,
+                                PlanningInfo& info) const {
+  if (!calibrate_ || wisdom_file_.empty()) return;
+  WisdomRegistry& registry = WisdomRegistry::global();
+  const std::string property = "calibration/" +
+                               std::string(simd::to_string(simd::active_level())) +
+                               "/" + backend.name();
+  if (const auto stored = registry.property(wisdom_file_, property)) {
+    if (backend.apply_cost_calibration(*stored)) {
+      info.calibrated = true;
+      return;
+    }
+    // Unparseable stored fit (truncated file, older format): fall through
+    // and re-measure — the fresh fit overwrites the bad property instead of
+    // disabling calibration for every future process.
+  }
+  const perf::MeasureOptions& measure = measure_;
+  const auto measured = [&measure, &backend](const core::Plan& probe) {
+    return measure_with_backend(backend, probe, measure).cycles();
+  };
+  const auto fit = backend.run_cost_calibration(measured);
+  if (!fit) return;  // backend has nothing to calibrate
+  registry.set_property(wisdom_file_, property, *fit);
+  info.calibrated = true;
+}
+
 core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
                                 PlanningInfo& info) const {
   // Candidates are timed through the backend the Transform will own, so a
@@ -134,16 +168,29 @@ core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
     return measure_with_backend(backend, candidate, measure).cycles();
   };
 
+  // One memo per search: the model-driven strategies price overlapping
+  // candidates (DP composes winners, anneal revisits neighbourhoods), and
+  // the cache lets both the searches (whole candidates) and the combined
+  // model (subtrees per stride class) skip repeated work.
+  model::CostCache cost_cache;
+  const auto record_cache = [&cost_cache, &info]() {
+    const auto& stats = cost_cache.stats();
+    info.cache_hits = stats.plan_hits + stats.subtree_hits;
+  };
+
   switch (strategy_) {
     case Strategy::kEstimate: {
       search::DpOptions options;
       options.max_leaf = max_leaf_;
       options.max_parts = max_parts_ < 0 ? 4 : max_parts_;
-      auto result = search::dp_search(n, model_for(backend), options);
+      options.cost_cache = &cost_cache;
+      auto result =
+          search::dp_search(n, model_for(backend, &cost_cache), options);
       info.evaluations = result.evaluations;
       info.cost = result.cost;
       info.best_by_size = std::move(result.best_by_size);
       info.cost_by_size = std::move(result.cost_by_size);
+      record_cache();
       return result.plan;
     }
     case Strategy::kMeasure: {
@@ -178,23 +225,28 @@ core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
       options.keep_fraction = keep_fraction_;
       options.max_leaf = max_leaf_;
       options.measure_fn = measured_cost;
-      const model::CombinedModel model;
+      options.cost_cache = &cost_cache;
+      model::CombinedModel model;
+      model.cost_cache = &cost_cache;
       util::Rng rng(seed_);
       const auto result = search::model_pruned_search(
           n, [&model](const core::Plan& candidate) { return model(candidate); },
           rng, options);
       info.evaluations = result.measured;
       info.cost = result.best_cycles;
+      record_cache();
       return result.best_plan;
     }
     case Strategy::kAnneal: {
       search::AnnealOptions options = anneal_;
       options.max_leaf = max_leaf_;
+      options.cost_cache = &cost_cache;
       util::Rng rng(seed_);
-      const auto result =
-          search::anneal_search(n, model_for(backend), rng, options);
+      const auto result = search::anneal_search(
+          n, model_for(backend, &cost_cache), rng, options);
       info.evaluations = result.evaluations;
       info.cost = result.best_cost;
+      record_cache();
       return result.best;
     }
     case Strategy::kFixed: {
@@ -235,23 +287,25 @@ Transform Planner::plan(int n) const {
 
   // Wisdom short-circuit: a recorded winner for this exact (cpu, n,
   // strategy, backend) tuple replaces the search; a miss runs the strategy
-  // and persists the winner so the next process skips it.
+  // and persists the winner so the next process skips it.  All file access
+  // goes through the process-wide registry (in-memory cache, merge-on-save,
+  // atomic replacement — see api/wisdom.hpp).
   if (!wisdom_file_.empty() && strategy_ != Strategy::kFixed) {
-    Wisdom wisdom = Wisdom::load(wisdom_file_);
+    WisdomRegistry& registry = WisdomRegistry::global();
     const Wisdom::Key key{simd::to_string(simd::active_level()), n,
                           to_string(strategy_), name};
-    const core::Plan* hit = wisdom.lookup(key);
+    const auto hit = registry.lookup(wisdom_file_, key);
     // The key does not carry every planner knob (see wisdom.hpp), but the
     // leaf cap is a hard constraint, not a preference: a cached winner
     // using larger codelets than this planner allows is a miss, and the
     // re-search overwrites it.
-    if (hit != nullptr && hit->max_leaf_log2() <= max_leaf_) {
+    if (hit && hit->max_leaf_log2() <= max_leaf_) {
       info.from_wisdom = true;
       return Transform(*hit, std::move(backend), info);
     }
+    ensure_calibrated(*backend, info);
     core::Plan chosen = search_plan(n, *backend, info);
-    wisdom.insert(key, chosen);
-    wisdom.save(wisdom_file_);
+    registry.insert(wisdom_file_, key, chosen);
     return Transform(std::move(chosen), std::move(backend), info);
   }
 

@@ -97,9 +97,23 @@ class Planner {
   /// `path` for a plan recorded under (cpu level, n, strategy, backend) and
   /// uses it verbatim on a hit (planning().from_wisdom reports this); on a
   /// miss the strategy runs and the winner is appended to the file — so
-  /// kMeasure / kAnneal cost is paid once per machine.  Empty (the default)
-  /// disables the cache; kFixed never consults it.
+  /// kMeasure / kAnneal cost is paid once per machine.  Lookups and inserts
+  /// go through the process-wide WisdomRegistry (in-memory, merge-on-save,
+  /// atomic file replacement), so concurrent planners sharing a file do not
+  /// lose each other's winners.  Empty (the default) disables the cache;
+  /// kFixed never consults it.
   Planner& wisdom_file(std::string path);
+
+  /// One-shot on-host cost-model calibration (default off).  When enabled
+  /// together with wisdom_file(), plan(n) ensures the backend's own cost
+  /// model is calibrated to this host before any model-driven search: a fit
+  /// stored under the wisdom property "calibration/<cpu>/<backend>" is
+  /// applied directly; otherwise the backend measures its probe plans once
+  /// (ExecutorBackend::run_cost_calibration) and the fit is persisted for
+  /// every later process.  Backends without a calibratable model ("simd",
+  /// "generated", ...) are unaffected.  The "fused" backend fits its sweep
+  /// weights this way (model::calibrate_blocked_weights).
+  Planner& calibrate(bool enabled);
 
   /// Plans WHT(2^n) and returns the executable Transform.  Throws
   /// std::invalid_argument on bad arguments (n out of range, unknown
@@ -111,6 +125,7 @@ class Planner {
 
  private:
   core::Plan search_plan(int n, ExecutorBackend& backend, PlanningInfo& info) const;
+  void ensure_calibrated(ExecutorBackend& backend, PlanningInfo& info) const;
 
   Strategy strategy_ = Strategy::kEstimate;
   std::string backend_;  ///< empty = auto
@@ -125,6 +140,7 @@ class Planner {
   perf::MeasureOptions measure_{};
   core::Plan fixed_;
   std::string wisdom_file_;  ///< empty = no wisdom cache
+  bool calibrate_ = false;
 };
 
 }  // namespace whtlab::api

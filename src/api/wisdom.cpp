@@ -1,6 +1,12 @@
 #include "api/wisdom.hpp"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +18,20 @@ namespace whtlab::api {
 namespace {
 
 constexpr char kHeader[] = "# whtlab wisdom v1";
+constexpr char kPropertyTag[] = "@prop";
+
+/// (mtime, size) fingerprint for change detection; (0, 0) = no file.
+/// Nanosecond mtime where the platform provides it, so back-to-back
+/// rewrites within one second are still noticed.
+std::pair<long long, long long> file_fingerprint(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return {0, 0};
+  long long mtime = static_cast<long long>(st.st_mtime) * 1000000000LL;
+#if defined(__linux__)
+  mtime += st.st_mtim.tv_nsec;
+#endif
+  return {mtime, static_cast<long long>(st.st_size)};
+}
 
 }  // namespace
 
@@ -26,6 +46,19 @@ Wisdom Wisdom::load(const std::string& path) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
+    if (line.rfind(kPropertyTag, 0) == 0) {
+      std::string tag, key, value;
+      if (!std::getline(fields, tag, '\t') ||
+          !std::getline(fields, key, '\t') || key.empty()) {
+        throw std::invalid_argument("wisdom: malformed property at line " +
+                                    std::to_string(lineno) + " in " + path);
+      }
+      // The value may legitimately be empty ("@prop\tkey\t"); getline then
+      // fails on the exhausted stream, which is not corruption.
+      std::getline(fields, value);
+      wisdom.properties_[std::move(key)] = std::move(value);
+      continue;
+    }
     Key key;
     std::string n_text, grammar;
     if (!std::getline(fields, key.cpu, '\t') ||
@@ -57,14 +90,28 @@ Wisdom Wisdom::load(const std::string& path) {
 }
 
 void Wisdom::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("wisdom: cannot write " + path);
-  out << kHeader << "\n";
-  for (const auto& [key, plan] : entries_) {
-    out << key.cpu << '\t' << key.n << '\t' << key.strategy << '\t'
-        << key.backend << '\t' << core::format_plan(plan) << "\n";
+  // Write-then-rename: readers (and crash recovery) only ever see either
+  // the old complete file or the new complete file, never a prefix.  The
+  // temp name carries the pid so concurrent processes saving the same path
+  // cannot interleave writes inside one temp file.
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) throw std::runtime_error("wisdom: cannot write " + temp);
+    out << kHeader << "\n";
+    for (const auto& [key, value] : properties_) {
+      out << kPropertyTag << '\t' << key << '\t' << value << "\n";
+    }
+    for (const auto& [key, plan] : entries_) {
+      out << key.cpu << '\t' << key.n << '\t' << key.strategy << '\t'
+          << key.backend << '\t' << core::format_plan(plan) << "\n";
+    }
+    if (!out) throw std::runtime_error("wisdom: write failed for " + temp);
   }
-  if (!out) throw std::runtime_error("wisdom: write failed for " + path);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("wisdom: cannot rename " + temp + " to " + path);
+  }
 }
 
 const core::Plan* Wisdom::lookup(const Key& key) const {
@@ -74,6 +121,105 @@ const core::Plan* Wisdom::lookup(const Key& key) const {
 
 void Wisdom::insert(const Key& key, core::Plan plan) {
   entries_[key] = std::move(plan);
+}
+
+std::optional<std::string> Wisdom::property(const std::string& key) const {
+  const auto it = properties_.find(key);
+  if (it == properties_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Wisdom::set_property(const std::string& key, std::string value) {
+  properties_[key] = std::move(value);
+}
+
+void Wisdom::merge_from(const Wisdom& other) {
+  for (const auto& [key, plan] : other.entries_) entries_[key] = plan;
+  for (const auto& [key, value] : other.properties_) properties_[key] = value;
+}
+
+// --- process-wide registry --------------------------------------------------
+
+struct WisdomRegistry::Impl {
+  std::mutex mutex;
+  struct CachedFile {
+    Wisdom wisdom;
+    std::pair<long long, long long> fingerprint{0, 0};
+  };
+  std::map<std::string, CachedFile> files;
+
+  /// Under the lock: the cached state for `path`, reloaded if the file on
+  /// disk changed since it was last read.
+  CachedFile& fresh(const std::string& path) {
+    CachedFile& cached = files[path];
+    const auto fp = file_fingerprint(path);
+    if (fp != cached.fingerprint) {
+      cached.wisdom = Wisdom::load(path);
+      cached.fingerprint = fp;
+    }
+    return cached;
+  }
+
+  /// Under the lock: merge `cached` over the current on-disk state and
+  /// persist atomically.  Re-reading first means a winner another in-process
+  /// planner flushed between our load and our save is kept, not clobbered.
+  void flush(const std::string& path, CachedFile& cached) {
+    Wisdom disk = Wisdom::load(path);
+    disk.merge_from(cached.wisdom);
+    disk.save(path);
+    cached.wisdom = std::move(disk);
+    cached.fingerprint = file_fingerprint(path);
+  }
+};
+
+WisdomRegistry::Impl& WisdomRegistry::impl() {
+  static Impl instance;
+  return instance;
+}
+
+WisdomRegistry& WisdomRegistry::global() {
+  static WisdomRegistry registry;
+  return registry;
+}
+
+std::optional<core::Plan> WisdomRegistry::lookup(const std::string& path,
+                                                 const Wisdom::Key& key) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const core::Plan* hit = state.fresh(path).wisdom.lookup(key);
+  if (hit == nullptr) return std::nullopt;
+  return *hit;
+}
+
+void WisdomRegistry::insert(const std::string& path, const Wisdom::Key& key,
+                            core::Plan plan) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  Impl::CachedFile& cached = state.fresh(path);
+  cached.wisdom.insert(key, std::move(plan));
+  state.flush(path, cached);
+}
+
+std::optional<std::string> WisdomRegistry::property(const std::string& path,
+                                                    const std::string& key) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.fresh(path).wisdom.property(key);
+}
+
+void WisdomRegistry::set_property(const std::string& path,
+                                  const std::string& key, std::string value) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  Impl::CachedFile& cached = state.fresh(path);
+  cached.wisdom.set_property(key, std::move(value));
+  state.flush(path, cached);
+}
+
+void WisdomRegistry::invalidate(const std::string& path) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.files.erase(path);
 }
 
 }  // namespace whtlab::api

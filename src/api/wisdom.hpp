@@ -14,6 +14,11 @@
 //   # whtlab wisdom v1
 //   avx512<TAB>16<TAB>measure<TAB>simd<TAB>split[small[4],...]
 //
+// Besides plans, a file can carry free-form *properties* — host-calibrated
+// model parameters and the like — as `@prop<TAB>key<TAB>value` lines (the
+// blocked model's sweep-weight calibration persists this way; see
+// model/blocked_cost.hpp).
+//
 // Hook it up with Planner::wisdom_file(path): lookups hit before any
 // search; misses run the strategy and append the winner.
 //
@@ -23,12 +28,21 @@
 // recorded under one is a valid (if possibly stale) plan under another.
 // The one hard constraint, max_leaf, is enforced at lookup time by the
 // Planner: a cached plan using larger leaves than the current cap is
-// treated as a miss and re-searched.  Writers are last-wins, whole-file
-// rewrite; concurrent tuning processes should use separate files.
+// treated as a miss and re-searched.
+//
+// Concurrency: save() always writes a temp file in the same directory and
+// renames it over the target, so readers never observe a torn file.  The
+// WisdomRegistry below is the process-wide in-memory layer the Planner
+// uses: one cached Wisdom per path (reloaded when the file changes
+// underneath), and inserts that re-merge the on-disk state under a process
+// lock before the atomic rename — concurrent planners in one process can
+// no longer lose each other's winners.  Cross-process writers still race
+// at whole-file granularity, but every outcome is a well-formed file.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
 #include <tuple>
 
@@ -57,8 +71,9 @@ class Wisdom {
   /// silently dropping tuned plans would hide corruption.
   static Wisdom load(const std::string& path);
 
-  /// Writes all entries (sorted, stable) to `path`.  Throws
-  /// std::runtime_error when the file cannot be written.
+  /// Writes all entries (sorted, stable) atomically: to a temp file beside
+  /// `path`, renamed over it.  Throws std::runtime_error when the file
+  /// cannot be written.
   void save(const std::string& path) const;
 
   /// The cached plan for `key`, or nullptr.
@@ -67,10 +82,56 @@ class Wisdom {
   /// Inserts or replaces the entry for `key`.
   void insert(const Key& key, core::Plan plan);
 
+  /// Free-form properties (`@prop` lines): calibration results and other
+  /// per-host facts that ride along with the plans.
+  std::optional<std::string> property(const std::string& key) const;
+  void set_property(const std::string& key, std::string value);
+
+  /// Merges `other` into this wisdom; entries and properties from `other`
+  /// win on key collisions (newest writer has the freshest measurement).
+  void merge_from(const Wisdom& other);
+
   std::size_t size() const { return entries_.size(); }
 
  private:
   std::map<Key, core::Plan> entries_;
+  std::map<std::string, std::string> properties_;
+};
+
+/// Process-wide in-memory wisdom layer, one cached Wisdom per file path.
+/// All access is serialized by an internal mutex; lookups return copies so
+/// no reference outlives the lock.
+class WisdomRegistry {
+ public:
+  static WisdomRegistry& global();
+
+  /// The plan recorded for (path, key), if any.  Loads the file on first
+  /// touch and transparently reloads it when its mtime/size changes
+  /// (another process — or a test — rewrote it).
+  std::optional<core::Plan> lookup(const std::string& path,
+                                   const Wisdom::Key& key);
+
+  /// Records a winner: re-reads the current on-disk state, merges every
+  /// in-memory entry for `path` over it, and saves atomically — all under
+  /// the registry lock, so in-process writers cannot drop each other's
+  /// entries.
+  void insert(const std::string& path, const Wisdom::Key& key,
+              core::Plan plan);
+
+  /// Property access with the same load/merge/save discipline.
+  std::optional<std::string> property(const std::string& path,
+                                      const std::string& key);
+  void set_property(const std::string& path, const std::string& key,
+                    std::string value);
+
+  /// Drops the cached state for `path` (testing hook; the next touch
+  /// reloads from disk).
+  void invalidate(const std::string& path);
+
+ private:
+  WisdomRegistry() = default;
+  struct Impl;
+  Impl& impl();
 };
 
 }  // namespace whtlab::api

@@ -1,0 +1,135 @@
+#include "model/analytic_misses.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "model/cache_model.hpp"
+
+namespace whtlab::model {
+
+namespace {
+
+int log2_exact(std::uint64_t v) {
+  int e = 0;
+  while ((std::uint64_t{1} << e) < v) ++e;
+  return e;
+}
+
+/// Geometry exponents plus the optional per-subtree memo.
+struct Analysis {
+  int c = 0;  ///< log2 cache capacity in elements
+  int l = 0;  ///< log2 line size in elements
+  CostCache* cache = nullptr;
+};
+
+/// Distinct cache lines of the lattice {base + i·2^t : i < 2^m}: the lattice
+/// varies index bits [t, m+t), of which only those at or above the line bit
+/// produce distinct lines.
+std::uint64_t lattice_lines(int m, int t, int l) {
+  const int line_bits = m + t - std::max(l, t);
+  return std::uint64_t{1} << std::max(0, line_bits);
+}
+
+std::uint64_t misses_cold(const core::PlanNode& node, int t, const Analysis& a);
+
+/// Grammar-string key for the memo; built only when a cache is attached.
+void append_node_key(const core::PlanNode& node, std::string& out) {
+  if (node.kind == core::NodeKind::kSmall) {
+    out += 's';
+    out += std::to_string(node.log2_size);
+    return;
+  }
+  out += '[';
+  for (const auto& child : node.children) append_node_key(*child, out);
+  out += ']';
+}
+
+std::uint64_t misses_cold_memo(const core::PlanNode& node, int t,
+                               const Analysis& a) {
+  if (a.cache == nullptr) return misses_cold(node, t, a);
+  std::string key;
+  key.reserve(16);
+  append_node_key(node, key);
+  key += '@';
+  key += std::to_string(t);
+  if (const auto hit = a.cache->lookup_subtree(key)) return *hit;
+  const std::uint64_t value = misses_cold(node, t, a);
+  a.cache->store_subtree(key, value);
+  return value;
+}
+
+/// Misses of one invocation of `node` at accumulated stride 2^t entering
+/// with none of its footprint lines resident.  See analytic_misses.hpp for
+/// the regime derivation; the structure below mirrors it case by case.
+std::uint64_t misses_cold(const core::PlanNode& node, int t, const Analysis& a) {
+  const int m = node.log2_size;
+
+  // Span fits the cache: every touched line maps to its own set, so the
+  // invocation is conflict-free and misses exactly its compulsory count.
+  if (m + t <= a.c) return lattice_lines(m, t, a.l);
+
+  if (node.kind == core::NodeKind::kSmall) {
+    // Span exceeds the cache: 2^{m+t-c} >= 2 of the leaf's lines share each
+    // touched set.  The load pass walks each line once (per-set order is a
+    // strictly advancing cycle, so every line's first touch finds another
+    // tag) and the store pass re-walks the same cycle one line behind —
+    // both pass lengths are exactly the distinct-line count.
+    return 2 * lattice_lines(m, t, a.l);
+  }
+
+  // Split whose span exceeds the cache: the children run as full passes
+  // over the region, last child first (the executor's order).  Every pass
+  // wraps the set space, so a child invocation enters cold unless it is in
+  // the same line-sharing group as its predecessor: consecutive invocations
+  // whose offsets agree on every bit at or above the line bit touch the
+  // identical line set.  Offsets advance as o = j·2^{m_i+sigma} + k·1 in
+  // units of 2^t (k the inner 2^sigma coset loop, j the outer block loop),
+  // so the group size is the run of offset increments below line distance:
+  // the k bits below l-t, plus — when the whole child span is sub-line —
+  // the low j bits as well.
+  std::uint64_t total = 0;
+  int sigma = 0;  // log2 of the accumulated child stride multiplier s
+  for (std::size_t i = node.children.size(); i-- > 0;) {
+    const core::PlanNode& child = *node.children[i];
+    const int mi = child.log2_size;
+    const int child_t = t + sigma;
+    const int invocations_log2 = m - mi;  // r·s invocations of this child
+
+    const int line_gap = std::max(0, a.l - t);  // offset bits below a line
+    int group_log2 = std::min(sigma, line_gap) +
+                     std::max(0, std::min(line_gap, m) - sigma - mi);
+    group_log2 = std::min(group_log2, invocations_log2);
+
+    const std::uint64_t invocations = std::uint64_t{1} << invocations_log2;
+    const std::uint64_t firsts = invocations >> group_log2;
+    const std::uint64_t cold = misses_cold_memo(child, child_t, a);
+    // A follower re-touches the exact line set its group's first invocation
+    // loaded: free while the child fits the cache (the lines are still
+    // resident, conflict-free), but a full re-walk — cold again — when the
+    // child itself overflows the cache and evicted its own head.
+    const std::uint64_t follow = (mi + sigma + t <= a.c) ? 0 : cold;
+    total += firsts * cold + (invocations - firsts) * follow;
+    sigma += mi;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t analytic_direct_mapped_misses(const core::Plan& plan,
+                                            const CacheModelConfig& config,
+                                            CostCache* cache) {
+  config.validate();
+  Analysis a;
+  a.c = log2_exact(config.cache_elements);
+  a.l = log2_exact(config.line_elements);
+  a.cache = cache;
+  return misses_cold_memo(plan.root(), 0, a);
+}
+
+std::uint64_t analytic_direct_mapped_misses(const core::Plan& plan,
+                                            const CacheModelConfig& config) {
+  return analytic_direct_mapped_misses(plan, config, nullptr);
+}
+
+}  // namespace whtlab::model

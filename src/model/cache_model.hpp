@@ -2,27 +2,31 @@
 //
 // The AofA'05 analysis counts, for each WHT plan, the misses incurred in a
 // *direct-mapped* cache — the constraint under which the distribution results
-// of that paper were obtained.  whtlab reproduces the model as an exact
-// combinatorial evaluation over the plan's loop structure:
+// of that paper were obtained.  whtlab computes the count two ways:
 //
-//   * the full access sequence of the interpreter is determined by the plan
-//     (bases and strides are all powers of two), and
-//   * in a direct-mapped cache, residency is a deterministic function of
-//     that sequence,
+//   * analytically (model/analytic_misses.hpp) — a closed-form O(tree)
+//     recursion over the plan's loop nest, the default and the engine that
+//     makes model-driven planning (kEstimate / kAnneal) sub-second at every
+//     supported size;
+//   * by trace replay (trace_direct_mapped_misses below) — the original
+//     tag-per-set walk over the interpreter's full O(n·2^n) access
+//     sequence, kept as the validation oracle.  Setting the
+//     WHTLAB_MODEL_ORACLE=1 environment variable routes
+//     direct_mapped_misses() through it for a whole process (slow; for
+//     cross-checking the analytic model, never for planning).
 //
-// so the model walks the loop nest maintaining a tag-per-set table — no data
-// is touched and nothing is executed.  Closed forms short-circuit the
-// regimes where the answer is provable directly:
+// The two agree exactly — a tested invariant over every enumerated plan at
+// small sizes and sampled plans through n = 14, across cache geometries.
+// Closed forms short-circuit the provable regimes either way:
 //
 //   * N <= C (transform fits): every line is missed exactly once (compulsory
 //     misses only), M = N/L;
 //   * any plan's misses are bounded below by N/L and above by the total
 //     access count (both exposed for tests and pruning bounds).
 //
-// Agreement with the trace-driven simulator in direct-mapped mode is a tested
-// invariant; the experiments then use the simulator in the Opteron's 2-way
-// geometry as the PAPI stand-in while this model supplies the
-// "from-the-description" predictor the paper's pruning relies on.
+// The experiments use the trace-driven simulator (src/cachesim/) in the
+// Opteron's 2-way geometry as the PAPI stand-in while this model supplies
+// the "from-the-description" predictor the paper's pruning relies on.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +34,8 @@
 #include "core/plan.hpp"
 
 namespace whtlab::model {
+
+class CostCache;
 
 struct CacheModelConfig {
   std::uint64_t cache_elements = 8192;  ///< capacity C in doubles
@@ -42,9 +48,25 @@ struct CacheModelConfig {
 };
 
 /// Exact miss count of one cold-start execution of `plan` in a direct-mapped
-/// cache with the given geometry.  Computed from the plan description alone.
+/// cache with the given geometry.  Computed from the plan description alone:
+/// analytically in O(tree) by default, by trace replay when the
+/// WHTLAB_MODEL_ORACLE environment variable is set to a nonzero value.
 std::uint64_t direct_mapped_misses(const core::Plan& plan,
                                    const CacheModelConfig& config);
+
+/// Memoizing variant: per-(subtree, stride) results land in `cache`
+/// (model/cost_cache.hpp) so searches stop re-pricing shared subtrees.
+/// nullptr degrades to the plain call; oracle mode ignores the cache (the
+/// trace walk is the baseline being validated, not a production path).
+std::uint64_t direct_mapped_misses(const core::Plan& plan,
+                                   const CacheModelConfig& config,
+                                   CostCache* cache);
+
+/// The trace-replay oracle: walks the interpreter's full access sequence
+/// against a tag-per-set table.  O(n·2^n) — exact by construction, and what
+/// the analytic model is tested against.
+std::uint64_t trace_direct_mapped_misses(const core::Plan& plan,
+                                         const CacheModelConfig& config);
 
 /// Compulsory misses: number of distinct lines the transform touches.
 std::uint64_t compulsory_misses(const core::Plan& plan,

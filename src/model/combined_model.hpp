@@ -10,6 +10,7 @@
 
 #include "core/plan.hpp"
 #include "model/cache_model.hpp"
+#include "model/cost_cache.hpp"
 #include "model/instruction_model.hpp"
 #include "model/simd_cost.hpp"
 
@@ -24,6 +25,12 @@ struct CombinedModel {
   /// width (model/simd_cost.hpp); the miss term is unchanged (the SIMD walk
   /// touches the same cache lines in the same order).
   int vector_width = 1;
+  /// Optional per-search memo (model/cost_cache.hpp): the miss term's
+  /// recursion stores per-(subtree, stride) results so candidates sharing
+  /// subtrees — DP's composed winners, anneal's mutation neighbours — are
+  /// priced incrementally.  The caller owns the cache and must not share it
+  /// across differently-configured models.
+  CostCache* cost_cache = nullptr;
 
   /// Model value for a plan, computed from its description alone.
   double operator()(const core::Plan& plan) const {
@@ -31,7 +38,8 @@ struct CombinedModel {
         vector_width > 1 ? simd_instruction_count(plan, weights, vector_width)
                          : instruction_count(plan, weights);
     return alpha * instructions +
-           beta * static_cast<double>(direct_mapped_misses(plan, cache));
+           beta * static_cast<double>(
+                      direct_mapped_misses(plan, cache, cost_cache));
   }
 
   /// Combine pre-computed components (used when I and M are already known,

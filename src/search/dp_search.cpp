@@ -22,8 +22,20 @@ DpResult dp_search(int n, const CostFn& cost, const DpOptions& options) {
     core::Plan best_plan;
     double best_cost = 0.0;
     auto consider = [&](core::Plan candidate) {
-      const double c = cost(candidate);
-      ++result.evaluations;
+      double c;
+      if (options.cost_cache != nullptr) {
+        const std::string key = candidate.to_string();
+        if (const auto hit = options.cost_cache->lookup_plan(key)) {
+          c = *hit;
+        } else {
+          c = cost(candidate);
+          ++result.evaluations;
+          options.cost_cache->store_plan(key, c);
+        }
+      } else {
+        c = cost(candidate);
+        ++result.evaluations;
+      }
       if (!have || c < best_cost) {
         best_cost = c;
         best_plan = std::move(candidate);

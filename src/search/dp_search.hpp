@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "model/cost_cache.hpp"
 
 namespace whtlab::search {
 
@@ -34,6 +35,14 @@ struct DpOptions {
   int max_parts = 0;
   /// Restrict DP to sizes >= this as split parts (always 1).
   int min_part = 1;
+  /// Whole-candidate memo.  Within one dp_search every candidate tree is
+  /// distinct (each composition assembles different children), so this only
+  /// pays when the caller shares one cache across searches — repeated
+  /// plan() calls over overlapping sizes re-surface the same winners-by-
+  /// size candidates.  DP's *within-search* speedup comes from the subtree
+  /// memo the same cache feeds inside model::CombinedModel.  The caller
+  /// must pair one cache with one cost function.
+  model::CostCache* cost_cache = nullptr;
 };
 
 struct DpResult {

@@ -123,19 +123,30 @@ AnnealResult anneal_search(int n,
   }
 
   const RecursiveSplitSampler sampler(options.max_leaf);
-  core::Plan current = sampler.sample(n, rng);
-  double current_cost = cost(current);
 
   AnnealResult result;
+  const auto priced = [&cost, &options, &result](const core::Plan& plan) {
+    if (options.cost_cache != nullptr) {
+      const std::string key = plan.to_string();
+      if (const auto hit = options.cost_cache->lookup_plan(key)) return *hit;
+      const double value = cost(plan);
+      ++result.evaluations;
+      options.cost_cache->store_plan(key, value);
+      return value;
+    }
+    ++result.evaluations;
+    return cost(plan);
+  };
+
+  core::Plan current = sampler.sample(n, rng);
+  double current_cost = priced(current);
   result.best = current;
   result.best_cost = current_cost;
-  result.evaluations = 1;
 
   double temperature = options.initial_temperature;
   for (int step = 0; step < options.iterations; ++step) {
     core::Plan candidate = mutate_plan(current, options.max_leaf, rng);
-    const double candidate_cost = cost(candidate);
-    ++result.evaluations;
+    const double candidate_cost = priced(candidate);
 
     bool accept = candidate_cost < current_cost;
     if (!accept && temperature > 0.0 && current_cost > 0.0) {

@@ -21,6 +21,7 @@
 #include <functional>
 
 #include "core/plan.hpp"
+#include "model/cost_cache.hpp"
 #include "util/rng.hpp"
 
 namespace whtlab::search {
@@ -34,6 +35,11 @@ struct AnnealOptions {
   double initial_temperature = 0.10;  ///< relative-cost units (see accept rule)
   double cooling = 0.99;              ///< temperature *= cooling per step
   int max_leaf = core::kMaxUnrolled;
+  /// Whole-candidate memo: annealing's mutate/reject cycles revisit plans
+  /// constantly (a rejected move is often re-proposed a few steps later);
+  /// when set, repeats are priced from the cache instead of re-evaluated.
+  /// The caller must pair one cache with one cost function.
+  model::CostCache* cost_cache = nullptr;
 };
 
 struct AnnealResult {

@@ -34,7 +34,17 @@ PrunedSearchResult model_pruned_search(int n, const ModelFn& model,
   scores.reserve(static_cast<std::size_t>(options.candidates));
   for (int i = 0; i < options.candidates; ++i) {
     plans.push_back(sampler.sample(n, rng));
-    scores.push_back(model(plans.back()));
+    if (options.cost_cache != nullptr) {
+      const std::string key = plans.back().to_string();
+      if (const auto hit = options.cost_cache->lookup_plan(key)) {
+        scores.push_back(*hit);
+      } else {
+        scores.push_back(model(plans.back()));
+        options.cost_cache->store_plan(key, scores.back());
+      }
+    } else {
+      scores.push_back(model(plans.back()));
+    }
   }
 
   std::vector<std::size_t> order(plans.size());

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "model/cost_cache.hpp"
 #include "perf/measure.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +26,10 @@ struct PrunedSearchOptions {
   double keep_fraction = 0.1;  ///< fraction (by model rank) actually measured
   int max_leaf = core::kMaxUnrolled;
   perf::MeasureOptions measure{};
+  /// Whole-candidate memo for the *model* ranking pass (random sampling
+  /// draws duplicate shapes; measurements are never cached).  The caller
+  /// must pair one cache with one model function.
+  model::CostCache* cost_cache = nullptr;
   /// Optional override for candidate timing; unset = measure_plan(p, measure)
   /// .cycles().  Lets callers time through another execution engine (the
   /// api::Planner times candidates on the backend the Transform will own).

@@ -53,6 +53,13 @@ struct KernelSet {
   void (*fused_unit_pass)(int u, double* x, std::uint64_t runs) = nullptr;
   void (*fused_lockstep_pass)(int k, int stage, double* x,
                               std::uint64_t block) = nullptr;
+
+  /// Gather/scatter strided leaf: WHT(2^k) on x[0], x[stride], ...,
+  /// 2^k >= width, any stride > 1.  nullptr where the ISA cannot express it
+  /// (AVX2 gathers but cannot scatter) — callers then keep the scalar
+  /// fallback.  Gated at runtime by WHTLAB_SIMD_GATHER (see
+  /// simd_executor.cpp).
+  void (*leaf_strided)(int k, double* x, std::ptrdiff_t stride) = nullptr;
 };
 
 /// Kernel tables for the ISA-specific translation units.  Only declared

@@ -15,6 +15,7 @@ const KernelSet& avx512_kernels() {
       /*interleave_out=*/&detail::interleave_out<8>,
       /*fused_unit_pass=*/&detail::fused_unit_pass<8>,
       /*fused_lockstep_pass=*/&detail::fused_lockstep_pass<8>,
+      /*leaf_strided=*/&detail::leaf_strided_avx512,
   };
   return kernels;
 }

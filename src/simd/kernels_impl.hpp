@@ -22,6 +22,13 @@
 #include <cstddef>
 #include <cstdint>
 
+#if defined(__AVX512F__)
+// The gather/scatter leaf needs the vgatherqpd / vscatterqpd intrinsics,
+// which have no vector-extension spelling.  Guarded so only the AVX-512 TU
+// (compiled with -mavx512f) sees the include.
+#include <immintrin.h>
+#endif
+
 #include "core/plan.hpp"
 
 namespace whtlab::simd::detail {
@@ -115,16 +122,15 @@ inline vec_t<W> lane_butterfly(vec_t<W> v) {
 template <int W>
 inline constexpr int kLog2Width = W == 4 ? 2 : 3;
 
-/// WHT(2^k) on 2^k contiguous doubles, 2^k >= W.  Stages 0..log2(W)-1 run
-/// inside registers via lane_butterfly; stages log2(W).. are full-width
-/// add/sub between registers — the same stage order as the scalar codelets.
+/// The in-register WHT(2^k) stage body shared by leaf_unit and the
+/// gather/scatter strided leaf: t[] holds 2^k logically consecutive
+/// elements W per register.  Stages 0..log2(W)-1 run inside registers via
+/// lane_butterfly; stages log2(W).. are full-width add/sub between
+/// registers — the same stage order as the scalar codelets.
 template <int W>
-void leaf_unit(int k, double* x) {
+inline void register_stages(int k, vec_t<W>* t) {
   using vec = vec_t<W>;
-  const int m = 1 << k;
-  const int nv = m / W;
-  vec t[(1 << core::kMaxUnrolled) / W];
-  for (int i = 0; i < nv; ++i) t[i] = vload<W>(x + i * W);
+  const int nv = (1 << k) / W;
   for (int i = 0; i < nv; ++i) {
     vec v = t[i];
     v = lane_butterfly<W, 1>(v);
@@ -143,8 +149,51 @@ void leaf_unit(int k, double* x) {
       }
     }
   }
+}
+
+/// WHT(2^k) on 2^k contiguous doubles, 2^k >= W.
+template <int W>
+void leaf_unit(int k, double* x) {
+  using vec = vec_t<W>;
+  const int m = 1 << k;
+  const int nv = m / W;
+  vec t[(1 << core::kMaxUnrolled) / W];
+  for (int i = 0; i < nv; ++i) t[i] = vload<W>(x + i * W);
+  register_stages<W>(k, t);
   for (int i = 0; i < nv; ++i) vstore<W>(x + i * W, t[i]);
 }
+
+#if defined(__AVX512F__)
+/// WHT(2^k) on the 2^k strided doubles x[0], x[stride], ..., 2^k >= 8 —
+/// the gather/scatter twin of leaf_unit for the leaves the tree walk would
+/// otherwise run scalar (a strided execute() call, or the small-stride
+/// recursion below the lockstep threshold).  vgatherqpd pulls 8 strided
+/// elements per register so the whole butterfly body runs in zmm exactly as
+/// in leaf_unit; vscatterqpd writes them back.  Same adds in the same
+/// order, so the result stays bit-identical to the scalar codelet (the
+/// parity suites gate this like every other kernel).  AVX-512 only: AVX2
+/// has gathers but no scatters, and a gathered load that must be stored
+/// back element-by-element loses the exercise.
+inline void leaf_strided_avx512(int k, double* x, std::ptrdiff_t stride) {
+  const int nv = (1 << k) / 8;
+  v8df t[(1 << core::kMaxUnrolled) / 8];
+  const long long s = static_cast<long long>(stride);
+  const __m512i first =
+      _mm512_setr_epi64(0, s, 2 * s, 3 * s, 4 * s, 5 * s, 6 * s, 7 * s);
+  const __m512i step = _mm512_set1_epi64(8 * s);
+  __m512i index = first;
+  for (int i = 0; i < nv; ++i) {
+    t[i] = (v8df)_mm512_i64gather_pd(index, x, 8);
+    index = _mm512_add_epi64(index, step);
+  }
+  register_stages<8>(k, t);
+  index = first;
+  for (int i = 0; i < nv; ++i) {
+    _mm512_i64scatter_pd(x, index, (__m512d)t[i], 8);
+    index = _mm512_add_epi64(index, step);
+  }
+}
+#endif  // __AVX512F__
 
 /// In-register W x W transpose: r[i][j] <-> r[j][i].  log2(W) levels of
 /// pairwise two-vector shuffles (its own inverse, so one routine serves

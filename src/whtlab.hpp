@@ -22,10 +22,12 @@
 #include "core/schedule.hpp"             // IWYU pragma: export
 #include "core/sequency.hpp"             // IWYU pragma: export
 #include "core/verify.hpp"               // IWYU pragma: export
+#include "model/analytic_misses.hpp"     // IWYU pragma: export
 #include "model/blocked_cost.hpp"        // IWYU pragma: export
 #include "model/cache_model.hpp"         // IWYU pragma: export
 #include "model/calibrate.hpp"           // IWYU pragma: export
 #include "model/combined_model.hpp"      // IWYU pragma: export
+#include "model/cost_cache.hpp"          // IWYU pragma: export
 #include "model/instruction_model.hpp"   // IWYU pragma: export
 #include "model/simd_cost.hpp"           // IWYU pragma: export
 #include "model/space_stats.hpp"         // IWYU pragma: export

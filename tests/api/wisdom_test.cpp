@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/wht.hpp"
 #include "core/plan.hpp"
@@ -138,6 +142,121 @@ TEST(PlannerWisdom, HitViolatingMaxLeafIsAMissAndIsResearched) {
   auto replay = Planner().wisdom_file(file.path()).max_leaf(3).plan(10);
   EXPECT_TRUE(replay.planning().from_wisdom);
   EXPECT_EQ(replay.plan(), capped.plan());
+}
+
+TEST(Wisdom, PropertiesRoundTripAndMerge) {
+  const TempFile file("wisdom_props.txt");
+  Wisdom wisdom;
+  wisdom.set_property("calibration/avx512/fused", "1 0.25 1 8");
+  wisdom.set_property("empty-value", "");  // legal, must round-trip
+  wisdom.insert(Wisdom::Key{"avx512", 6, "estimate", "fused"},
+                core::Plan::iterative(6));
+  wisdom.save(file.path());
+
+  const Wisdom loaded = Wisdom::load(file.path());
+  ASSERT_TRUE(loaded.property("calibration/avx512/fused").has_value());
+  EXPECT_EQ(*loaded.property("calibration/avx512/fused"), "1 0.25 1 8");
+  ASSERT_TRUE(loaded.property("empty-value").has_value());
+  EXPECT_EQ(*loaded.property("empty-value"), "");
+  EXPECT_FALSE(loaded.property("missing").has_value());
+
+  Wisdom other;
+  other.set_property("calibration/avx512/fused", "2 2 2 2");
+  other.insert(Wisdom::Key{"avx512", 7, "estimate", "fused"},
+               core::Plan::iterative(7));
+  Wisdom merged = loaded;
+  merged.merge_from(other);
+  EXPECT_EQ(merged.size(), 2u);  // union of entries
+  EXPECT_EQ(*merged.property("calibration/avx512/fused"), "2 2 2 2");
+}
+
+TEST(Wisdom, SaveIsAtomicReplacement) {
+  // save() must go through a temp file + rename: after it returns there is
+  // no temp residue, and an existing file was replaced whole (a reader can
+  // never observe the header without the entries).
+  const TempFile file("wisdom_atomic.txt");
+  Wisdom first;
+  first.insert(Wisdom::Key{"scalar", 5, "estimate", "generated"},
+               core::Plan::iterative(5));
+  first.save(file.path());
+  Wisdom second;
+  second.insert(Wisdom::Key{"scalar", 6, "estimate", "generated"},
+                core::Plan::iterative(6));
+  second.save(file.path());
+
+  const Wisdom loaded = Wisdom::load(file.path());
+  EXPECT_EQ(loaded.size(), 1u);  // replaced, not appended
+  std::ifstream temp(file.path() + ".tmp." + std::to_string(::getpid()));
+  EXPECT_FALSE(temp.good()) << "temp file left behind";
+}
+
+TEST(WisdomRegistry, ConcurrentWritersLoseNothing) {
+  // The failure mode this closes: two planners load the same file, each
+  // inserts its own winner, each rewrites the whole file — last writer
+  // silently drops the other's entry.  Through the registry every insert
+  // re-merges the shared state under one lock, so all winners survive any
+  // interleaving.
+  const TempFile file("wisdom_concurrent.txt");
+  WisdomRegistry::global().invalidate(file.path());
+  constexpr int kWriters = 8;
+  constexpr int kEntriesPerWriter = 4;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&file, w]() {
+      for (int i = 0; i < kEntriesPerWriter; ++i) {
+        const int n = 4 + (w * kEntriesPerWriter + i) % 12;
+        WisdomRegistry::global().insert(
+            file.path(),
+            Wisdom::Key{"avx512", n, "measure",
+                        "writer" + std::to_string(w) + "_" + std::to_string(i)},
+            core::Plan::iterative(n));
+      }
+    });
+  }
+  for (auto& thread : writers) thread.join();
+
+  const Wisdom loaded = Wisdom::load(file.path());
+  EXPECT_EQ(loaded.size(),
+            static_cast<std::size_t>(kWriters * kEntriesPerWriter));
+}
+
+TEST(WisdomRegistry, ConcurrentPlannersShareOneFile) {
+  // End to end through the Planner: concurrent plan() calls against one
+  // wisdom file must each persist their tuple.
+  const TempFile file("wisdom_planner_concurrent.txt");
+  WisdomRegistry::global().invalidate(file.path());
+  const std::vector<int> sizes{6, 7, 8, 9};
+  std::vector<std::thread> planners;
+  for (const int n : sizes) {
+    planners.emplace_back([&file, n]() {
+      Planner().wisdom_file(file.path()).plan(n);
+    });
+  }
+  for (auto& thread : planners) thread.join();
+
+  const Wisdom loaded = Wisdom::load(file.path());
+  EXPECT_EQ(loaded.size(), sizes.size());
+  for (const int n : sizes) {
+    EXPECT_NE(loaded.lookup(Wisdom::Key{simd::to_string(simd::active_level()),
+                                        n, "estimate", "generated"}),
+              nullptr);
+  }
+}
+
+TEST(WisdomRegistry, ReloadsWhenTheFileChangesUnderneath) {
+  // External rewrites (another process, a test fixture) must be visible:
+  // the registry fingerprints the file and reloads on change.
+  const TempFile file("wisdom_reload.txt");
+  WisdomRegistry::global().invalidate(file.path());
+  const Wisdom::Key key{"avx512", 6, "measure", "simd"};
+  EXPECT_FALSE(WisdomRegistry::global().lookup(file.path(), key).has_value());
+
+  Wisdom external;
+  external.insert(key, core::Plan::iterative(6));
+  external.save(file.path());
+  const auto hit = WisdomRegistry::global().lookup(file.path(), key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, core::Plan::iterative(6));
 }
 
 TEST(PlannerWisdom, FixedStrategyBypassesTheCache) {

@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -57,8 +58,16 @@ std::vector<std::string> split_list(const std::string& text) {
 }
 
 wht::Strategy parse_strategy(const std::string& name) {
-  if (name == "estimate") return wht::Strategy::kEstimate;
-  if (name == "anneal") return wht::Strategy::kAnneal;
+  // The shared façade parser does the name mapping; this driver only times
+  // the measurement-free strategies, so everything else stays rejected.
+  try {
+    const wht::Strategy strategy = wht::strategy_from_string(name);
+    if (strategy == wht::Strategy::kEstimate ||
+        strategy == wht::Strategy::kAnneal) {
+      return strategy;
+    }
+  } catch (const std::invalid_argument&) {
+  }
   std::fprintf(stderr, "bench_plan_time: unknown strategy '%s' "
                "(model-driven only: estimate, anneal)\n", name.c_str());
   std::exit(2);

@@ -1,0 +1,73 @@
+// Concurrent serving with wht::Engine.
+//
+// One process-wide Engine, many client threads, three request shapes:
+// big single vectors, tiny-n batches, and async submits that coalesce.
+// The Engine plans each (size, backend) once, shares the immutable
+// Transforms across every thread, and routes each request to the backend
+// its cost model says is cheapest *for that shape* — watch the decisions
+// it prints.
+//
+//   ./serve [clients] [requests-per-client]
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "api/wht.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using whtlab::util::random_vector;
+
+void print_decision(const char* label, const wht::Engine::Decision& decision) {
+  std::printf("%-28s -> %-10s (", label, decision.backend.c_str());
+  for (std::size_t i = 0; i < decision.candidates.size(); ++i) {
+    std::printf("%s%s=%.3g", i ? ", " : "",
+                decision.candidates[i].backend.c_str(),
+                decision.candidates[i].cost);
+  }
+  std::printf(")\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  wht::Engine engine;  // defaults: kEstimate plans, measured cost anchors
+
+  // The arbiter prices every candidate per request shape.
+  print_decision("single vector, n = 18", engine.arbitrate(18, 1));
+  print_decision("batch of 32, n = 6", engine.arbitrate(6, 32));
+
+  // Serve a mixed load from `clients` threads — one shared Engine, no locks.
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&engine, requests, c]() {
+      auto big = random_vector(std::size_t{1} << 18, 1 + c);
+      auto tiny = random_vector((std::size_t{1} << 6) * 32, 100 + c);
+      auto async = random_vector(std::size_t{1} << 10, 200 + c);
+      for (int r = 0; r < requests; ++r) {
+        engine.execute(18, big.data());            // arbitrated single
+        engine.execute_many(6, tiny.data(), 32);   // arbitrated batch
+        engine.submit(10, async.data()).get();     // coalesces under load
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+
+  const auto stats = engine.stats();
+  std::printf("served %llu vectors (%llu batched dispatches, "
+              "%llu submits coalesced)\n",
+              (unsigned long long)stats.vectors,
+              (unsigned long long)stats.batches,
+              (unsigned long long)stats.coalesced);
+  for (const auto& [backend, vectors] : stats.per_backend) {
+    std::printf("  %-10s %llu vectors\n", backend.c_str(),
+                (unsigned long long)vectors);
+  }
+  return 0;
+}

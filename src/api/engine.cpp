@@ -1,0 +1,327 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "api/planner.hpp"
+#include "model/combined_model.hpp"
+
+namespace whtlab::api {
+
+namespace {
+
+/// Per-vector model cost for arbitration: the backend's own model when it
+/// has one ("fused" prices memory passes), the CombinedModel at its vector
+/// width otherwise — the same pricing rule the Planner applies, minus the
+/// search-scoped memo (entries are priced once and cached).
+double model_unit_cost(const ExecutorBackend& backend, const core::Plan& plan) {
+  if (auto own = backend.cost_model()) return own(plan);
+  model::CombinedModel model;
+  model.vector_width = backend.vector_width();
+  return model(plan);
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  if (options_.threads < 1) {
+    throw std::invalid_argument("wht::Engine: threads must be >= 1");
+  }
+  if (options_.max_batch < 1) {
+    throw std::invalid_argument("wht::Engine: max_batch must be >= 1");
+  }
+  if (options_.batch_window_us < 0) {
+    throw std::invalid_argument("wht::Engine: batch_window_us must be >= 0");
+  }
+  candidates_ = options_.backends;
+  if (candidates_.empty()) {
+    candidates_ = {"generated", "simd", "fused"};
+    if (options_.threads > 1) candidates_.push_back("parallel");
+  }
+  auto& registry = BackendRegistry::global();
+  for (const auto& name : candidates_) {
+    if (!registry.contains(name)) {
+      throw std::invalid_argument("wht::Engine: unknown candidate backend '" +
+                                  name + "'");
+    }
+  }
+}
+
+Engine::~Engine() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // A dispatcher that never started cannot have left queued work behind
+  // (submit() starts it before enqueueing); promises die with the deque.
+}
+
+Engine::Entry& Engine::slot(int n, const std::string& backend) {
+  const std::lock_guard<std::mutex> lock(entries_mutex_);
+  std::unique_ptr<Entry>& cell = entries_[{n, backend}];
+  if (!cell) cell = std::make_unique<Entry>();
+  return *cell;  // map nodes are stable; cells are never erased
+}
+
+Engine::Entry& Engine::ensure_built(Entry& e, int n,
+                                    const std::string& backend) {
+  if (!e.ready.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(e.build_mutex);
+    if (!e.ready.load(std::memory_order_relaxed)) {
+      build_entry(e, n, backend);  // a throw caches nothing: next touch retries
+      e.ready.store(true, std::memory_order_release);
+    }
+  }
+  return e;
+}
+
+Engine::Entry& Engine::entry(int n, const std::string& backend) {
+  return ensure_built(slot(n, backend), n, backend);
+}
+
+void Engine::build_entry(Entry& e, int n, const std::string& backend) {
+  Planner planner;
+  planner.strategy(options_.strategy)
+      .backend(backend)
+      .threads(options_.threads)
+      .max_leaf(options_.max_leaf);
+  if (!options_.wisdom_file.empty()) {
+    planner.wisdom_file(options_.wisdom_file);
+    planner.calibrate(options_.calibrate);
+  }
+  auto transform = std::make_shared<Transform>(planner.plan(n));
+  if (options_.measure_costs) {
+    // Anchor to cycles so "fused" model units and CombinedModel units are
+    // comparable across backends: one short measurement per (n, backend),
+    // paid at first touch, cached for the Engine's lifetime.
+    e.unit_cost =
+        measure_with_backend(transform->backend(), transform->plan(),
+                             options_.measure)
+            .cycles();
+  } else {
+    e.unit_cost = model_unit_cost(transform->backend(), transform->plan());
+  }
+  e.transform = std::move(transform);
+}
+
+std::shared_ptr<const Transform> Engine::transform(int n,
+                                                   const std::string& backend) {
+  return entry(n, backend).transform;
+}
+
+Engine::Choice Engine::choose(int n, std::size_t count) {
+  if (count < 1) {
+    throw std::invalid_argument("wht::Engine: request count must be >= 1");
+  }
+  // One pass under the map lock for every cell, then per-entry fast paths
+  // (a single acquire-load once built).
+  std::vector<Entry*> cells;
+  cells.reserve(candidates_.size());
+  {
+    const std::lock_guard<std::mutex> lock(entries_mutex_);
+    for (const auto& name : candidates_) {
+      std::unique_ptr<Entry>& cell = entries_[{n, name}];
+      if (!cell) cell = std::make_unique<Entry>();
+      cells.push_back(cell.get());
+    }
+  }
+  Choice choice;
+  choice.decision.cost = std::numeric_limits<double>::infinity();
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const std::string& name = candidates_[i];
+    try {
+      Entry& e = ensure_built(*cells[i], n, name);
+      double cost = e.unit_cost * static_cast<double>(count);
+      if (count > 1) {
+        cost *= e.transform->backend().batch_factor(e.transform->plan(), count,
+                                                    options_.threads);
+      }
+      choice.decision.candidates.push_back({name, cost});
+      if (cost < choice.decision.cost) {
+        choice.decision.cost = cost;
+        choice.decision.backend = name;
+        choice.winner = &e;
+      }
+    } catch (...) {
+      // A broken candidate must not take the whole size down while others
+      // can serve; it is absent from this ranking and retried next touch.
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (choice.decision.candidates.empty()) {
+    if (first_error) std::rethrow_exception(first_error);
+    throw std::logic_error("wht::Engine: no candidate backends");
+  }
+  std::sort(choice.decision.candidates.begin(), choice.decision.candidates.end(),
+            [](const Decision::Candidate& a, const Decision::Candidate& b) {
+              return a.cost < b.cost;
+            });
+  return choice;
+}
+
+Engine::Decision Engine::arbitrate(int n, std::size_t count) {
+  return choose(n, count).decision;
+}
+
+void Engine::record(const std::string& backend, std::uint64_t vectors,
+                    bool batch, bool from_submit) {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.vectors += vectors;
+  if (batch) {
+    stats_.batches += 1;
+    if (from_submit && vectors >= 2) stats_.coalesced += vectors;
+  } else if (!from_submit) {
+    stats_.singles += 1;
+  }
+  stats_.per_backend[backend] += vectors;
+}
+
+void Engine::execute(int n, double* x) {
+  const Choice choice = choose(n, 1);
+  choice.winner->transform->execute(x);
+  record(choice.decision.backend, 1, false, false);
+}
+
+void Engine::execute_many(int n, double* x, std::size_t count) {
+  execute_many(n, x, count, static_cast<std::ptrdiff_t>(std::uint64_t{1} << n));
+}
+
+void Engine::execute_many(int n, double* x, std::size_t count,
+                          std::ptrdiff_t dist) {
+  if (count == 0) return;
+  const Choice choice = choose(n, count);
+  choice.winner->transform->execute_many(x, count, dist);
+  record(choice.decision.backend, count, count > 1, false);
+}
+
+void Engine::ensure_dispatcher() {
+  // Called with queue_mutex_ held.
+  if (dispatcher_started_) return;
+  dispatcher_started_ = true;
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+std::future<void> Engine::submit(int n, double* x) {
+  if (n < 1) throw std::invalid_argument("wht::Engine: n must be >= 1");
+  Pending pending;
+  pending.n = n;
+  pending.x = x;
+  std::future<void> future = pending.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stop_) {
+      throw std::logic_error("wht::Engine: submit after shutdown");
+    }
+    ensure_dispatcher();
+    queue_.push_back(std::move(pending));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.submitted += 1;
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+void Engine::dispatcher_main() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // drained: exit only with an empty queue
+      continue;
+    }
+    // Coalescing window: serve the oldest request's size, merging every
+    // same-size request that is queued now or arrives before the window
+    // closes (or the batch fills), into one dispatch.
+    const int n = queue_.front().n;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.batch_window_us);
+    auto same_n = [this, n] {
+      std::size_t matching = 0;
+      for (const Pending& p : queue_) matching += (p.n == n);
+      return matching;
+    };
+    while (!stop_ && same_n() < options_.max_batch &&
+           queue_cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+    std::vector<Pending> group;
+    group.reserve(std::min<std::size_t>(options_.max_batch, queue_.size()));
+    for (auto it = queue_.begin();
+         it != queue_.end() && group.size() < options_.max_batch;) {
+      if (it->n == n) {
+        group.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+    serve_group(std::move(group));
+    lock.lock();
+  }
+}
+
+namespace {
+
+/// Ceiling on a coalesced batch's contiguous staging (16 MiB of doubles).
+/// Coalescing pays two memcpys per vector to unlock the batch paths, which
+/// wins exactly where per-transform overhead dominates — tiny transforms.
+/// Above this the copies (and the grow-only arena they would pin for the
+/// Engine's lifetime) outweigh any batch gain, so the group serves
+/// per-vector in place instead.
+constexpr std::uint64_t kMaxStagedDoubles = std::uint64_t{1} << 21;
+
+}  // namespace
+
+void Engine::serve_group(std::vector<Pending> group) {
+  const int n = group.front().n;
+  const std::size_t count = group.size();
+  const std::uint64_t size = std::uint64_t{1} << n;
+  const bool staged = count > 1 && size * count <= kMaxStagedDoubles;
+  try {
+    // Price the shape that will actually run: a group too large to stage
+    // serves as independent single-vector requests.
+    const Choice choice = choose(n, staged ? count : 1);
+    const Transform& transform = *choice.winner->transform;
+    if (!staged) {
+      for (Pending& p : group) {
+        transform.execute(p.x, 1, dispatcher_ctx_);
+      }
+    } else {
+      // Stage the scattered request buffers contiguously, run ONE batched
+      // call on the arbitrated backend, scatter the results back.  The
+      // staging arena belongs to the dispatcher thread and is reused across
+      // batches, so steady-state serving allocates nothing.
+      double* stage = dispatcher_ctx_.staging(size * count);
+      for (std::size_t v = 0; v < count; ++v) {
+        std::memcpy(stage + v * size, group[v].x, size * sizeof(double));
+      }
+      transform.execute_many(stage, count, static_cast<std::ptrdiff_t>(size),
+                             dispatcher_ctx_);
+      for (std::size_t v = 0; v < count; ++v) {
+        std::memcpy(group[v].x, stage + v * size, size * sizeof(double));
+      }
+    }
+    record(choice.decision.backend, count, staged, true);
+    for (Pending& p : group) p.promise.set_value();
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Pending& p : group) p.promise.set_exception(error);
+  }
+}
+
+Engine::Stats Engine::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace whtlab::api

@@ -1,0 +1,230 @@
+// wht::Engine — the process-wide concurrent serving façade.
+//
+// A Transform is immutable and re-entrant (transform.hpp), so the natural
+// serving architecture is: plan once per (size, backend), share the plans
+// among every serving thread, and decide *which* backend answers each
+// request from the request's shape.  Engine packages exactly that:
+//
+//   wht::Engine engine;
+//   engine.execute(16, x);             // single vector, arbitrated backend
+//   engine.execute_many(10, xs, 64);   // batch, arbitrated batch path
+//   auto done = engine.submit(10, y);  // async; concurrent same-size
+//   done.get();                        //   submits coalesce into one batch
+//
+//   * Shared plan cache — one immutable Transform per (n, backend), planned
+//     on first touch through the wht::Planner (wisdom-backed when
+//     EngineOptions::wisdom_file is set: a tuned plan is paid for once per
+//     machine, then every Engine in every process reuses it).
+//   * Serve-time backend arbitration — each registered candidate backend is
+//     priced for the request shape (single vector vs batch, size, thread
+//     budget) from its own cost_model() (host-calibrated where the backend
+//     supports it) or the CombinedModel at its vector width, anchored to
+//     measured cycles by default so cross-backend units are comparable, and
+//     scaled by ExecutorBackend::batch_factor for the batch shape.  The
+//     measure-or-model autotuning idea, applied across backends at serve
+//     time: "fused" wins big single vectors (memory passes), "simd" wins
+//     tiny-n batches (interleave), per the models — not per a hardcode.
+//   * Coalescing batcher — submit() queues the request and returns a
+//     future; a dispatcher thread merges every same-size request that
+//     arrives within a short window (or until max_batch) into ONE
+//     run_many call on the arbitrated batch backend.  Under concurrent
+//     load, independent callers transparently form batches big enough for
+//     the interleaved/fan-out paths to pay off.
+//
+// All public methods are thread-safe; one Engine is meant to be shared by
+// an entire process (construct it once, serve from everywhere).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/exec_context.hpp"
+#include "api/transform.hpp"
+#include "perf/measure.hpp"
+
+namespace whtlab::api {
+
+struct EngineOptions {
+  /// Candidate backends the arbiter chooses among.  Every name must exist in
+  /// the BackendRegistry (checked at Engine construction).  Empty = the
+  /// serving built-ins: "generated", "simd", "fused", plus "parallel" when
+  /// threads > 1.
+  std::vector<std::string> backends;
+
+  /// Planning strategy for first-touch plans (kEstimate: model-driven,
+  /// instant — the serving default; pair with wisdom_file to amortize
+  /// anything costlier).
+  Strategy strategy = Strategy::kEstimate;
+
+  /// Per-request worker-thread budget handed to the backends (batch fan-out)
+  /// and to the arbiter's batch pricing.  Serving throughput scales with
+  /// *caller* threads on the shared transforms regardless; keep this 1
+  /// unless individual requests are latency-critical.
+  int threads = 1;
+
+  /// Largest unrolled leaf for planning (Planner::max_leaf).
+  int max_leaf = core::kMaxUnrolled;
+
+  /// Wisdom file consulted/updated by first-touch planning ("" = none).
+  std::string wisdom_file;
+
+  /// Host-calibrate backend cost models during first-touch planning
+  /// (requires wisdom_file; see Planner::calibrate).
+  bool calibrate = false;
+
+  /// Anchor each (n, backend) model cost to measured cycles (one short
+  /// measurement at first touch) so arbitration compares cycles with
+  /// cycles.  Off = raw model units (only meaningful when every candidate's
+  /// model shares units — e.g. custom backends in tests).
+  bool measure_costs = true;
+
+  /// Protocol for the anchor measurements (kept deliberately cheap).
+  perf::MeasureOptions measure{/*warmup=*/1, /*repetitions=*/3};
+
+  /// Coalescer: a forming batch dispatches at this many requests ...
+  std::size_t max_batch = 32;
+
+  /// ... or this long after its first request arrived, whichever is first.
+  long batch_window_us = 200;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();  ///< drains the submit queue, joins the dispatcher
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// What the arbiter decided for one request shape (also the introspection
+  /// hook: candidates lists every backend's priced cost for the shape).
+  struct Decision {
+    std::string backend;  ///< the winner
+    double cost = 0.0;    ///< its predicted cost for the whole request
+    struct Candidate {
+      std::string backend;
+      double cost = 0.0;
+    };
+    std::vector<Candidate> candidates;  ///< every priced candidate, sorted by cost
+  };
+
+  /// Prices every candidate backend for a request of `count` vectors of
+  /// 2^n doubles and returns the ranking.  First touch of an (n, backend)
+  /// pair plans (and, by default, anchor-measures) it; later calls are one
+  /// short map lookup plus arithmetic on the cached per-unit costs — no
+  /// re-planning, no re-measurement.  A candidate whose first-touch build
+  /// throws is skipped for this decision and retried on the next;
+  /// arbitrate itself throws only when every candidate fails.
+  Decision arbitrate(int n, std::size_t count = 1);
+
+  /// The shared immutable Transform for (n, backend); planned on first
+  /// touch, cached for the Engine's lifetime.  The shared_ptr keeps it
+  /// alive independently of the Engine — hold it to skip even the cache
+  /// lookup on a hot serve path.
+  std::shared_ptr<const Transform> transform(int n, const std::string& backend);
+
+  /// Serves one in-place transform of x[0 .. 2^n) on the arbitrated
+  /// backend, synchronously on the calling thread.
+  void execute(int n, double* x);
+
+  /// Serves `count` vectors (vector v at x + v*dist; dist defaults to 2^n)
+  /// in one arbitrated run_many call.
+  void execute_many(int n, double* x, std::size_t count);
+  void execute_many(int n, double* x, std::size_t count, std::ptrdiff_t dist);
+
+  /// Queues one in-place transform of x[0 .. 2^n) and returns immediately;
+  /// the future resolves when it ran.  Concurrent submits of the same n
+  /// coalesce into one arbitrated run_many (the dispatcher stages them
+  /// contiguously, runs the batch, scatters results back).  Planning or
+  /// execution errors surface through the future.
+  std::future<void> submit(int n, double* x);
+
+  /// Serving counters (monotonic since construction).
+  struct Stats {
+    std::uint64_t vectors = 0;       ///< transforms served, all paths
+    std::uint64_t singles = 0;       ///< synchronous execute() requests
+    std::uint64_t submitted = 0;     ///< submit() requests
+    std::uint64_t batches = 0;       ///< run_many dispatches (any path)
+    std::uint64_t coalesced = 0;     ///< submits served in a merged batch (>= 2)
+    std::map<std::string, std::uint64_t> per_backend;  ///< vectors per winner
+  };
+  Stats stats() const;
+
+  const EngineOptions& options() const { return options_; }
+  /// The arbiter's candidate pool (options().backends after defaulting).
+  const std::vector<std::string>& candidates() const { return candidates_; }
+
+ private:
+  struct Entry {
+    /// Lock-free ready flag: once true, transform/unit_cost are immutable
+    /// and readable without the build mutex (release/acquire pairing).
+    /// Build failures cache nothing — the next touch retries, so one
+    /// transient error (ENOSPC during a wisdom write, an OOM during an
+    /// anchor measurement) never poisons a size for the Engine's lifetime.
+    std::atomic<bool> ready{false};
+    std::mutex build_mutex;
+    std::shared_ptr<const Transform> transform;
+    double unit_cost = 0.0;  ///< per-vector serve cost (cycles or model units)
+  };
+
+  struct Pending {
+    int n = 0;
+    double* x = nullptr;
+    std::promise<void> promise;
+  };
+
+  /// The map cell for (n, backend) — one short map-lock, no building.
+  Entry& slot(int n, const std::string& backend);
+  /// The built entry; builds under the entry's own mutex on first touch
+  /// (throwing what planning threw, caching nothing on failure) and is a
+  /// single atomic load afterwards.
+  Entry& entry(int n, const std::string& backend);
+  Entry& ensure_built(Entry& e, int n, const std::string& backend);
+  void build_entry(Entry& e, int n, const std::string& backend);
+
+  /// arbitrate() plus the winning entry — the serve paths use this so the
+  /// request is priced and routed with ONE pass over the cells (no second
+  /// locked map lookup on the hot path).
+  struct Choice {
+    Decision decision;
+    Entry* winner = nullptr;
+  };
+  Choice choose(int n, std::size_t count);
+
+  void record(const std::string& backend, std::uint64_t vectors,
+              bool batch, bool from_submit);
+
+  void dispatcher_main();
+  void serve_group(std::vector<Pending> group);
+  void ensure_dispatcher();
+
+  EngineOptions options_;
+  std::vector<std::string> candidates_;
+
+  std::mutex entries_mutex_;  ///< guards the map structure, not the builds
+  std::map<std::pair<int, std::string>, std::unique_ptr<Entry>> entries_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  bool dispatcher_started_ = false;
+  std::thread dispatcher_;
+  ExecContext dispatcher_ctx_;  ///< staging + scratch for coalesced batches
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace whtlab::api

@@ -1,0 +1,58 @@
+#include "api/exec_context.hpp"
+
+#include <utility>
+
+namespace whtlab::api {
+
+std::unique_ptr<ExecContext> ContextPool::take() const {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      std::unique_ptr<ExecContext> ctx = std::move(free_.back());
+      free_.pop_back();
+      return ctx;
+    }
+    ++created_;
+  }
+  return std::make_unique<ExecContext>();
+}
+
+void ContextPool::give_back(std::unique_ptr<ExecContext> ctx) const {
+  if (!ctx) return;
+  // A returned context must not leak one call's tallies into the next
+  // lease's thread; arenas stay warm on purpose (that is the pool's point).
+  ctx->clear_op_counts();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(ctx));
+}
+
+void ContextPool::record_tallies(const core::OpCounts& counts) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Bound the diagnostic cache on thread-churning servers: once this many
+  // distinct threads have recorded tallies, start over rather than grow a
+  // node per thread forever.  Instrumented serving at that scale is not a
+  // real workload — the counts are a measurement channel — so the reset
+  // (which invalidates previously returned tallies() pointers, see the
+  // header contract) is the right trade against an unbounded map.
+  constexpr std::size_t kMaxTallyThreads = 1024;
+  const std::thread::id self = std::this_thread::get_id();
+  if (tallies_.size() >= kMaxTallyThreads && tallies_.count(self) == 0) {
+    tallies_.clear();
+  }
+  tallies_[self] = counts;
+}
+
+const core::OpCounts* ContextPool::tallies() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tallies_.find(std::this_thread::get_id());
+  // Map nodes are stable and only this thread rewrites this slot, so the
+  // pointer stays meaningful after the lock drops.
+  return it == tallies_.end() ? nullptr : &it->second;
+}
+
+std::size_t ContextPool::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return created_;
+}
+
+}  // namespace whtlab::api

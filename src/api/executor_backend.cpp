@@ -11,6 +11,7 @@
 #include "core/parallel_executor.hpp"
 #include "core/schedule.hpp"
 #include "model/blocked_cost.hpp"
+#include "model/simd_cost.hpp"
 #include "simd/fused_executor.hpp"
 #include "simd/simd_executor.hpp"
 #include "util/parallel_chunks.hpp"
@@ -18,6 +19,16 @@
 namespace whtlab::api {
 
 namespace {
+
+/// Across-vector fan-out pricing shared by the threaded batch backends: a
+/// batch of `count` splits over min(threads, count) workers.
+double fanout_factor(std::size_t count, int threads) {
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min<std::size_t>(
+                                   count, static_cast<std::size_t>(
+                                              std::max(threads, 1))));
+  return 1.0 / static_cast<double>(workers);
+}
 
 /// Sequential interpreter over a fixed codelet table.
 class SequentialBackend final : public ExecutorBackend {
@@ -27,7 +38,8 @@ class SequentialBackend final : public ExecutorBackend {
 
   const std::string& name() const override { return name_; }
 
-  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride,
+           ExecContext& /*ctx*/) const override {
     core::execute_node(plan.root(), x, stride, core::codelet_table(codelets_));
   }
 
@@ -37,27 +49,26 @@ class SequentialBackend final : public ExecutorBackend {
 };
 
 /// Op-counting interpreter; numerically identical to the sequential one.
+/// Tallies go to the caller's context, so concurrent runs never race.
 class InstrumentedBackend final : public ExecutorBackend {
  public:
   const std::string& name() const override { return name_; }
 
-  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride,
+           ExecContext& ctx) const override {
     if (stride == 1) {
-      counts_ = core::execute_instrumented(plan, x);
+      ctx.set_op_counts(core::execute_instrumented(plan, x));
     } else {
       // The instrumented interpreter is unit-stride only; op counts are
       // stride-independent, so count closed-form and run the plain path.
       core::execute_node(plan.root(), x, stride,
                          core::codelet_table(core::CodeletBackend::kGenerated));
-      counts_ = core::count_ops(plan);
+      ctx.set_op_counts(core::count_ops(plan));
     }
   }
 
-  const core::OpCounts* last_op_counts() const override { return &counts_; }
-
  private:
   std::string name_ = "instrumented";
-  core::OpCounts counts_{};
 };
 
 /// Fork-join executor over the root split.
@@ -68,7 +79,8 @@ class ParallelBackend final : public ExecutorBackend {
 
   const std::string& name() const override { return name_; }
 
-  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride,
+           ExecContext& /*ctx*/) const override {
     core::execute_parallel_strided(plan, x, stride, threads_, codelets_);
   }
 
@@ -76,7 +88,7 @@ class ParallelBackend final : public ExecutorBackend {
   /// worker runs whole transforms sequentially (no per-factor join points),
   /// the ROADMAP's batch-parallel execute_many.
   void run_many(const core::Plan& plan, double* x, std::size_t count,
-                std::ptrdiff_t dist) override {
+                std::ptrdiff_t dist, ExecContext& /*ctx*/) const override {
     const auto& table = core::codelet_table(codelets_);
     util::parallel_chunks(
         count, threads_, [&plan, &table, x, dist](std::uint64_t begin,
@@ -87,6 +99,11 @@ class ParallelBackend final : public ExecutorBackend {
                                table);
           }
         });
+  }
+
+  double batch_factor(const core::Plan& /*plan*/, std::size_t count,
+                      int threads) const override {
+    return fanout_factor(count, std::min(threads, threads_));
   }
 
  private:
@@ -103,17 +120,37 @@ class SimdBackend final : public ExecutorBackend {
 
   const std::string& name() const override { return name_; }
 
-  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride,
+           ExecContext& /*ctx*/) const override {
     simd::execute(plan, x, stride);
   }
 
   void run_many(const core::Plan& plan, double* x, std::size_t count,
-                std::ptrdiff_t dist) override {
-    simd::execute_many(plan, x, count, dist, threads_);
+                std::ptrdiff_t dist, ExecContext& ctx) const override {
+    simd::execute_many(plan, x, count, dist, threads_, &ctx.scratch_arena());
   }
 
   int vector_width() const override {
     return simd::vector_width(simd::active_level());
+  }
+
+  /// Thread fan-out, times the interleave amortization when this shape runs
+  /// batch-interleaved: W transforms in lockstep retire ~1/W of the scalar
+  /// walk's instruction stream each, while the per-vector vectorized walk
+  /// pays its scalar prefixes — model::interleave_amortization prices the
+  /// ratio.  This is what lets the Engine's arbiter route tiny-n batches
+  /// here while big single vectors go to "fused".  Interleaved batches fan
+  /// threads over the W-vector *groups* (execute_many's actual unit), not
+  /// over vectors — count/W groups cap the parallelism.
+  double batch_factor(const core::Plan& plan, std::size_t count,
+                      int threads) const override {
+    if (simd::batch_interleaves(plan, count)) {
+      const std::size_t groups =
+          std::max<std::size_t>(count / static_cast<std::size_t>(vector_width()), 1);
+      return fanout_factor(groups, std::min(threads, threads_)) *
+             model::interleave_amortization(plan, vector_width());
+    }
+    return fanout_factor(count, std::min(threads, threads_));
   }
 
  private:
@@ -131,17 +168,23 @@ class FusedBackend final : public ExecutorBackend {
 
   const std::string& name() const override { return name_; }
 
-  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride,
+           ExecContext& /*ctx*/) const override {
     simd::execute_fused(schedule_for(plan), x, stride);
   }
 
   void run_many(const core::Plan& plan, double* x, std::size_t count,
-                std::ptrdiff_t dist) override {
+                std::ptrdiff_t dist, ExecContext& /*ctx*/) const override {
     simd::execute_fused_many(schedule_for(plan), x, count, dist, threads_);
   }
 
   int vector_width() const override {
     return simd::vector_width(simd::active_level());
+  }
+
+  double batch_factor(const core::Plan& /*plan*/, std::size_t count,
+                      int threads) const override {
+    return fanout_factor(count, std::min(threads, threads_));
   }
 
   std::function<double(const core::Plan&)> cost_model() const override {
@@ -186,11 +229,13 @@ class FusedBackend final : public ExecutorBackend {
     return config;
   }
 
-  /// Schedules depend only on (size, blocking); memoized so repeated runs
-  /// and batches re-lower nothing.  Backend instances are documented as not
-  /// thread-safe, so no locking around the cache.
-  const core::Schedule& schedule_for(const core::Plan& plan) {
+  /// Schedules depend only on (size, blocking) — immutable derived state,
+  /// memoized under a lock so concurrent first-touch runs lower once.  The
+  /// returned reference stays valid after the lock drops: map nodes are
+  /// stable, entries are never erased or rewritten.
+  const core::Schedule& schedule_for(const core::Plan& plan) const {
     const int n = plan.log2_size();
+    const std::lock_guard<std::mutex> lock(schedule_mutex_);
     auto it = schedules_.find(n);
     if (it == schedules_.end()) {
       it = schedules_.emplace(n, core::lower_plan(plan, blocking_)).first;
@@ -202,7 +247,8 @@ class FusedBackend final : public ExecutorBackend {
   int threads_;
   core::BlockingConfig blocking_;
   std::optional<model::BlockedCalibration> calibration_;
-  std::map<int, core::Schedule> schedules_;
+  mutable std::mutex schedule_mutex_;
+  mutable std::map<int, core::Schedule> schedules_;
 };
 
 }  // namespace
@@ -287,15 +333,16 @@ std::vector<std::string> BackendRegistry::names() const {
   return out;  // std::map iterates sorted
 }
 
-perf::MeasureResult measure_with_backend(ExecutorBackend& backend,
+perf::MeasureResult measure_with_backend(const ExecutorBackend& backend,
                                          const core::Plan& plan,
                                          const perf::MeasureOptions& options) {
   // The protocol (warmup, probe-sized batches, master-copy restore) lives
   // once, in perf::measure_run; this merely plugs the backend in as the
   // engine so e.g. "parallel" and "simd" are timed on their own code paths.
+  ExecContext ctx;
   return perf::measure_run(
-      [&backend, &plan](double* x) { backend.run(plan, x, 1); }, plan.size(),
-      options);
+      [&backend, &plan, &ctx](double* x) { backend.run(plan, x, 1, ctx); },
+      plan.size(), options);
 }
 
 }  // namespace whtlab::api

@@ -8,10 +8,20 @@
 // open-ended: future SIMD / GPU / sharded backends register under a string
 // key and become reachable from the Planner without touching callers.
 //
+// Execution contract (the concurrent-serving redesign): a backend is an
+// immutable recipe.  run()/run_many() are const and re-entrant — one
+// instance may execute any number of plans from any number of threads at
+// once — and every per-call mutable need (scratch buffers, op tallies) goes
+// through the caller-supplied wht::ExecContext.  Backends may memoize
+// derived immutable state (the "fused" backend's lowered schedules) behind
+// their own internal synchronization; they must not keep per-call state in
+// members.  The only non-const operations are the setup-time calibration
+// hooks, which callers run before sharing an instance.
+//
 // Built-in keys (always registered):
 //   "generated"     sequential interpreter, build-time generated codelets
 //   "template"      sequential interpreter, compile-time template codelets
-//   "instrumented"  op-counting interpreter; tallies retrievable per run
+//   "instrumented"  op-counting interpreter; tallies land in the ExecContext
 //   "parallel"      fork-join executor honouring BackendOptions::threads
 //   "simd"          vectorized tree walk + batch-interleaved run_many with
 //                   runtime CPUID dispatch (AVX-512F / AVX2 / scalar; see
@@ -29,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "api/exec_context.hpp"
 #include "core/codelet.hpp"
 #include "core/instrumented.hpp"
 #include "core/plan.hpp"
@@ -38,13 +49,14 @@ namespace whtlab::api {
 
 /// Knobs a factory may honour when instantiating a backend.
 struct BackendOptions {
-  int threads = 1;  ///< worker threads ("parallel", "simd"; ignored elsewhere)
+  int threads = 1;  ///< worker threads ("parallel", "simd", "fused" batches)
   core::CodeletBackend codelets = core::CodeletBackend::kGenerated;
 };
 
-/// One way of running a plan.  Implementations may keep per-run state (the
-/// instrumented backend records op tallies), so run() is non-const; a backend
-/// instance is not safe for concurrent use from multiple threads.
+/// One way of running a plan.  Instances are immutable after construction
+/// (and after the optional setup-time calibration): run() and run_many() are
+/// const, re-entrant, and safe to invoke concurrently — per-call mutable
+/// state lives in the ExecContext the caller passes in.
 class ExecutorBackend {
  public:
   virtual ~ExecutorBackend() = default;
@@ -53,22 +65,35 @@ class ExecutorBackend {
   virtual const std::string& name() const = 0;
 
   /// Transforms the plan.size() elements x[0], x[stride], ... in place.
-  virtual void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) = 0;
+  /// `ctx` supplies scratch and receives per-run outputs (op tallies);
+  /// callers serving from multiple threads pass one context per thread.
+  virtual void run(const core::Plan& plan, double* x, std::ptrdiff_t stride,
+                   ExecContext& ctx) const = 0;
 
   /// Batched transform: `count` vectors, vector v at x + v*dist.  The
   /// default runs them one by one; backends with a faster batch shape
-  /// override it ("simd" interleaves vectors into SIMD lanes, "parallel"
-  /// fans vectors out across threads).  Callers guarantee |dist| >= size.
+  /// override it ("simd" interleaves vectors into SIMD lanes, "parallel",
+  /// "simd" and "fused" fan vectors out across threads).  Callers guarantee
+  /// |dist| >= size.
   virtual void run_many(const core::Plan& plan, double* x, std::size_t count,
-                        std::ptrdiff_t dist) {
+                        std::ptrdiff_t dist, ExecContext& ctx) const {
     for (std::size_t v = 0; v < count; ++v) {
-      run(plan, x + static_cast<std::ptrdiff_t>(v) * dist, 1);
+      run(plan, x + static_cast<std::ptrdiff_t>(v) * dist, 1, ctx);
     }
   }
 
-  /// Op tallies of the most recent run(); nullptr for backends that do not
-  /// instrument (all built-ins except "instrumented").
-  virtual const core::OpCounts* last_op_counts() const { return nullptr; }
+  /// Context-free conveniences for one-shot callers (each call uses a fresh
+  /// context, so instrumented tallies are discarded and scratch is not
+  /// reused — serving loops should hold a context instead).
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride = 1) const {
+    ExecContext ctx;
+    run(plan, x, stride, ctx);
+  }
+  void run_many(const core::Plan& plan, double* x, std::size_t count,
+                std::ptrdiff_t dist) const {
+    ExecContext ctx;
+    run_many(plan, x, count, dist, ctx);
+  }
 
   /// Doubles retired per arithmetic instruction on this backend's hot path
   /// (1 for scalar backends).  The Planner's model-driven strategies feed
@@ -87,13 +112,30 @@ class ExecutorBackend {
     return {};
   }
 
+  /// Serve-shape pricing hook for the Engine's cross-backend arbiter
+  /// (api/engine.hpp): the predicted per-vector cost ratio of one
+  /// run_many(plan, count) over `count` independent run() calls with
+  /// `threads` workers available.  1.0 (the default) means batching buys
+  /// nothing; "parallel"/"simd"/"fused" return 1/workers for their
+  /// across-vector fan-out, and "simd" additionally prices the W-fold
+  /// overhead amortization of its batch-interleaved regime.
+  virtual double batch_factor(const core::Plan& plan, std::size_t count,
+                              int threads) const {
+    (void)plan;
+    (void)count;
+    (void)threads;
+    return 1.0;
+  }
+
   /// Host calibration of the backend's own cost model (backends without one
   /// return false / nullopt and are skipped).  run_cost_calibration measures
   /// probe plans through `measure` (cycles), fits the model's parameters,
   /// applies them to this instance, and returns the fit in a serialized form
   /// suitable for a wisdom property; apply_cost_calibration restores such a
   /// fit without measuring (the next process's fast path).  The Planner
-  /// drives both when calibrate() is enabled — see api/planner.hpp.
+  /// drives both when calibrate() is enabled — see api/planner.hpp.  These
+  /// are the contract's only mutating operations: setup-time, before the
+  /// instance is shared, never concurrent with run().
   virtual bool apply_cost_calibration(const std::string& /*serialized*/) {
     return false;
   }
@@ -140,8 +182,9 @@ class BackendRegistry {
 /// execution engine, so e.g. "parallel" is timed on its parallel code path.
 /// MeasureOptions::backend is ignored; repetitions must be >= 1.  Used by
 /// Transform::measure and by the Planner's measuring strategies (candidates
-/// are timed on the backend the planned Transform will actually use).
-perf::MeasureResult measure_with_backend(ExecutorBackend& backend,
+/// are timed on the backend the planned Transform will actually use).  One
+/// context serves the whole protocol, so scratch warms up with the plan.
+perf::MeasureResult measure_with_backend(const ExecutorBackend& backend,
                                          const core::Plan& plan,
                                          const perf::MeasureOptions& options = {});
 

@@ -24,64 +24,109 @@ const char* to_string(Strategy strategy) {
   return "unknown";
 }
 
+Strategy strategy_from_string(const std::string& name) {
+  for (const Strategy strategy :
+       {Strategy::kEstimate, Strategy::kMeasure, Strategy::kExhaustive,
+        Strategy::kSampled, Strategy::kAnneal, Strategy::kFixed}) {
+    if (name == to_string(strategy)) return strategy;
+  }
+  throw std::invalid_argument(
+      "unknown strategy '" + name +
+      "' (valid: estimate, measure, exhaustive, sampled, anneal, fixed)");
+}
+
 Transform::Transform(core::Plan plan, std::unique_ptr<ExecutorBackend> backend,
                      PlanningInfo info)
     : plan_(std::move(plan)),
       backend_(std::move(backend)),
       backend_name_(backend_->name()),
-      scratch_(plan_.size()),
+      contexts_(std::make_unique<ContextPool>()),
       info_(std::move(info)) {}
 
 void Transform::ensure_valid() const {
   if (!valid()) throw std::logic_error("wht::Transform: not planned");
 }
 
-void Transform::execute(double* x) { execute(x, 1); }
+void Transform::execute(double* x) const { execute(x, 1); }
 
-void Transform::execute(double* x, std::ptrdiff_t stride) {
+void Transform::execute(double* x, std::ptrdiff_t stride) const {
   ensure_valid();
-  if (stride == 0) throw std::invalid_argument("Transform: stride must be nonzero");
-  backend_->run(plan_, x, stride);
+  ContextPool::Lease lease = contexts_->acquire();
+  execute(x, stride, lease.context());
+  publish_tallies(lease.context());
 }
 
-void Transform::execute_many(double* x, std::size_t count) {
+void Transform::execute(double* x, std::ptrdiff_t stride,
+                        ExecContext& ctx) const {
+  ensure_valid();
+  if (stride == 0) throw std::invalid_argument("Transform: stride must be nonzero");
+  backend_->run(plan_, x, stride, ctx);
+}
+
+void Transform::execute_many(double* x, std::size_t count) const {
   execute_many(x, count, static_cast<std::ptrdiff_t>(size()));
 }
 
-void Transform::execute_many(double* x, std::size_t count, std::ptrdiff_t dist) {
+void Transform::execute_many(double* x, std::size_t count,
+                             std::ptrdiff_t dist) const {
+  ensure_valid();
+  ContextPool::Lease lease = contexts_->acquire();
+  execute_many(x, count, dist, lease.context());
+  publish_tallies(lease.context());
+}
+
+void Transform::execute_many(double* x, std::size_t count, std::ptrdiff_t dist,
+                             ExecContext& ctx) const {
   ensure_valid();
   const auto span = static_cast<std::ptrdiff_t>(size());
   if (dist > -span && dist < span) {
     throw std::invalid_argument(
         "Transform: |dist| must be >= size() so batch vectors do not overlap");
   }
-  backend_->run_many(plan_, x, count, dist);
+  backend_->run_many(plan_, x, count, dist, ctx);
 }
 
-void Transform::execute_copy(const double* in, double* out) {
+void Transform::execute_copy(const double* in, double* out) const {
   ensure_valid();
   if (out != in) std::memcpy(out, in, size() * sizeof(double));
-  backend_->run(plan_, out, 1);
+  ContextPool::Lease lease = contexts_->acquire();
+  backend_->run(plan_, out, 1, lease.context());
+  publish_tallies(lease.context());
 }
 
-std::vector<double> Transform::apply(const std::vector<double>& in) {
+std::vector<double> Transform::apply(const std::vector<double>& in) const {
   ensure_valid();
   if (in.size() != size()) {
     throw std::invalid_argument("Transform: input length " +
                                 std::to_string(in.size()) + " != transform size " +
                                 std::to_string(size()));
   }
-  std::memcpy(scratch_.data(), in.data(), size() * sizeof(double));
-  backend_->run(plan_, scratch_.data(), 1);
-  return std::vector<double>(scratch_.begin(), scratch_.end());
+  // Stage through the leased context's caller-side arena (aligned, reused
+  // across calls) so the backend's own scratch use cannot alias it.
+  ContextPool::Lease lease = contexts_->acquire();
+  ExecContext& ctx = lease.context();
+  double* stage = ctx.staging(size());
+  std::memcpy(stage, in.data(), size() * sizeof(double));
+  backend_->run(plan_, stage, 1, ctx);
+  std::vector<double> out(stage, stage + size());
+  publish_tallies(ctx);
+  return out;
+}
+
+void Transform::publish_tallies(const ExecContext& ctx) const {
+  // Only instrumenting backends write tallies; copy them to the calling
+  // thread's slot before the context returns to the pool.
+  if (const core::OpCounts* counts = ctx.last_op_counts()) {
+    contexts_->record_tallies(*counts);
+  }
 }
 
 const core::OpCounts* Transform::last_op_counts() const {
   ensure_valid();
-  return backend_->last_op_counts();
+  return contexts_->tallies();
 }
 
-perf::MeasureResult Transform::measure(const perf::MeasureOptions& options) {
+perf::MeasureResult Transform::measure(const perf::MeasureOptions& options) const {
   ensure_valid();
   return measure_with_backend(*backend_, plan_, options);
 }

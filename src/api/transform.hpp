@@ -1,8 +1,7 @@
 // wht::Transform — a planned WHT ready to execute (the FFTW plan analogue).
 //
 // A Transform owns everything needed to apply WHT(2^n) repeatedly: the
-// chosen core::Plan, the ExecutorBackend that runs it, and an aligned
-// scratch buffer for the out-of-place convenience paths.  Obtain one from
+// chosen core::Plan and the ExecutorBackend that runs it.  Obtain one from
 // wht::Planner (planner.hpp); execute it as often as you like:
 //
 //   auto t = wht::Planner().strategy(wht::Strategy::kMeasure).plan(16);
@@ -11,21 +10,27 @@
 //   t.execute_many(batch, 32);          // 32 contiguous vectors
 //   auto y = t.apply(input);            // copying convenience
 //
-// Transforms are move-only (they own a backend instance and scratch memory)
-// and cheap to move.  A backend instance is not internally synchronized:
-// share a Transform across threads only with external locking, or plan one
-// Transform per thread (plans are values; planning is the expensive step).
+// Transforms are move-only (they own a backend instance) and cheap to move.
+// Execution is const and re-entrant: plan and backend are immutable after
+// planning, and all per-call state lives in a wht::ExecContext — either one
+// the caller passes explicitly, or one leased per call from the Transform's
+// internal pool (bounded by peak concurrency, warm arenas reused).  Share
+// one Transform across any number of threads with no external locking;
+// plan once, serve everywhere (planning is the expensive step, and
+// wht::Engine builds the process-wide serving layer on exactly this
+// property — see api/engine.hpp).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "api/exec_context.hpp"
 #include "api/executor_backend.hpp"
 #include "core/plan.hpp"
 #include "perf/measure.hpp"
-#include "util/aligned_buffer.hpp"
 
 namespace whtlab::api {
 
@@ -42,6 +47,12 @@ enum class Strategy {
 
 /// Human-readable strategy name ("estimate", "measure", ...).
 const char* to_string(Strategy strategy);
+
+/// Inverse of to_string: parses "estimate" / "measure" / "exhaustive" /
+/// "sampled" / "anneal" / "fixed".  Throws std::invalid_argument listing the
+/// valid names on anything else (the shared CLI-driver parser — see
+/// bench/bench_plan_time.cpp, bench/bench_serve.cpp).
+Strategy strategy_from_string(const std::string& name);
 
 /// What planning did, kept on the Transform for reporting.
 struct PlanningInfo {
@@ -78,38 +89,53 @@ class Transform {
   const std::string& backend_name() const { return backend_name_; }
   const PlanningInfo& planning() const { return info_; }
 
-  /// In-place transform of x[0 .. size()).
-  void execute(double* x);
+  /// The owned backend (for serve-time pricing: cost_model(),
+  /// batch_factor(), vector_width()).  Valid only while valid().
+  const ExecutorBackend& backend() const { return *backend_; }
+
+  /// In-place transform of x[0 .. size()).  Const and re-entrant: any number
+  /// of threads may execute one Transform concurrently (on distinct data);
+  /// each call transparently leases an ExecContext from the internal pool.
+  void execute(double* x) const;
 
   /// In-place transform of the size() elements x[0], x[stride], ...
-  void execute(double* x, std::ptrdiff_t stride);
+  void execute(double* x, std::ptrdiff_t stride) const;
 
   /// Batched transform: `count` vectors, vector v starting at x + v*dist
   /// (dist in elements; defaults to size(), i.e. contiguous packing).
   /// Delegates to the backend's batch path: "simd" interleaves vectors into
-  /// SIMD lanes, "parallel" fans vectors out across threads; others run
-  /// vectors one by one.
-  void execute_many(double* x, std::size_t count);
-  void execute_many(double* x, std::size_t count, std::ptrdiff_t dist);
+  /// SIMD lanes, "parallel"/"simd"/"fused" fan vectors out across threads;
+  /// others run vectors one by one.
+  void execute_many(double* x, std::size_t count) const;
+  void execute_many(double* x, std::size_t count, std::ptrdiff_t dist) const;
+
+  /// Explicit-context variants: the caller owns per-call state (scratch, op
+  /// tallies) instead of the per-thread pool — the serving-loop shape, and
+  /// the only way to read op counts from a context the caller controls.
+  void execute(double* x, std::ptrdiff_t stride, ExecContext& ctx) const;
+  void execute_many(double* x, std::size_t count, std::ptrdiff_t dist,
+                    ExecContext& ctx) const;
 
   /// Out-of-place: out[0 .. size()) = WHT(in[0 .. size())).  `in` and `out`
   /// may alias exactly (degenerates to execute) but must not partially
   /// overlap.
-  void execute_copy(const double* in, double* out);
+  void execute_copy(const double* in, double* out) const;
 
-  /// Copying convenience; runs on the internal aligned scratch buffer.
-  /// in.size() must equal size().
-  std::vector<double> apply(const std::vector<double>& in);
+  /// Copying convenience; stages through the calling thread's context
+  /// scratch.  in.size() must equal size().
+  std::vector<double> apply(const std::vector<double>& in) const;
 
-  /// Op tallies of the most recent execute (instrumented backend only;
-  /// nullptr otherwise).
+  /// Op tallies of the most recent pooled execute *on the calling thread*
+  /// (instrumented backend only; nullptr otherwise — including after
+  /// explicit-context executes, whose tallies live on the caller's
+  /// context).
   const core::OpCounts* last_op_counts() const;
 
   /// Measures this transform with the perf protocol (warmup, batched reps,
   /// master-copy restore; see perf/measure.hpp) — but driven through the
   /// owned backend, so "parallel" measures the parallel code path.
   /// MeasureOptions::backend is ignored.
-  perf::MeasureResult measure(const perf::MeasureOptions& options = {});
+  perf::MeasureResult measure(const perf::MeasureOptions& options = {}) const;
 
  private:
   friend class Planner;
@@ -118,11 +144,12 @@ class Transform {
             PlanningInfo info);
 
   void ensure_valid() const;
+  void publish_tallies(const ExecContext& ctx) const;
 
   core::Plan plan_;
   std::unique_ptr<ExecutorBackend> backend_;
   std::string backend_name_;
-  util::AlignedBuffer scratch_;
+  std::unique_ptr<ContextPool> contexts_;  ///< leased ExecContext cache
   PlanningInfo info_;
 };
 

@@ -9,6 +9,8 @@
 // include-what-you-use builds.
 #pragma once
 
+#include "api/engine.hpp"            // IWYU pragma: export
+#include "api/exec_context.hpp"      // IWYU pragma: export
 #include "api/executor_backend.hpp"  // IWYU pragma: export
 #include "api/planner.hpp"           // IWYU pragma: export
 #include "api/transform.hpp"         // IWYU pragma: export

@@ -1,8 +1,11 @@
 #include "api/wisdom.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -32,6 +35,43 @@ std::pair<long long, long long> file_fingerprint(const std::string& path) {
 #endif
   return {mtime, static_cast<long long>(st.st_size)};
 }
+
+/// RAII advisory lock on `path`.lock (flock, exclusive).  flock blocks a
+/// second acquisition even within one process (locks attach to open file
+/// descriptions), so this also serializes threads that bypass the registry
+/// mutex — but the registry keeps its own mutex: flock alone would let two
+/// threads sharing the registry's in-memory state interleave.  Errors
+/// throw: silently proceeding unlocked would reintroduce the lost-update
+/// race this exists to close.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    const std::string lock_path = path + ".lock";
+    fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
+    if (fd_ < 0) {
+      throw std::runtime_error("wisdom: cannot open lock file " + lock_path);
+    }
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd_);
+      throw std::runtime_error("wisdom: cannot lock " + lock_path);
+    }
+  }
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  ~FileLock() {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);  // the lock file itself stays; removing it would race
+  }
+
+ private:
+  int fd_ = -1;
+};
 
 }  // namespace
 
@@ -114,6 +154,19 @@ void Wisdom::save(const std::string& path) const {
   }
 }
 
+Wisdom Wisdom::save_merged(const std::string& path) const {
+  // The whole read-merge-rename is one flock critical section: a concurrent
+  // process's save_merged either completes before our load or starts after
+  // our rename, so no writer's entries are lost.  Plain save() inside the
+  // section keeps the atomic temp-file-and-rename (readers that do not take
+  // the lock still never observe a torn file).
+  const FileLock lock(path);
+  Wisdom merged = Wisdom::load(path);
+  merged.merge_from(*this);
+  merged.save(path);
+  return merged;
+}
+
 const core::Plan* Wisdom::lookup(const Key& key) const {
   const auto it = entries_.find(key);
   return it == entries_.end() ? nullptr : &it->second;
@@ -160,14 +213,13 @@ struct WisdomRegistry::Impl {
     return cached;
   }
 
-  /// Under the lock: merge `cached` over the current on-disk state and
-  /// persist atomically.  Re-reading first means a winner another in-process
-  /// planner flushed between our load and our save is kept, not clobbered.
+  /// Under the registry lock: merge `cached` over the current on-disk state
+  /// and persist atomically.  save_merged re-reads the file under an
+  /// advisory flock, so a winner flushed between our load and our save is
+  /// kept, not clobbered — whether the other writer is a thread in this
+  /// process or another process entirely.
   void flush(const std::string& path, CachedFile& cached) {
-    Wisdom disk = Wisdom::load(path);
-    disk.merge_from(cached.wisdom);
-    disk.save(path);
-    cached.wisdom = std::move(disk);
+    cached.wisdom = cached.wisdom.save_merged(path);
     cached.fingerprint = file_fingerprint(path);
   }
 };

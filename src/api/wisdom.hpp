@@ -36,8 +36,10 @@
 // uses: one cached Wisdom per path (reloaded when the file changes
 // underneath), and inserts that re-merge the on-disk state under a process
 // lock before the atomic rename — concurrent planners in one process can
-// no longer lose each other's winners.  Cross-process writers still race
-// at whole-file granularity, but every outcome is a well-formed file.
+// no longer lose each other's winners.  Across processes, save_merged()
+// wraps the read-merge-rename in an advisory flock on `path`.lock, so
+// concurrent tuning processes sharing one wisdom file (the registry's
+// flush path) never drop each other's entries either.
 #pragma once
 
 #include <cstddef>
@@ -73,8 +75,17 @@ class Wisdom {
 
   /// Writes all entries (sorted, stable) atomically: to a temp file beside
   /// `path`, renamed over it.  Throws std::runtime_error when the file
-  /// cannot be written.
+  /// cannot be written.  Overwrite semantics: the previous file content is
+  /// replaced whole (use save_merged for the lose-nothing path).
   void save(const std::string& path) const;
+
+  /// Cross-process-safe save: under an advisory file lock (`path`.lock,
+  /// flock) the current on-disk state is re-read, this wisdom is merged
+  /// over it (this wins collisions), and the union is written atomically.
+  /// Concurrent *processes* interleaving save_merged never drop each
+  /// other's entries — the read-merge-rename is one critical section.
+  /// Returns the merged state (what the file now holds).
+  Wisdom save_merged(const std::string& path) const;
 
   /// The cached plan for `key`, or nullptr.
   const core::Plan* lookup(const Key& key) const;

@@ -15,6 +15,14 @@
 // is deliberately free of instrumentation — this is the code path whose
 // cycles the experiments measure; the op-counting twin lives in
 // core/instrumented.hpp.
+//
+// Execution contract: these functions are pure interpreters — no hidden
+// state, no scratch, nothing written outside the data vector — and
+// therefore re-entrant: any number of threads may execute the same Plan
+// concurrently on disjoint data.  The api layer's const ExecutorBackend
+// contract (api/executor_backend.hpp) rests on this guarantee; keep it
+// when extending the interpreter (per-call work belongs in the caller's
+// wht::ExecContext, never in statics).
 #pragma once
 
 #include <cstddef>

@@ -23,6 +23,12 @@
 //
 // The scalar interpreter (execute_schedule) is the parity reference and the
 // strided fallback; the vectorized twin lives in simd/fused_executor.hpp.
+//
+// Execution contract: a Schedule is immutable once lowered and
+// execute_schedule is a pure in-place interpreter over it — re-entrant,
+// shareable across threads on disjoint data with no locking.  The "fused"
+// backend memoizes one Schedule per size and serves it concurrently on
+// exactly this guarantee (api/executor_backend.cpp).
 #pragma once
 
 #include <cstddef>

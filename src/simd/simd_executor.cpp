@@ -141,17 +141,33 @@ void execute(const core::Plan& plan, double* x, std::ptrdiff_t stride) {
   execute(plan, x, stride, active_level());
 }
 
+namespace {
+
+/// THE interleave rule — execute_many's dispatch and the arbiter-facing
+/// batch_interleaves() predicate must never diverge, so both call this.
+bool interleaves(const KernelSet* kernels, std::uint64_t size,
+                 std::size_t count) {
+  if (kernels == nullptr) return false;
+  const std::uint64_t width = static_cast<std::uint64_t>(kernels->width);
+  return count >= width && size * width <= kInterleaveMaxDoubles;
+}
+
+}  // namespace
+
+bool batch_interleaves(const core::Plan& plan, std::size_t count) {
+  return interleaves(kernels_for(active_level()), plan.size(), count);
+}
+
 void execute_many(const core::Plan& plan, double* x, std::size_t count,
-                  std::ptrdiff_t dist, int threads) {
+                  std::ptrdiff_t dist, int threads,
+                  util::ScratchArena* scratch) {
   const SimdLevel level = active_level();
   const KernelSet* kernels = kernels_for(level);
   const std::uint64_t n = plan.size();
   const std::uint64_t width =
       kernels ? static_cast<std::uint64_t>(kernels->width) : 1;
 
-  const bool interleave =
-      kernels != nullptr && count >= width && n * width <= kInterleaveMaxDoubles;
-  if (!interleave) {
+  if (!interleaves(kernels, n, count)) {
     util::parallel_chunks(count, threads, [&](std::uint64_t begin, std::uint64_t end) {
       for (std::uint64_t v = begin; v < end; ++v) {
         execute(plan, x + static_cast<std::ptrdiff_t>(v) * dist, 1, level);
@@ -165,15 +181,26 @@ void execute_many(const core::Plan& plan, double* x, std::size_t count,
   const std::uint64_t groups = static_cast<std::uint64_t>(count) / width;
   const core::PlanNode& root = plan.root();
 
+  // The caller's arena is usable only when the sweep runs on the calling
+  // thread (workers spawned on fresh threads must not share it — an arena
+  // belongs to one thread); ask parallel_chunks' own rule.
+  const bool inline_call = util::parallel_chunks_runs_inline(groups, threads);
   util::parallel_chunks(groups, threads, [&](std::uint64_t begin, std::uint64_t end) {
     if (begin == end) return;
-    util::AlignedBuffer scratch(n * width);
+    util::AlignedBuffer local;
+    double* buffer;
+    if (inline_call && scratch != nullptr) {
+      buffer = scratch->acquire(n * width);
+    } else {
+      local = util::AlignedBuffer(n * width);
+      buffer = local.data();
+    }
     const std::ptrdiff_t w = static_cast<std::ptrdiff_t>(width);
     for (std::uint64_t g = begin; g < end; ++g) {
       double* base = x + static_cast<std::ptrdiff_t>(g * width) * dist;
-      kernels->interleave_in(scratch.data(), base, dist, n);
-      walk_lockstep(root, scratch.data(), w, ctx);
-      kernels->interleave_out(base, scratch.data(), dist, n);
+      kernels->interleave_in(buffer, base, dist, n);
+      walk_lockstep(root, buffer, w, ctx);
+      kernels->interleave_out(base, buffer, dist, n);
     }
   });
 

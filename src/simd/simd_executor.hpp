@@ -27,6 +27,7 @@
 
 #include "core/plan.hpp"
 #include "simd/cpu_features.hpp"
+#include "util/scratch_arena.hpp"
 
 namespace whtlab::simd {
 
@@ -40,8 +41,19 @@ void execute(const core::Plan& plan, double* x, std::ptrdiff_t stride = 1);
 /// (|dist| >= plan.size() so vectors do not overlap).  Full groups of W
 /// vectors run batch-interleaved; the remainder runs through execute().
 /// `threads` > 1 splits the groups across that many std::thread workers
-/// (each with its own interleave scratch).
+/// (each with its own interleave scratch).  When the call runs on the
+/// calling thread (threads <= 1), `scratch` — if non-null — supplies the
+/// interleave buffer so a serving loop allocates nothing per request; the
+/// function never stores state in it beyond the call.  Re-entrant: safe to
+/// call concurrently on disjoint data with distinct arenas.
 void execute_many(const core::Plan& plan, double* x, std::size_t count,
-                  std::ptrdiff_t dist, int threads = 1);
+                  std::ptrdiff_t dist, int threads = 1,
+                  util::ScratchArena* scratch = nullptr);
+
+/// True when execute_many(plan, ..., count, ...) would take the
+/// batch-interleaved path at the active dispatch level — the tiny-transform
+/// serving shape whose W-fold overhead amortization the Engine's arbiter
+/// prices (api/engine.hpp).
+bool batch_interleaves(const core::Plan& plan, std::size_t count);
 
 }  // namespace whtlab::simd

@@ -1,3 +1,12 @@
-// rng.hpp is header-only; this translation unit exists so the header is
-// compiled standalone at least once (catches missing includes early).
 #include "util/rng.hpp"
+
+namespace whtlab::util {
+
+std::vector<double> random_vector(std::uint64_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(count);
+  for (auto& v : out) v = rng.uniform(-1, 1);
+  return out;
+}
+
+}  // namespace whtlab::util

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace whtlab::util {
 
@@ -76,5 +77,9 @@ class Rng {
 
   std::uint64_t s_[4];
 };
+
+/// `count` doubles uniform in [-1, 1) from a fresh Rng(seed) — the standard
+/// reproducible payload fill the tests and bench drivers share.
+std::vector<double> random_vector(std::uint64_t count, std::uint64_t seed);
 
 }  // namespace whtlab::util

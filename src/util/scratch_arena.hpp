@@ -1,0 +1,46 @@
+// Reusable aligned scratch for execution contexts.
+//
+// The serving-oriented execution contract (api/exec_context.hpp) moves every
+// per-call work buffer out of the backends and into caller-owned state.  A
+// ScratchArena is that state's storage: a grow-only, cache-line-aligned
+// double buffer that hands out capacity on demand and keeps it across calls,
+// so a thread serving requests in a loop allocates on its first transform
+// and never again.  Deliberately not thread-safe — one arena belongs to one
+// thread (or one well-ordered call chain); concurrency comes from having
+// many arenas, not from locking one.
+#pragma once
+
+#include <cstddef>
+
+#include "util/aligned_buffer.hpp"
+
+namespace whtlab::util {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(ScratchArena&&) noexcept = default;
+  ScratchArena& operator=(ScratchArena&&) noexcept = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// A cache-line-aligned buffer of at least `count` doubles, valid until the
+  /// next acquire() or the arena's destruction.  Contents are unspecified on
+  /// entry (callers own initialization).  Growth is geometric so a ramp of
+  /// request sizes settles after O(log max) reallocations.
+  double* acquire(std::size_t count) {
+    if (count > buffer_.size()) {
+      std::size_t grown = buffer_.size() < 64 ? 64 : buffer_.size();
+      while (grown < count) grown *= 2;
+      buffer_ = AlignedBuffer(grown);
+    }
+    return buffer_.data();
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+
+ private:
+  AlignedBuffer buffer_;
+};
+
+}  // namespace whtlab::util

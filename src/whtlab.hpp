@@ -4,6 +4,8 @@
 // this exists for quick experiments and the examples.
 #pragma once
 
+#include "api/engine.hpp"                // IWYU pragma: export
+#include "api/exec_context.hpp"          // IWYU pragma: export
 #include "api/executor_backend.hpp"      // IWYU pragma: export
 #include "api/planner.hpp"               // IWYU pragma: export
 #include "api/transform.hpp"             // IWYU pragma: export

@@ -60,7 +60,8 @@ TEST(BackendRegistry, CustomBackendIsCreatable) {
   class NegatingBackend final : public ExecutorBackend {
    public:
     const std::string& name() const override { return name_; }
-    void run(const core::Plan& plan, double* x, std::ptrdiff_t stride) override {
+    void run(const core::Plan& plan, double* x, std::ptrdiff_t stride,
+             ExecContext& /*ctx*/) const override {
       core::execute_node(plan.root(), x, stride,
                          core::codelet_table(core::CodeletBackend::kGenerated));
       for (std::uint64_t i = 0; i < plan.size(); ++i) {
@@ -199,20 +200,27 @@ TEST(ParallelBackend, StridedForkJoinMatchesDense) {
   }
 }
 
-TEST(InstrumentedBackend, OpCountsMatchClosedForm) {
+TEST(InstrumentedBackend, OpCountsLandInTheContext) {
   const auto backend = BackendRegistry::global().create("instrumented");
   const core::Plan plan = core::Plan::right_recursive(9);
   util::AlignedBuffer x(plan.size());
   x.fill(1.0);
-  backend->run(plan, x.data(), 1);
-  const core::OpCounts* counts = backend->last_op_counts();
+  ExecContext ctx;
+  EXPECT_EQ(ctx.last_op_counts(), nullptr);  // nothing ran here yet
+  backend->run(plan, x.data(), 1, ctx);
+  const core::OpCounts* counts = ctx.last_op_counts();
   ASSERT_NE(counts, nullptr);
   EXPECT_EQ(*counts, core::count_ops(plan));
 }
 
 TEST(SequentialBackend, DoesNotInstrument) {
   const auto backend = BackendRegistry::global().create("generated");
-  EXPECT_EQ(backend->last_op_counts(), nullptr);
+  const core::Plan plan = core::Plan::small(4);
+  util::AlignedBuffer x(plan.size());
+  x.fill(1.0);
+  ExecContext ctx;
+  backend->run(plan, x.data(), 1, ctx);
+  EXPECT_EQ(ctx.last_op_counts(), nullptr);
 }
 
 }  // namespace

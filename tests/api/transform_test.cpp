@@ -20,12 +20,7 @@ Transform fixed(const core::Plan& plan, const std::string& backend = "generated"
   return Planner().fixed(plan).backend(backend).plan();
 }
 
-std::vector<double> random_vector(std::uint64_t n, std::uint64_t seed) {
-  util::Rng rng(seed);
-  std::vector<double> out(n);
-  for (auto& v : out) v = rng.uniform(-1, 1);
-  return out;
-}
+using util::random_vector;
 
 TEST(Transform, DefaultConstructedIsInvalidAndThrows) {
   Transform t;

@@ -1,0 +1,105 @@
+// Cross-process wisdom merge: save_merged's advisory flock makes the
+// read-merge-rename one critical section, so concurrent *processes* (not
+// just threads — wisdom_test.cpp covers those) never drop each other's
+// entries.  Verified the direct way: fork real writer processes and require
+// the union to survive every interleaving.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/wisdom.hpp"
+#include "core/plan.hpp"
+
+namespace whtlab::api {
+namespace {
+
+TEST(WisdomMultiProcess, ForkedWritersLoseNothing) {
+  const std::string path = ::testing::TempDir() + "wisdom_fork.txt";
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+
+  constexpr int kWriters = 4;
+  constexpr int kEntriesPerWriter = 6;
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: write each entry through its own save_merged — every write
+      // is a full read-merge-rename racing the sibling processes.  _exit
+      // (not exit) so the forked gtest runtime does not run atexit hooks.
+      for (int i = 0; i < kEntriesPerWriter; ++i) {
+        const int n = 4 + (w * kEntriesPerWriter + i) % 8;
+        Wisdom wisdom;
+        wisdom.insert(
+            Wisdom::Key{"scalar", n, "measure",
+                        "proc" + std::to_string(w) + "_" + std::to_string(i)},
+            core::Plan::iterative(n));
+        try {
+          wisdom.save_merged(path);
+        } catch (...) {
+          ::_exit(1);
+        }
+      }
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "writer process failed";
+  }
+
+  const Wisdom merged = Wisdom::load(path);
+  EXPECT_EQ(merged.size(),
+            static_cast<std::size_t>(kWriters * kEntriesPerWriter));
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kEntriesPerWriter; ++i) {
+      const int n = 4 + (w * kEntriesPerWriter + i) % 8;
+      EXPECT_NE(merged.lookup(Wisdom::Key{
+                    "scalar", n, "measure",
+                    "proc" + std::to_string(w) + "_" + std::to_string(i)}),
+                nullptr)
+          << "writer " << w << " entry " << i << " was dropped";
+    }
+  }
+
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(WisdomMultiProcess, SaveMergedReturnsTheUnion) {
+  const std::string path = ::testing::TempDir() + "wisdom_merge_union.txt";
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+
+  Wisdom first;
+  first.insert(Wisdom::Key{"scalar", 5, "estimate", "generated"},
+               core::Plan::iterative(5));
+  first.save_merged(path);
+
+  Wisdom second;
+  second.insert(Wisdom::Key{"scalar", 6, "estimate", "generated"},
+                core::Plan::iterative(6));
+  const Wisdom merged = second.save_merged(path);
+
+  // Unlike plain save() (whole-file replace; wisdom_test.cpp), save_merged
+  // accumulates: both writers' entries are on disk and in the return value.
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(Wisdom::load(path).size(), 2u);
+
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+}  // namespace
+}  // namespace whtlab::api

@@ -1,0 +1,413 @@
+// bench_ipc — cross-process serving driver (writes BENCH_ipc.json).
+//
+// Measures the whtd shared-memory path end to end: a forked daemon process
+// owns the Engine, C forked client processes connect through the shm
+// protocol and hammer it with blocking round trips.  Reported per cell:
+// requests/s, vectors/s, and p50/p99 round-trip latency from merged
+// per-client log2 histograms.  Shapes:
+//
+//   single  one 2^n vector per request (round-trip latency shape; these
+//           route through the daemon's coalescing submit() path, so
+//           concurrent clients at the same n merge into batched runs)
+//   batch   --batch vectors per request (the bandwidth shape; direct
+//           arbitrated execute_many)
+//   mixed   singles at n-2/n/n+2 interleaved with batches
+//
+// An in-process Engine baseline (same shapes, one thread) is recorded
+// alongside so the JSON answers "what does crossing the process boundary
+// cost" directly.  Fork discipline: the daemon child is forked FIRST and
+// clients are forked from a parent that never starts a thread; the
+// in-process baseline runs last, after all forking is done.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/wht.hpp"
+#include "ipc/client.hpp"
+#include "ipc/daemon.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace whtlab;
+
+constexpr int kBuckets = 64;
+
+/// What one client child reports back over its result pipe.
+struct ClientReport {
+  std::uint64_t requests = 0;
+  std::uint64_t vectors = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t latency_ns[kBuckets] = {};  // log2 round-trip histogram
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record_latency(ClientReport& report, std::uint64_t ns) {
+  const int bucket =
+      std::min(kBuckets - 1, static_cast<int>(std::bit_width(ns | 1)) - 1);
+  ++report.latency_ns[bucket];
+}
+
+/// Percentile (0..1) from a merged log2 histogram, as the bucket's upper
+/// bound in microseconds — a <= bound, honest about bucket resolution.
+double percentile_us(const std::uint64_t (&buckets)[kBuckets], double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > target) {
+      return static_cast<double>(std::uint64_t{1} << (i + 1)) / 1000.0;
+    }
+  }
+  return 18446744073709551616.0 / 1000.0;  // 2^64 ns — "off the histogram"
+}
+
+struct Shape {
+  std::string name;  // "single" | "batch" | "mixed"
+  int n = 0;
+  std::size_t batch = 1;
+};
+
+/// One client child's serving loop: connect, stage once, round-trip until
+/// the deadline, report.  Runs in a forked process; only _exit leaves it.
+ClientReport run_client(const std::string& endpoint, const Shape& shape,
+                        double seconds) {
+  ClientReport report;
+  auto client = ipc::Client::connect({.endpoint = endpoint});
+  struct Staged {
+    int n;
+    std::size_t count;
+    double* data;
+  };
+  std::vector<Staged> staged;
+  if (shape.name == "single") {
+    staged.push_back({shape.n, 1, client.stage(shape.n)});
+  } else if (shape.name == "batch") {
+    staged.push_back({shape.n, shape.batch, client.stage(shape.n, shape.batch)});
+  } else {  // mixed
+    for (const int n : {shape.n - 2, shape.n, shape.n + 2}) {
+      staged.push_back({n, 1, client.stage(n)});
+    }
+    staged.push_back({shape.n, shape.batch, client.stage(shape.n, shape.batch)});
+  }
+  for (const Staged& s : staged) {
+    const auto data = util::random_vector(s.count << s.n, 7 + s.n);
+    std::memcpy(s.data, data.data(), data.size() * sizeof(double));
+  }
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
+  std::size_t next = 0;
+  while (now_ns() < deadline) {
+    const Staged& s = staged[next++ % staged.size()];
+    const std::uint64_t t0 = now_ns();
+    const ipc::Status status = client.transform(s.n, s.data, s.count);
+    if (status != ipc::Status::kOk) {
+      ++report.errors;
+      continue;
+    }
+    record_latency(report, now_ns() - t0);
+    ++report.requests;
+    report.vectors += s.count;
+  }
+  return report;
+}
+
+struct Cell {
+  int clients = 0;
+  double rps = 0.0;
+  double vps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t errors = 0;
+};
+
+/// Forks `clients` children against the daemon and merges their reports.
+/// The parent must be single-threaded when this is called.
+Cell run_cell(const std::string& endpoint, const Shape& shape, int clients,
+              double seconds) {
+  std::vector<pid_t> pids;
+  std::vector<int> result_fds;
+  int start_pipe[2];
+  if (pipe(start_pipe) != 0) throw std::runtime_error("bench_ipc: pipe");
+  for (int c = 0; c < clients; ++c) {
+    int result_pipe[2];
+    if (pipe(result_pipe) != 0) throw std::runtime_error("bench_ipc: pipe");
+    const pid_t pid = fork();
+    if (pid == 0) {
+      close(start_pipe[1]);
+      close(result_pipe[0]);
+      char go;
+      while (read(start_pipe[0], &go, 1) < 0 && errno == EINTR) {
+      }
+      ClientReport report;
+      try {
+        report = run_client(endpoint, shape, seconds);
+      } catch (...) {
+        report.errors = ~std::uint64_t{0};
+      }
+      ssize_t written = write(result_pipe[1], &report, sizeof(report));
+      (void)written;
+      _exit(0);
+    }
+    close(result_pipe[1]);
+    pids.push_back(pid);
+    result_fds.push_back(result_pipe[0]);
+  }
+  close(start_pipe[0]);
+  const std::uint64_t t0 = now_ns();
+  close(start_pipe[1]);  // EOF = the start gun for every child at once
+
+  Cell cell;
+  cell.clients = clients;
+  std::uint64_t merged[kBuckets] = {};
+  std::uint64_t requests = 0, vectors = 0;
+  for (std::size_t c = 0; c < pids.size(); ++c) {
+    ClientReport report;
+    std::size_t got = 0;
+    while (got < sizeof(report)) {
+      const ssize_t r = read(result_fds[c],
+                             reinterpret_cast<char*>(&report) + got,
+                             sizeof(report) - got);
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    close(result_fds[c]);
+    int status = 0;
+    waitpid(pids[c], &status, 0);
+    if (got != sizeof(report)) {
+      ++cell.errors;
+      continue;
+    }
+    requests += report.requests;
+    vectors += report.vectors;
+    cell.errors += report.errors;
+    for (int i = 0; i < kBuckets; ++i) merged[i] += report.latency_ns[i];
+  }
+  const double elapsed = static_cast<double>(now_ns() - t0) / 1e9;
+  cell.rps = static_cast<double>(requests) / elapsed;
+  cell.vps = static_cast<double>(vectors) / elapsed;
+  cell.p50_us = percentile_us(merged, 0.50);
+  cell.p99_us = percentile_us(merged, 0.99);
+  return cell;
+}
+
+/// In-process Engine baseline for the same shape, one thread.
+Cell run_baseline(wht::Engine& engine, const Shape& shape, double seconds) {
+  struct Buffer {
+    int n;
+    std::size_t count;
+    std::vector<double> data;
+  };
+  std::vector<Buffer> buffers;
+  if (shape.name == "single") {
+    buffers.push_back({shape.n, 1, util::random_vector(std::uint64_t{1} << shape.n, 3)});
+  } else if (shape.name == "batch") {
+    buffers.push_back(
+        {shape.n, shape.batch,
+         util::random_vector(static_cast<std::uint64_t>(shape.batch) << shape.n, 3)});
+  } else {
+    for (const int n : {shape.n - 2, shape.n, shape.n + 2}) {
+      buffers.push_back({n, 1, util::random_vector(std::uint64_t{1} << n, 3)});
+    }
+    buffers.push_back(
+        {shape.n, shape.batch,
+         util::random_vector(static_cast<std::uint64_t>(shape.batch) << shape.n, 3)});
+  }
+  Cell cell;
+  cell.clients = 0;
+  std::uint64_t merged[kBuckets] = {};
+  ClientReport report;
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
+  std::size_t next = 0;
+  std::uint64_t requests = 0, vectors = 0;
+  const std::uint64_t t0 = now_ns();
+  while (now_ns() < deadline) {
+    Buffer& b = buffers[next++ % buffers.size()];
+    const std::uint64_t r0 = now_ns();
+    if (b.count == 1) {
+      engine.execute(b.n, b.data.data());
+    } else {
+      engine.execute_many(b.n, b.data.data(), b.count);
+    }
+    record_latency(report, now_ns() - r0);
+    ++requests;
+    vectors += b.count;
+  }
+  const double elapsed = static_cast<double>(now_ns() - t0) / 1e9;
+  for (int i = 0; i < kBuckets; ++i) merged[i] = report.latency_ns[i];
+  cell.rps = static_cast<double>(requests) / elapsed;
+  cell.vps = static_cast<double>(vectors) / elapsed;
+  cell.p50_us = percentile_us(merged, 0.50);
+  cell.p99_us = percentile_us(merged, 0.99);
+  return cell;
+}
+
+std::vector<int> parse_int_list(const std::string& text) {
+  std::vector<int> out;
+  std::string current;
+  for (const char c : text + ",") {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(std::stoi(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  return out;
+}
+
+void print_cells(std::FILE* out, const char* name,
+                 const std::vector<Cell>& cells, const Cell& baseline,
+                 bool last) {
+  std::fprintf(out, "  \"%s\": {\n    \"cells\": [\n", name);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(out,
+                 "      {\"clients\": %d, \"rps\": %.1f, \"vps\": %.1f, "
+                 "\"p50_us\": %.3f, \"p99_us\": %.3f, \"errors\": %llu}%s\n",
+                 c.clients, c.rps, c.vps, c.p50_us, c.p99_us,
+                 static_cast<unsigned long long>(c.errors),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "    ],\n    \"in_process\": {\"rps\": %.1f, \"vps\": %.1f, "
+               "\"p50_us\": %.3f, \"p99_us\": %.3f}\n  }%s\n",
+               baseline.rps, baseline.vps, baseline.p50_us, baseline.p99_us,
+               last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("endpoint", "shm endpoint (unique per run by default)", "");
+  cli.add_flag("clients", "client process counts, comma-separated", "1,2,4,8");
+  cli.add_flag("n", "single-vector request size (log2)", "10");
+  cli.add_flag("batch-n", "batched request size (log2)", "8");
+  cli.add_flag("batch", "vectors per batched request", "16");
+  cli.add_flag("seconds", "measurement seconds per cell", "0.5");
+  cli.add_flag("out", "output JSON path", "BENCH_ipc.json");
+  if (!cli.parse(argc, argv)) return 2;
+
+  std::string endpoint = cli.get("endpoint");
+  if (endpoint.empty()) {
+    endpoint = "bench-ipc-" + std::to_string(static_cast<long>(getpid()));
+  }
+  const std::vector<int> clients = parse_int_list(cli.get("clients"));
+  const int single_n = static_cast<int>(cli.get_int("n", 10));
+  const int batch_n = static_cast<int>(cli.get_int("batch-n", 8));
+  const auto batch = static_cast<std::size_t>(cli.get_int("batch", 16));
+  const double seconds = cli.get_double("seconds", 0.5);
+
+  const Shape shapes[] = {
+      {"single", single_n, 1},
+      {"batch", batch_n, batch},
+      {"mixed", single_n, batch},
+  };
+
+  // Daemon child first: the parent stays single-threaded for every later
+  // client fork.  The life pipe's EOF (parent exit included) stops it.
+  int life_pipe[2];
+  if (pipe(life_pipe) != 0) {
+    std::fprintf(stderr, "bench_ipc: pipe failed\n");
+    return 1;
+  }
+  const pid_t daemon_pid = fork();
+  if (daemon_pid == 0) {
+    close(life_pipe[1]);
+    try {
+      ipc::DaemonOptions options;
+      options.endpoint = endpoint;
+      options.slots = static_cast<std::uint32_t>(
+          *std::max_element(clients.begin(), clients.end()) + 2);
+      ipc::Daemon daemon(options);
+      daemon.start();
+      char byte;
+      while (read(life_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      daemon.stop();
+    } catch (...) {
+      _exit(1);
+    }
+    _exit(0);
+  }
+  close(life_pipe[0]);
+  if (!ipc::Client::wait_for_daemon(endpoint, 10000)) {
+    std::fprintf(stderr, "bench_ipc: daemon did not come up\n");
+    return 1;
+  }
+
+  std::vector<std::vector<Cell>> results;
+  for (const Shape& shape : shapes) {
+    std::vector<Cell> cells;
+    for (const int c : clients) {
+      Cell cell = run_cell(endpoint, shape, c, seconds);
+      std::printf(
+          "%-6s clients=%-2d  %9.0f req/s  %9.0f vec/s  p50 %8.1f us  "
+          "p99 %8.1f us%s\n",
+          shape.name.c_str(), c, cell.rps, cell.vps, cell.p50_us, cell.p99_us,
+          cell.errors ? "  (errors!)" : "");
+      cells.push_back(cell);
+    }
+    results.push_back(std::move(cells));
+  }
+
+  // All forking is done — stop the daemon, then thread freely.
+  close(life_pipe[1]);
+  int status = 0;
+  waitpid(daemon_pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "bench_ipc: daemon exited abnormally\n");
+    return 1;
+  }
+
+  wht::Engine engine;
+  std::vector<Cell> baselines;
+  for (const Shape& shape : shapes) {
+    Cell cell = run_baseline(engine, shape, seconds);
+    std::printf("%-6s in-process   %9.0f req/s  %9.0f vec/s  p50 %8.1f us\n",
+                shape.name.c_str(), cell.rps, cell.vps, cell.p50_us);
+    baselines.push_back(cell);
+  }
+
+  const std::string out_path = cli.get("out");
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_ipc: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"ipc\",\n  \"host_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"single_n\": %d, \"batch_n\": %d, \"batch\": %zu,\n",
+               single_n, batch_n, batch);
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    print_cells(out, shapes[s].name.c_str(), results[s], baselines[s],
+                s + 1 == results.size());
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

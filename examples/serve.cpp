@@ -7,14 +7,13 @@
 // its cost model says is cheapest *for that shape* — watch the decisions
 // it prints.
 //
-//   ./serve [clients] [requests-per-client]
+//   ./serve --clients 8 --requests 32 --single-n 20 --batch-n 6
 #include <cstdio>
-#include <cstdlib>
-#include <future>
 #include <thread>
 #include <vector>
 
 #include "api/wht.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -34,40 +33,58 @@ void print_decision(const char* label, const wht::Engine::Decision& decision) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int requests = argc > 2 ? std::atoi(argv[2]) : 16;
+  whtlab::util::Cli cli;
+  cli.add_flag("clients", "serving threads sharing the Engine", "4");
+  cli.add_flag("requests", "rounds per client (each: single+batch+submit)",
+               "16");
+  cli.add_flag("single-n", "single-vector request size (log2)", "18");
+  cli.add_flag("batch-n", "batched request size (log2)", "6");
+  cli.add_flag("batch", "vectors per batched request", "32");
+  cli.add_flag("submit-n", "async submit() request size (log2)", "10");
+  cli.add_flag("wisdom", "wisdom file for first-touch plans", "");
+  if (!cli.parse(argc, argv)) return 2;
 
-  wht::Engine engine;  // defaults: kEstimate plans, measured cost anchors
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const int requests = static_cast<int>(cli.get_int("requests", 16));
+  const int single_n = static_cast<int>(cli.get_int("single-n", 18));
+  const int batch_n = static_cast<int>(cli.get_int("batch-n", 6));
+  const auto batch = static_cast<std::size_t>(cli.get_int("batch", 32));
+  const int submit_n = static_cast<int>(cli.get_int("submit-n", 10));
+
+  wht::EngineOptions options;  // defaults: kEstimate plans, measured anchors
+  options.wisdom_file = cli.get("wisdom");
+  wht::Engine engine(options);
 
   // The arbiter prices every candidate per request shape.
-  print_decision("single vector, n = 18", engine.arbitrate(18, 1));
-  print_decision("batch of 32, n = 6", engine.arbitrate(6, 32));
+  char label[64];
+  std::snprintf(label, sizeof(label), "single vector, n = %d", single_n);
+  print_decision(label, engine.arbitrate(single_n, 1));
+  std::snprintf(label, sizeof(label), "batch of %zu, n = %d", batch, batch_n);
+  print_decision(label, engine.arbitrate(batch_n, batch));
 
   // Serve a mixed load from `clients` threads — one shared Engine, no locks.
   std::vector<std::thread> pool;
   for (int c = 0; c < clients; ++c) {
-    pool.emplace_back([&engine, requests, c]() {
-      auto big = random_vector(std::size_t{1} << 18, 1 + c);
-      auto tiny = random_vector((std::size_t{1} << 6) * 32, 100 + c);
-      auto async = random_vector(std::size_t{1} << 10, 200 + c);
+    pool.emplace_back([&engine, requests, c, single_n, batch_n, batch,
+                       submit_n]() {
+      auto big = random_vector(std::size_t{1} << single_n, 1 + c);
+      auto tiny = random_vector((std::size_t{1} << batch_n) * batch, 100 + c);
+      auto async = random_vector(std::size_t{1} << submit_n, 200 + c);
       for (int r = 0; r < requests; ++r) {
-        engine.execute(18, big.data());            // arbitrated single
-        engine.execute_many(6, tiny.data(), 32);   // arbitrated batch
-        engine.submit(10, async.data()).get();     // coalesces under load
+        engine.execute(single_n, big.data());           // arbitrated single
+        engine.execute_many(batch_n, tiny.data(), batch);  // arbitrated batch
+        engine.submit(submit_n, async.data()).get();    // coalesces under load
       }
     });
   }
   for (auto& thread : pool) thread.join();
 
   const auto stats = engine.stats();
+  std::printf("engine: %s\n", whtlab::api::to_string(stats).c_str());
   std::printf("served %llu vectors (%llu batched dispatches, "
               "%llu submits coalesced)\n",
               (unsigned long long)stats.vectors,
               (unsigned long long)stats.batches,
               (unsigned long long)stats.coalesced);
-  for (const auto& [backend, vectors] : stats.per_backend) {
-    std::printf("  %-10s %llu vectors\n", backend.c_str(),
-                (unsigned long long)vectors);
-  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -201,6 +202,20 @@ void Engine::execute_many(int n, double* x, std::size_t count,
   record(choice.decision.backend, count, count > 1, false);
 }
 
+void Engine::execute(int n, double* x, ExecContext& ctx) {
+  const Choice choice = choose(n, 1);
+  choice.winner->transform->execute(x, 1, ctx);
+  record(choice.decision.backend, 1, false, false);
+}
+
+void Engine::execute_many(int n, double* x, std::size_t count,
+                          std::ptrdiff_t dist, ExecContext& ctx) {
+  if (count == 0) return;
+  const Choice choice = choose(n, count);
+  choice.winner->transform->execute_many(x, count, dist, ctx);
+  record(choice.decision.backend, count, count > 1, false);
+}
+
 void Engine::ensure_dispatcher() {
   // Called with queue_mutex_ held.
   if (dispatcher_started_) return;
@@ -322,6 +337,17 @@ void Engine::serve_group(std::vector<Pending> group) {
 Engine::Stats Engine::stats() const {
   const std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+std::string to_string(const Engine::Stats& stats) {
+  std::ostringstream out;
+  out << "vectors=" << stats.vectors << " singles=" << stats.singles
+      << " submitted=" << stats.submitted << " batches=" << stats.batches
+      << " coalesced=" << stats.coalesced;
+  for (const auto& [backend, vectors] : stats.per_backend) {
+    out << ' ' << backend << '=' << vectors;
+  }
+  return out.str();
 }
 
 }  // namespace whtlab::api

@@ -143,6 +143,14 @@ class Engine {
   void execute_many(int n, double* x, std::size_t count);
   void execute_many(int n, double* x, std::size_t count, std::ptrdiff_t dist);
 
+  /// External-submitter hooks: the caller owns the per-call context instead
+  /// of the Transform's internal pool — the shape for serving layers that
+  /// drive the Engine from their own threads with their own arenas (the
+  /// whtd daemon executes straight on shared-memory staging this way).
+  void execute(int n, double* x, ExecContext& ctx);
+  void execute_many(int n, double* x, std::size_t count, std::ptrdiff_t dist,
+                    ExecContext& ctx);
+
   /// Queues one in-place transform of x[0 .. 2^n) and returns immediately;
   /// the future resolves when it ran.  Concurrent submits of the same n
   /// coalesce into one arbitrated run_many (the dispatcher stages them
@@ -226,5 +234,9 @@ class Engine {
   mutable std::mutex stats_mutex_;
   Stats stats_;
 };
+
+/// One-line human-readable rendering of a stats snapshot — the export used
+/// by `whtd --stats`, the serve example, and log lines.
+std::string to_string(const Engine::Stats& stats);
 
 }  // namespace whtlab::api

@@ -43,21 +43,43 @@ std::pair<long long, long long> file_fingerprint(const std::string& path) {
 /// threads sharing the registry's in-memory state interleave.  Errors
 /// throw: silently proceeding unlocked would reintroduce the lost-update
 /// race this exists to close.
+///
+/// The lock file is reclaimed on release, so `*.lock` never outlives the
+/// critical section.  Naive unlink is racy — a holder that unlinks after
+/// unlocking can delete a *recreated* file a new holder just locked, after
+/// which two processes hold "the" lock on different inodes.  The safe
+/// protocol:
+///   * Release unlinks WHILE STILL HOLDING the exclusive lock, then
+///     unlocks.  Nobody else can be a validated holder at unlink time.
+///   * Acquire revalidates after flock returns: if the path no longer
+///     names the locked inode (fstat vs stat — the file was reclaimed, and
+///     possibly recreated, while we slept in flock), the lock we won is on
+///     an orphaned inode; drop it and retry on the fresh path.
 class FileLock {
  public:
-  explicit FileLock(const std::string& path) {
-    const std::string lock_path = path + ".lock";
-    fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
-    if (fd_ < 0) {
-      throw std::runtime_error("wisdom: cannot open lock file " + lock_path);
-    }
-    int rc;
-    do {
-      rc = ::flock(fd_, LOCK_EX);
-    } while (rc != 0 && errno == EINTR);
-    if (rc != 0) {
+  explicit FileLock(const std::string& path) : lock_path_(path + ".lock") {
+    for (;;) {
+      fd_ = ::open(lock_path_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
+      if (fd_ < 0) {
+        throw std::runtime_error("wisdom: cannot open lock file " + lock_path_);
+      }
+      int rc;
+      do {
+        rc = ::flock(fd_, LOCK_EX);
+      } while (rc != 0 && errno == EINTR);
+      if (rc != 0) {
+        ::close(fd_);
+        throw std::runtime_error("wisdom: cannot lock " + lock_path_);
+      }
+      struct stat held{}, named{};
+      if (::fstat(fd_, &held) == 0 && ::stat(lock_path_.c_str(), &named) == 0 &&
+          held.st_ino == named.st_ino && held.st_dev == named.st_dev) {
+        return;  // we hold the lock on the inode the path names
+      }
+      // The previous holder reclaimed (and someone may have recreated) the
+      // lock file while we waited: our inode is orphaned.  Retry fresh.
+      ::flock(fd_, LOCK_UN);
       ::close(fd_);
-      throw std::runtime_error("wisdom: cannot lock " + lock_path);
     }
   }
 
@@ -65,11 +87,13 @@ class FileLock {
   FileLock& operator=(const FileLock&) = delete;
 
   ~FileLock() {
+    ::unlink(lock_path_.c_str());  // before unlock — see class comment
     ::flock(fd_, LOCK_UN);
-    ::close(fd_);  // the lock file itself stays; removing it would race
+    ::close(fd_);
   }
 
  private:
+  std::string lock_path_;
   int fd_ = -1;
 };
 

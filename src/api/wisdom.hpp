@@ -84,7 +84,10 @@ class Wisdom {
   /// over it (this wins collisions), and the union is written atomically.
   /// Concurrent *processes* interleaving save_merged never drop each
   /// other's entries — the read-merge-rename is one critical section.
-  /// Returns the merged state (what the file now holds).
+  /// The lock file is reclaimed on release (unlink-while-holding +
+  /// revalidate-after-acquire, see wisdom.cpp), so no `*.lock` litter
+  /// outlives the save.  Returns the merged state (what the file now
+  /// holds).
   Wisdom save_merged(const std::string& path) const;
 
   /// The cached plan for `key`, or nullptr.

@@ -1,0 +1,321 @@
+#include "ipc/client.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "ipc/futex.hpp"
+
+namespace whtlab::ipc {
+
+namespace {
+
+bool pid_alive(std::uint32_t pid) {
+  if (pid == 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+/// Liveness probes are syscalls; amortize them across wait slices.
+constexpr std::uint64_t kLivenessProbeNs = 200000000ULL;  // 200 ms
+constexpr std::int64_t kWaitSliceNs = 20000000LL;         // 20 ms
+
+}  // namespace
+
+Client Client::connect(const Options& options) {
+  Client client;
+  const std::string name = shm_name_for(options.endpoint);
+  try {
+    client.shm_ = Shm::open(name);
+  } catch (const std::runtime_error& error) {
+    throw Error(Status::kDaemonGone,
+                "ipc::Client: no daemon at '" + options.endpoint +
+                    "' (" + error.what() + ")");
+  }
+  if (client.shm_.size() < sizeof(ControlHeader)) {
+    throw Error(Status::kBadRequest, "ipc::Client: runt control segment");
+  }
+  ControlHeader* hdr = static_cast<ControlHeader*>(client.shm_.data());
+  if (hdr->magic != kMagic || hdr->version != kVersion) {
+    throw Error(Status::kBadRequest,
+                "ipc::Client: segment version mismatch (daemon built from "
+                "a different protocol revision?)");
+  }
+  if (hdr->abi != abi_tag() || hdr->ring_depth != kRingDepth) {
+    throw Error(Status::kBadRequest,
+                "ipc::Client: segment ABI mismatch — rebuild client or "
+                "daemon");
+  }
+  if (hdr->shutdown.load(std::memory_order_acquire) != 0 ||
+      !pid_alive(hdr->daemon_pid.load(std::memory_order_acquire))) {
+    throw Error(Status::kDaemonGone,
+                "ipc::Client: daemon for '" + options.endpoint +
+                    "' is shut down or dead");
+  }
+  client.layout_.slot_count = hdr->slot_count;
+  client.layout_.arena_doubles = hdr->arena_doubles;
+  if (client.shm_.size() < client.layout_.total_bytes()) {
+    throw Error(Status::kBadRequest, "ipc::Client: truncated segment");
+  }
+  client.timeout_ms_ =
+      options.timeout_ms != 0 ? options.timeout_ms : hdr->timeout_ms;
+
+  // Admission control: claim the first free slot by CAS.  Losing every CAS
+  // and finding no kFree cell is the typed "server full" answer.
+  for (std::uint32_t s = 0; s < hdr->slot_count; ++s) {
+    SlotShared* cell = client.layout_.slot(client.shm_.data(), s);
+    std::uint32_t expected = kFree;
+    if (!cell->state.compare_exchange_strong(expected, kClaimed,
+                                             std::memory_order_acq_rel)) {
+      continue;
+    }
+    // Ours alone now: the daemon ignores non-kActive slots, other clients
+    // lost the CAS.  Publish identity, reset the rings from any previous
+    // tenancy, then go active.
+    client.slot_index_ = s;
+    client.generation_ = cell->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+    cell->pid.store(static_cast<std::uint32_t>(::getpid()),
+                    std::memory_order_release);
+    cell->requests.reset();
+    cell->responses.reset();
+    cell->state.store(kActive, std::memory_order_release);
+    client.arena_.attach(
+        client.layout_.arena(client.shm_.data(), s),
+        static_cast<std::size_t>(hdr->arena_doubles));
+    client.attached_ = true;
+    return client;
+  }
+  throw Error(Status::kServerFull,
+              "ipc::Client: all " + std::to_string(hdr->slot_count) +
+                  " client slots of '" + options.endpoint +
+                  "' are claimed (admission control)");
+}
+
+bool Client::wait_for_daemon(const std::string& endpoint,
+                             std::uint64_t wait_ms) {
+  const std::string name = shm_name_for(endpoint);
+  const std::uint64_t deadline = monotonic_ns() + wait_ms * 1000000ULL;
+  do {
+    if (Shm::exists(name)) {
+      try {
+        const Shm probe = Shm::open(name);
+        if (probe.size() >= sizeof(ControlHeader)) {
+          const auto* hdr = static_cast<const ControlHeader*>(probe.data());
+          if (hdr->magic == kMagic &&
+              hdr->shutdown.load(std::memory_order_acquire) == 0 &&
+              pid_alive(hdr->daemon_pid.load(std::memory_order_acquire))) {
+            return true;
+          }
+        }
+      } catch (const std::runtime_error&) {
+        // Unlinked between exists and open; keep polling.
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  } while (monotonic_ns() < deadline);
+  return false;
+}
+
+Client::~Client() {
+  if (!attached_ || !shm_.valid()) return;
+  // Drain what is in flight so the daemon is not mid-conversation with a
+  // freed slot; bounded — a dead daemon must not hang our destructor.
+  const std::uint64_t deadline =
+      monotonic_ns() + std::min<std::uint64_t>(timeout_ms_, 500) * 1000000ULL;
+  while (!outstanding_.empty() && daemon_alive() &&
+         monotonic_ns() < deadline) {
+    if (wait_any_response(deadline) != Status::kOk) break;
+  }
+  SlotShared* cell = slot();
+  std::uint32_t expected = kActive;
+  cell->pid.store(0, std::memory_order_release);
+  cell->state.compare_exchange_strong(expected, kFree,
+                                      std::memory_order_acq_rel);
+}
+
+bool Client::daemon_alive() const {
+  const ControlHeader* hdr = header();
+  if (hdr->shutdown.load(std::memory_order_acquire) != 0) return false;
+  return pid_alive(hdr->daemon_pid.load(std::memory_order_acquire));
+}
+
+void Client::ring_doorbell() {
+  header()->doorbell.fetch_add(1, std::memory_order_release);
+  futex_wake_all(header()->doorbell);
+}
+
+std::uint64_t Client::make_seq() {
+  return (generation_ << 32) | std::uint64_t{next_counter_++};
+}
+
+std::uint64_t Client::deadline_from_now() const {
+  return monotonic_ns() + timeout_ms_ * 1000000ULL;
+}
+
+double* Client::stage(int n, std::size_t count) {
+  if (n < 1 || n > 30 || count < 1) {
+    throw Error(Status::kBadRequest, "ipc::Client::stage: bad shape");
+  }
+  const std::uint64_t need = (std::uint64_t{1} << n) * count;
+  if (need > arena_.max_allocation()) {
+    throw Error(Status::kTooLarge,
+                "ipc::Client::stage: " + std::to_string(need) +
+                    " doubles exceed the slot arena (" +
+                    std::to_string(arena_.capacity()) +
+                    "); raise WHTLAB_IPC_ARENA_BYTES on the daemon");
+  }
+  double* p = arena_.allocate(static_cast<std::size_t>(need));
+  if (p != nullptr) return p;
+  // The arena is packed with earlier requests.  Wait out everything in
+  // flight, then recycle it whole (documented: invalidates earlier staged
+  // results).
+  const std::uint64_t deadline = deadline_from_now();
+  while (!outstanding_.empty()) {
+    const Status status = wait_any_response(deadline);
+    if (status != Status::kOk) {
+      throw Error(status, "ipc::Client::stage: draining in-flight requests "
+                          "failed while recycling the arena");
+    }
+  }
+  arena_.reset();
+  p = arena_.allocate(static_cast<std::size_t>(need));
+  return p;  // cannot fail: need <= max_allocation and the arena is empty
+}
+
+Status Client::submit(int n, double* staged, std::size_t count,
+                      Ticket& ticket) {
+  if (!attached_) return Status::kDaemonGone;
+  if (n < 1 || n > 30 || count < 1) return Status::kBadRequest;
+  if (!daemon_alive()) return Status::kDaemonGone;
+  // Backpressure: keep outstanding responses below the ring depth so the
+  // daemon's response push can never meet a full ring.
+  const std::uint64_t deadline = deadline_from_now();
+  while (outstanding_.size() >= kRingDepth - 1) {
+    const Status status = wait_any_response(deadline);
+    if (status != Status::kOk) return status;
+  }
+  Request request;
+  request.seq = make_seq();
+  request.n = static_cast<std::uint32_t>(n);
+  request.count = static_cast<std::uint32_t>(count);
+  request.offset = arena_.offset_of(staged);
+  while (!slot()->requests.try_push(request)) {
+    // Request ring full: the daemon is behind; give it room.
+    if (!daemon_alive()) return Status::kDaemonGone;
+    if (monotonic_ns() >= deadline) return Status::kTimeout;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  outstanding_.insert(request.seq);
+  ring_doorbell();
+  ticket.seq = request.seq;
+  ticket.data = staged;
+  ticket.n = request.n;
+  ticket.count = request.count;
+  return Status::kOk;
+}
+
+void Client::drain_responses() {
+  Response response;
+  while (slot()->responses.try_pop(response)) {
+    if ((response.seq >> 32) != (generation_ & 0xffffffffULL)) {
+      continue;  // a previous tenant's stale answer
+    }
+    outstanding_.erase(response.seq);
+    completed_[response.seq] = static_cast<Status>(response.status);
+  }
+  // Abandoned (timed-out, never wait()ed) completions must not accumulate
+  // forever on a long-lived client.
+  if (completed_.size() > 4 * kRingDepth) {
+    completed_.erase(completed_.begin(),
+                     std::prev(completed_.end(), 2 * kRingDepth));
+  }
+}
+
+Status Client::wait_any_response(std::uint64_t deadline_ns) {
+  const std::size_t before = completed_.size();
+  std::uint64_t next_probe = 0;
+  for (;;) {
+    drain_responses();
+    if (completed_.size() > before || outstanding_.empty()) return Status::kOk;
+    const std::uint64_t now = monotonic_ns();
+    if (now >= deadline_ns) return Status::kTimeout;
+    if (now >= next_probe) {
+      if (!daemon_alive()) return Status::kDaemonGone;
+      next_probe = now + kLivenessProbeNs;
+    }
+    const auto& word = slot()->responses.tail;
+    const std::uint32_t seen = word.load(std::memory_order_acquire);
+    drain_responses();
+    if (completed_.size() > before || outstanding_.empty()) return Status::kOk;
+    spin_then_wait(
+        word, seen, /*spins=*/2000,
+        std::min<std::int64_t>(kWaitSliceNs,
+                               static_cast<std::int64_t>(deadline_ns - now)));
+  }
+}
+
+Status Client::wait_seq(std::uint64_t seq, double*) {
+  const std::uint64_t deadline = deadline_from_now();
+  for (;;) {
+    drain_responses();
+    const auto it = completed_.find(seq);
+    if (it != completed_.end()) {
+      const Status status = it->second;
+      completed_.erase(it);
+      return status;
+    }
+    if (outstanding_.count(seq) == 0) {
+      // Neither pending nor completed: waited twice, or the completion was
+      // evicted from the abandoned-response cache.
+      return Status::kBadRequest;
+    }
+    const Status status = wait_any_response(deadline);
+    if (status != Status::kOk) return status;
+  }
+}
+
+Status Client::wait(const Ticket& ticket) {
+  if (!attached_) return Status::kDaemonGone;
+  return wait_seq(ticket.seq, ticket.data);
+}
+
+Status Client::transform(int n, double* staged, std::size_t count) {
+  Ticket ticket;
+  const Status submitted = submit(n, staged, count, ticket);
+  if (submitted != Status::kOk) return submitted;
+  return wait(ticket);
+}
+
+Status Client::transform_copy(int n, double* data, std::size_t count) {
+  double* staged = nullptr;
+  try {
+    staged = stage(n, count);
+  } catch (const Error& error) {
+    return error.status();
+  }
+  const std::uint64_t bytes =
+      (std::uint64_t{1} << n) * count * sizeof(double);
+  std::memcpy(staged, data, bytes);
+  const Status status = transform(n, staged, count);
+  if (status == Status::kOk) std::memcpy(data, staged, bytes);
+  return status;
+}
+
+Client::DaemonStats Client::stats() const {
+  DaemonStats out;
+  const SharedStats& s = header()->stats;
+  out.requests = s.requests.load(std::memory_order_relaxed);
+  out.vectors = s.vectors.load(std::memory_order_relaxed);
+  out.throttled = s.throttled.load(std::memory_order_relaxed);
+  out.bad_request = s.bad_request.load(std::memory_order_relaxed);
+  out.exec_errors = s.exec_errors.load(std::memory_order_relaxed);
+  out.reclaimed = s.reclaimed.load(std::memory_order_relaxed);
+  out.dropped = s.dropped.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace whtlab::ipc

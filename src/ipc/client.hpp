@@ -1,0 +1,145 @@
+// wht::ipc::Client — the client side of the whtd shared-memory protocol.
+//
+// The two-call happy path stages vectors straight into shared memory (zero
+// copies cross the process boundary) and serves them in place:
+//
+//   auto client = whtlab::ipc::Client::connect({.endpoint = "whtlab"});
+//   double* x = client.stage(n);          // shm arena pointer — write here
+//   ... fill x[0 .. 2^n) ...
+//   auto status = client.transform(n, x); // blocks; result is in x
+//
+// Batches stage `count` packed vectors (`stage(n, count)`), pipelining uses
+// submit()/wait() tickets.  The serving calls return a typed Status instead
+// of throwing — kThrottled, kTimeout, kDaemonGone are answers a serving
+// client must branch on, not crashes — while connect() and stage() throw
+// ipc::Error (kServerFull, kDaemonGone, kTooLarge), because failing there
+// is exceptional.
+//
+// Lifecycle: connect() claims a client slot by CAS in the control segment
+// (admission control — no free slot is a typed kServerFull), publishes the
+// pid for the daemon's liveness sweep, and bumps the slot generation; the
+// destructor drains in-flight requests (bounded) and frees the slot.  If
+// the daemon dies, every blocked or future call resolves to kDaemonGone —
+// detected via the shutdown flag (clean exit) or a pid liveness probe
+// (SIGKILL) — rather than hanging.
+//
+// A Client is NOT thread-safe (one slot = one request stream); concurrency
+// comes from connecting more clients, which is the point of the daemon.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ipc/protocol.hpp"
+#include "ipc/shm.hpp"
+#include "util/scratch_arena.hpp"
+
+namespace whtlab::ipc {
+
+class Client {
+ public:
+  struct Options {
+    std::string endpoint = "whtlab";
+    /// Per-wait deadline; 0 = the daemon's published timeout_ms.
+    std::uint64_t timeout_ms = 0;
+  };
+
+  /// In-flight request handle.  `data` is the staged region the result
+  /// lands in; valid until the arena wraps (see stage()).
+  struct Ticket {
+    std::uint64_t seq = 0;
+    double* data = nullptr;
+    std::uint32_t n = 0;
+    std::uint32_t count = 0;
+  };
+
+  /// Maps the endpoint's segment and claims a slot.  Throws ipc::Error:
+  /// kDaemonGone (no segment / daemon dead / shutting down), kServerFull
+  /// (admission control), kBadRequest (version/ABI mismatch).
+  static Client connect(const Options& options);
+  static Client connect() { return connect(Options{}); }
+
+  /// Polls until a live daemon serves `endpoint` or `wait_ms` elapses —
+  /// the "daemon is still booting" helper for tests and scripts.
+  static bool wait_for_daemon(const std::string& endpoint,
+                              std::uint64_t wait_ms);
+
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();  ///< drains in-flight (bounded), releases the slot
+
+  /// A staging region for `count` packed vectors of 2^n doubles, inside
+  /// this client's shm arena — write inputs here, read results here.
+  /// Sequential stage() calls pack the arena; when a request does not fit
+  /// next to the live ones, stage() first waits for all in-flight requests
+  /// and recycles the arena — which invalidates *earlier* staged results.
+  /// Read (or copy out) results before staging past the arena size.
+  /// Throws ipc::Error(kTooLarge) when the request can never fit, and
+  /// kTimeout/kDaemonGone if draining the arena fails.
+  double* stage(int n, std::size_t count = 1);
+
+  /// Blocking round-trip: submits the staged region and waits.  On kOk the
+  /// transform happened in place at `staged`.
+  Status transform(int n, double* staged, std::size_t count = 1);
+
+  /// Pipelined submission; pair each with wait().  At most ring-depth - 1
+  /// requests may be in flight — beyond that submit() blocks on the oldest
+  /// response (backpressure, not an error).
+  Status submit(int n, double* staged, std::size_t count, Ticket& ticket);
+  Status wait(const Ticket& ticket);
+
+  /// Convenience for callers with vectors outside the arena: stages a
+  /// copy, transforms, copies the spectrum back into `data`.  Costs the
+  /// two copies the zero-copy path exists to avoid.
+  Status transform_copy(int n, double* data, std::size_t count = 1);
+
+  /// Capacity of this client's staging arena, in doubles.
+  std::size_t arena_capacity() const { return arena_.capacity(); }
+  std::size_t inflight() const { return outstanding_.size(); }
+  int slot_index() const { return static_cast<int>(slot_index_); }
+
+  /// The daemon's live shared counters (read straight from the segment —
+  /// the stats-export path; no request round-trip).
+  struct DaemonStats {
+    std::uint64_t requests = 0;
+    std::uint64_t vectors = 0;
+    std::uint64_t throttled = 0;
+    std::uint64_t bad_request = 0;
+    std::uint64_t exec_errors = 0;
+    std::uint64_t reclaimed = 0;
+    std::uint64_t dropped = 0;
+  };
+  DaemonStats stats() const;
+
+ private:
+  Client() = default;
+
+  ControlHeader* header() const { return layout_.header(shm_.data()); }
+  SlotShared* slot() const { return layout_.slot(shm_.data(), slot_index_); }
+
+  bool daemon_alive() const;
+  void ring_doorbell();
+  void drain_responses();
+  Status wait_seq(std::uint64_t seq, double* data_hint);
+  Status wait_any_response(std::uint64_t deadline_ns);
+  std::uint64_t make_seq();
+  std::uint64_t deadline_from_now() const;
+
+  Shm shm_;
+  Layout layout_;
+  std::uint32_t slot_index_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t timeout_ms_ = 5000;
+  std::uint32_t next_counter_ = 1;
+  util::BumpArena arena_;
+  std::set<std::uint64_t> outstanding_;        ///< submitted, not yet answered
+  std::map<std::uint64_t, Status> completed_;  ///< answered, not yet wait()ed
+  bool attached_ = false;
+};
+
+}  // namespace whtlab::ipc

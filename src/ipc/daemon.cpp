@@ -1,0 +1,426 @@
+#include "ipc/daemon.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ipc/futex.hpp"
+#include "ipc/rate_limiter.hpp"
+#include "util/env.hpp"
+
+namespace whtlab::ipc {
+
+namespace {
+
+/// pid liveness via the null signal.  EPERM still means "exists".
+bool pid_alive(std::uint32_t pid) {
+  if (pid == 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+/// Hard cap on request n: beyond this even one vector cannot be staged in
+/// any plausible arena, and plan trees this deep are a config error.
+constexpr std::uint32_t kMaxRequestN = 30;
+
+}  // namespace
+
+struct Daemon::SlotLocal {
+  RateLimiter limiter;
+  std::uint64_t seen_generation = 0;
+  int claim_strikes = 0;  ///< sweeps spent in kClaimed with no pid
+};
+
+struct Daemon::PendingExec {
+  std::uint32_t index = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t count = 0;
+  std::future<void> future;
+};
+
+DaemonOptions DaemonOptions::from_env() {
+  DaemonOptions options;
+  if (const auto name = util::env_string("WHTLAB_IPC_NAME")) {
+    options.endpoint = *name;
+  }
+  options.slots = static_cast<std::uint32_t>(
+      util::env_int("WHTLAB_IPC_SLOTS", options.slots));
+  options.arena_doubles = static_cast<std::uint64_t>(util::env_int(
+      "WHTLAB_IPC_ARENA_BYTES",
+      static_cast<std::int64_t>(options.arena_doubles * sizeof(double)))) /
+      sizeof(double);
+  options.rate_limit = static_cast<std::uint64_t>(
+      util::env_int("WHTLAB_IPC_RATE_LIMIT", options.rate_limit));
+  options.timeout_ms = static_cast<std::uint64_t>(
+      util::env_int("WHTLAB_IPC_TIMEOUT_MS", options.timeout_ms));
+  options.sweep_ms = static_cast<std::uint64_t>(
+      util::env_int("WHTLAB_IPC_SWEEP_MS", options.sweep_ms));
+  return options;
+}
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  if (options_.slots < 1 || options_.slots > 1024) {
+    throw std::invalid_argument("ipc::Daemon: slots must be in [1, 1024]");
+  }
+  if (options_.arena_doubles < 64) {
+    throw std::invalid_argument("ipc::Daemon: arena must hold >= 64 doubles");
+  }
+  if (options_.sweep_ms < 1) {
+    throw std::invalid_argument("ipc::Daemon: sweep_ms must be >= 1");
+  }
+  layout_.slot_count = options_.slots;
+  layout_.arena_doubles = options_.arena_doubles;
+
+  const std::string name = shm_name_for(options_.endpoint);
+  try {
+    shm_ = Shm::create(name, layout_.total_bytes());
+  } catch (const std::runtime_error&) {
+    // A segment already carries this name.  Take it over only if its
+    // recorded daemon is provably gone (crashed predecessor that never
+    // unlinked); a live daemon keeps the endpoint.
+    bool stale = false;
+    if (options_.takeover_stale) {
+      try {
+        const Shm existing = Shm::open(name);
+        if (existing.size() < sizeof(ControlHeader)) {
+          stale = true;
+        } else {
+          const auto* hdr = static_cast<const ControlHeader*>(existing.data());
+          stale = hdr->magic != kMagic ||
+                  hdr->shutdown.load(std::memory_order_acquire) != 0 ||
+                  !pid_alive(hdr->daemon_pid.load(std::memory_order_acquire));
+        }
+      } catch (const std::runtime_error&) {
+        stale = true;  // vanished between create and open; retry below
+      }
+    }
+    if (!stale) {
+      throw Error(Status::kServerFull,
+                  "ipc::Daemon: endpoint '" + options_.endpoint +
+                      "' already served by a live daemon");
+    }
+    Shm::unlink(name);
+    shm_ = Shm::create(name, layout_.total_bytes());
+  }
+
+  // The segment is kernel-zeroed: every ring empty, every slot kFree, all
+  // stats zero.  Publish config, then the pid last — a client that sees a
+  // live daemon_pid may rely on everything before it.
+  ControlHeader* hdr = header();
+  hdr->version = kVersion;
+  hdr->abi = abi_tag();
+  hdr->slot_count = options_.slots;
+  hdr->ring_depth = kRingDepth;
+  hdr->arena_doubles = options_.arena_doubles;
+  hdr->rate_limit = options_.rate_limit;
+  hdr->rate_window_ns = options_.rate_window_ns;
+  hdr->timeout_ms = options_.timeout_ms;
+  hdr->magic = kMagic;
+  engine_ = std::make_unique<api::Engine>(options_.engine);
+  hdr->daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
+                        std::memory_order_release);
+}
+
+Daemon::~Daemon() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructors stay noexcept; the segment unlink below still runs.
+  }
+  if (!stopped_ && shm_.valid()) Shm::unlink(shm_.name());
+}
+
+void Daemon::start() {
+  if (running_.load(std::memory_order_acquire) || stopped_) return;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  service_ = std::thread([this] { service_loop(); });
+}
+
+void Daemon::stop() {
+  if (stopped_) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (shm_.valid()) futex_wake_all(header()->doorbell);
+  if (service_.joinable()) service_.join();
+  running_.store(false, std::memory_order_release);
+  if (shm_.valid()) {
+    // Publish the end of the endpoint, wake every parked client so it can
+    // observe it, and remove the name.  Mapped clients keep their (now
+    // shutdown-flagged) segment until they unmap; new connects fail fast.
+    ControlHeader* hdr = header();
+    hdr->shutdown.store(1, std::memory_order_release);
+    hdr->daemon_pid.store(0, std::memory_order_release);
+    futex_wake_all(hdr->doorbell);
+    for (std::uint32_t s = 0; s < options_.slots; ++s) {
+      futex_wake_all(slot(s)->responses.tail);
+    }
+    Shm::unlink(shm_.name());
+  }
+  stopped_ = true;
+}
+
+Daemon::Stats Daemon::stats() const {
+  Stats out;
+  if (!shm_.valid()) return out;
+  const SharedStats& s = header()->stats;
+  out.requests = s.requests.load(std::memory_order_relaxed);
+  out.vectors = s.vectors.load(std::memory_order_relaxed);
+  out.throttled = s.throttled.load(std::memory_order_relaxed);
+  out.bad_request = s.bad_request.load(std::memory_order_relaxed);
+  out.exec_errors = s.exec_errors.load(std::memory_order_relaxed);
+  out.reclaimed = s.reclaimed.load(std::memory_order_relaxed);
+  out.dropped = s.dropped.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Daemon::service_loop() {
+  std::vector<SlotLocal> local(options_.slots);
+  for (auto& l : local) {
+    l.limiter = RateLimiter(options_.rate_limit, options_.rate_window_ns);
+  }
+  std::vector<PendingExec> pending;
+  const std::uint64_t sweep_ns = options_.sweep_ms * 1000000ULL;
+  std::uint64_t last_sweep = monotonic_ns();
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const std::uint32_t seen =
+        header()->doorbell.load(std::memory_order_acquire);
+    bool progress = poll_requests(local, pending);
+    progress |= drain_completions(pending, /*block_one=*/false);
+
+    const std::uint64_t now = monotonic_ns();
+    if (now - last_sweep >= sweep_ns) {
+      sweep(local);
+      last_sweep = now;
+    }
+    if (progress) continue;
+
+    if (!pending.empty()) {
+      // Engine work is in flight; completions, not doorbells, are the next
+      // event.  A short blocking poll keeps response latency tight without
+      // busy-spinning the service thread.
+      drain_completions(pending, /*block_one=*/true);
+      continue;
+    }
+    // Idle: park on the doorbell until a client rings or the sweep is due.
+    const std::uint64_t since_sweep = monotonic_ns() - last_sweep;
+    const std::int64_t budget =
+        since_sweep >= sweep_ns
+            ? 0
+            : static_cast<std::int64_t>(sweep_ns - since_sweep);
+    if (budget > 0) {
+      spin_then_wait(header()->doorbell, seen, /*spins=*/4000, budget);
+    }
+  }
+
+  // Shutdown: answer everything already inside the Engine, then let stop()
+  // publish the flag and wake the world.
+  for (PendingExec& p : pending) {
+    Status status = Status::kOk;
+    try {
+      p.future.get();
+    } catch (...) {
+      status = Status::kExecError;
+      header()->stats.exec_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (status == Status::kOk) {
+      header()->stats.vectors.fetch_add(p.count, std::memory_order_relaxed);
+    }
+    complete(p.index, p.generation, p.seq, status);
+  }
+}
+
+bool Daemon::poll_requests(std::vector<SlotLocal>& local,
+                           std::vector<PendingExec>& pending) {
+  bool any = false;
+  for (std::uint32_t s = 0; s < options_.slots; ++s) {
+    SlotShared* cell = slot(s);
+    if (cell->state.load(std::memory_order_acquire) != kActive) continue;
+    const std::uint64_t gen =
+        cell->generation.load(std::memory_order_acquire);
+    if (gen != local[s].seen_generation) {
+      // A new client took this slot: its rate budget starts fresh.
+      local[s].seen_generation = gen;
+      local[s].limiter.reset();
+      local[s].claim_strikes = 0;
+    }
+    Request request;
+    while (cell->requests.try_pop(request)) {
+      any = true;
+      handle_request(s, cell, gen, request, local, pending);
+    }
+  }
+  return any;
+}
+
+void Daemon::handle_request(std::uint32_t index, SlotShared* cell,
+                            std::uint64_t gen, const Request& request,
+                            std::vector<SlotLocal>& local,
+                            std::vector<PendingExec>& pending) {
+  SharedStats& stats = header()->stats;
+  stats.requests.fetch_add(1, std::memory_order_relaxed);
+
+  // A request from a previous slot owner (reclaim raced a late push) must
+  // not be answered into the current owner's ring.
+  if ((request.seq >> 32) != (gen & 0xffffffffULL)) {
+    stats.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const std::uint64_t size = std::uint64_t{1} << request.n;
+  const bool shape_ok =
+      request.n >= 1 && request.n <= kMaxRequestN && request.count >= 1 &&
+      request.count <= options_.arena_doubles / size &&
+      request.offset <= options_.arena_doubles - request.count * size;
+  if (!shape_ok) {
+    stats.bad_request.fetch_add(1, std::memory_order_relaxed);
+    respond(cell, request.seq, Status::kBadRequest);
+    return;
+  }
+
+  if (!local[index].limiter.try_acquire(monotonic_ns())) {
+    stats.throttled.fetch_add(1, std::memory_order_relaxed);
+    respond(cell, request.seq, Status::kThrottled);
+    return;
+  }
+
+  double* data = arena(index) + request.offset;
+  if (request.count == 1) {
+    // Single vectors ride the Engine's coalescing submit() path: requests
+    // from different client processes for the same n merge into one batched
+    // run on the arbitrated backend.
+    try {
+      PendingExec exec;
+      exec.index = index;
+      exec.generation = gen;
+      exec.seq = request.seq;
+      exec.count = 1;
+      exec.future = engine_->submit(static_cast<int>(request.n), data);
+      pending.push_back(std::move(exec));
+    } catch (...) {
+      stats.exec_errors.fetch_add(1, std::memory_order_relaxed);
+      respond(cell, request.seq, Status::kExecError);
+    }
+    return;
+  }
+  // Client-side batches are already shaped for the batch path — run them
+  // directly on the arbitrated backend with the service thread's context.
+  try {
+    engine_->execute_many(static_cast<int>(request.n), data, request.count,
+                          static_cast<std::ptrdiff_t>(size), ctx_);
+    stats.vectors.fetch_add(request.count, std::memory_order_relaxed);
+    respond(cell, request.seq, Status::kOk);
+  } catch (...) {
+    stats.exec_errors.fetch_add(1, std::memory_order_relaxed);
+    respond(cell, request.seq, Status::kExecError);
+  }
+}
+
+bool Daemon::drain_completions(std::vector<PendingExec>& pending,
+                               bool block_one) {
+  bool any = false;
+  for (auto it = pending.begin(); it != pending.end();) {
+    const bool ready =
+        block_one
+            ? it->future.wait_for(std::chrono::microseconds(200)) ==
+                  std::future_status::ready
+            : it->future.wait_for(std::chrono::seconds(0)) ==
+                  std::future_status::ready;
+    block_one = false;  // only the first entry gets the blocking poll
+    if (!ready) {
+      ++it;
+      continue;
+    }
+    Status status = Status::kOk;
+    try {
+      it->future.get();
+    } catch (...) {
+      status = Status::kExecError;
+      header()->stats.exec_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (status == Status::kOk) {
+      header()->stats.vectors.fetch_add(it->count, std::memory_order_relaxed);
+    }
+    complete(it->index, it->generation, it->seq, status);
+    it = pending.erase(it);
+    any = true;
+  }
+  return any;
+}
+
+void Daemon::complete(std::uint32_t index, std::uint64_t gen,
+                      std::uint64_t seq, Status status) {
+  SlotShared* cell = slot(index);
+  if (cell->state.load(std::memory_order_acquire) != kActive ||
+      cell->generation.load(std::memory_order_acquire) != gen) {
+    // The requester is gone (reclaimed or released); its successor must not
+    // see a stranger's completion.
+    header()->stats.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  respond(cell, seq, status);
+}
+
+void Daemon::respond(SlotShared* cell, std::uint64_t seq, Status status) {
+  Response response;
+  response.seq = seq;
+  response.status = static_cast<std::int32_t>(status);
+  // The client-side inflight cap (client.cpp) keeps outstanding responses
+  // below the ring depth, so a full ring means a protocol-violating client;
+  // a brief retry covers consumption races, then the response is dropped
+  // (the client will time out — its own doing).
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    if (cell->responses.try_push(response)) {
+      futex_wake_all(cell->responses.tail);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(10));
+  }
+  header()->stats.dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Daemon::sweep(std::vector<SlotLocal>& local) {
+  for (std::uint32_t s = 0; s < options_.slots; ++s) {
+    SlotShared* cell = slot(s);
+    const std::uint32_t state = cell->state.load(std::memory_order_acquire);
+    if (state == kFree) {
+      local[s].claim_strikes = 0;
+      continue;
+    }
+    const std::uint32_t pid = cell->pid.load(std::memory_order_acquire);
+    if (pid != 0) {
+      local[s].claim_strikes = 0;
+      if (!pid_alive(pid)) reclaim(s, cell, local[s]);
+    } else if (state == kClaimed) {
+      // Claimed but no pid published: either a handshake in progress
+      // (microseconds) or a client that died mid-claim.  Three sweep
+      // periods of grace separates the two.
+      if (++local[s].claim_strikes >= 3) reclaim(s, cell, local[s]);
+    }
+  }
+}
+
+void Daemon::reclaim(std::uint32_t /*index*/, SlotShared* cell,
+                     SlotLocal& local) {
+  // The owner is dead, so the daemon is the only toucher: reset both rings
+  // (dropping anything the corpse left queued), clear the pid, and free the
+  // slot.  In-flight Engine work for this slot still completes — its
+  // completion is dropped by the generation/state check in complete(), and
+  // the arena memory stays mapped for as long as the daemon runs.
+  cell->pid.store(0, std::memory_order_release);
+  cell->requests.reset();
+  cell->responses.reset();
+  cell->state.store(kFree, std::memory_order_release);
+  local.limiter.reset();
+  local.claim_strikes = 0;
+  header()->stats.reclaimed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace whtlab::ipc

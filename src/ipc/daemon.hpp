@@ -1,0 +1,159 @@
+// whtd — the shared-memory multi-process serving daemon.
+//
+// One Daemon owns one process-wide wht::Engine and one shm segment
+// (protocol.hpp) and serves every connected client process through them:
+//
+//   ipc::Daemon daemon;        // creates /dev/shm/whtlab.<endpoint>
+//   daemon.start();            // service thread: rings -> Engine -> rings
+//   ...
+//   daemon.stop();             // drain, publish shutdown, unlink segment
+//
+// The service loop pops requests from every active slot's ring, admits them
+// through a per-client trailing-window RateLimiter, validates their shape,
+// and routes them into the Engine: single-vector requests go through the
+// coalescing submit() path — concurrent requests from *different client
+// processes* for the same size merge into one batched run, the designed
+// payoff of the PR 5 execution contract — while client-side batches run
+// directly through the arbitrated execute_many.  All execution is in place
+// in the client's shm arena: no vector bytes are ever copied across the
+// process boundary.
+//
+// Robustness is part of the contract:
+//   * Admission control — a bounded slot table; a client that finds no free
+//     slot gets a typed kServerFull at connect (client.hpp).
+//   * Rate limiting — per-slot RateLimiter (rate_limiter.hpp); over-budget
+//     requests answer kThrottled immediately, without execution, so one
+//     greedy client cannot queue out the others.
+//   * Dead-client reclamation — a pid-liveness sweep every sweep_ms frees
+//     slots whose owner died (SIGKILL included), resets their rings, and
+//     drops their in-flight completions by generation check.  One crashed
+//     client never wedges the daemon.
+//   * Clean shutdown — stop() drains in-flight work, answers what it can,
+//     publishes the shutdown flag, wakes every parked waiter, and unlinks
+//     the segment; blocked clients resolve to kDaemonGone instead of
+//     hanging.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/engine.hpp"
+#include "ipc/protocol.hpp"
+#include "ipc/shm.hpp"
+
+namespace whtlab::ipc {
+
+struct DaemonOptions {
+  /// Serving endpoint name; the segment is /dev/shm/whtlab.<endpoint>.
+  std::string endpoint = "whtlab";
+
+  /// Client slots — the admission-control bound.  [WHTLAB_IPC_SLOTS]
+  std::uint32_t slots = 16;
+
+  /// Per-slot staging arena in doubles; bounds the largest servable request
+  /// (count << n <= arena_doubles).  [WHTLAB_IPC_ARENA_BYTES / 8]
+  std::uint64_t arena_doubles = std::uint64_t{1} << 19;  // 4 MiB
+
+  /// Admitted requests per client per trailing window; 0 disables.
+  /// [WHTLAB_IPC_RATE_LIMIT]
+  std::uint64_t rate_limit = 0;
+  std::uint64_t rate_window_ns = 1000000000ULL;
+
+  /// Suggested client wait deadline, published in the header; clients may
+  /// override locally.  [WHTLAB_IPC_TIMEOUT_MS]
+  std::uint64_t timeout_ms = 5000;
+
+  /// Liveness sweep period — the reclamation latency bound for a SIGKILLed
+  /// client's slot.  [WHTLAB_IPC_SWEEP_MS]
+  std::uint64_t sweep_ms = 50;
+
+  /// Replace a leftover segment whose recorded daemon pid is dead (crashed
+  /// predecessor).  A segment with a *live* daemon is never taken over.
+  bool takeover_stale = true;
+
+  /// The serving Engine's configuration (candidate backends, strategy,
+  /// wisdom file, coalescing window, ...).
+  api::EngineOptions engine;
+
+  /// Defaults with every WHTLAB_IPC_* environment knob applied.
+  static DaemonOptions from_env();
+};
+
+class Daemon {
+ public:
+  /// Creates and initializes the segment and the Engine.  Throws
+  /// ipc::Error(kServerFull) when a live daemon already owns the endpoint,
+  /// std::runtime_error on shm failures.
+  explicit Daemon(DaemonOptions options = {});
+  ~Daemon();  ///< stop() if still running
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  void start();  ///< spawns the service thread (idempotent)
+
+  /// Drains in-flight work, publishes shutdown, wakes all waiters, joins
+  /// the service thread, and unlinks the segment.  Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the shared counters (also readable by any process that
+  /// maps the segment — Client::daemon_stats, `whtd --stats`).
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t vectors = 0;
+    std::uint64_t throttled = 0;
+    std::uint64_t bad_request = 0;
+    std::uint64_t exec_errors = 0;
+    std::uint64_t reclaimed = 0;
+    std::uint64_t dropped = 0;
+  };
+  Stats stats() const;
+
+  api::Engine& engine() { return *engine_; }
+  const DaemonOptions& options() const { return options_; }
+  const std::string& shm_name() const { return shm_.name(); }
+
+ private:
+  struct SlotLocal;  // daemon-private per-slot state (limiter, strikes)
+  struct PendingExec;
+
+  void service_loop();
+  bool poll_requests(std::vector<SlotLocal>& local,
+                     std::vector<PendingExec>& pending);
+  void handle_request(std::uint32_t index, SlotShared* slot,
+                      std::uint64_t gen, const Request& request,
+                      std::vector<SlotLocal>& local,
+                      std::vector<PendingExec>& pending);
+  bool drain_completions(std::vector<PendingExec>& pending, bool block_one);
+  void complete(std::uint32_t index, std::uint64_t gen, std::uint64_t seq,
+                Status status);
+  void respond(SlotShared* slot, std::uint64_t seq, Status status);
+  void sweep(std::vector<SlotLocal>& local);
+  void reclaim(std::uint32_t index, SlotShared* slot, SlotLocal& local);
+
+  ControlHeader* header() const { return layout_.header(shm_.data()); }
+  SlotShared* slot(std::uint32_t index) const {
+    return layout_.slot(shm_.data(), index);
+  }
+  double* arena(std::uint32_t index) const {
+    return layout_.arena(shm_.data(), index);
+  }
+
+  DaemonOptions options_;
+  Layout layout_;
+  Shm shm_;
+  std::unique_ptr<api::Engine> engine_;
+  api::ExecContext ctx_;  ///< service-thread scratch for direct batch runs
+
+  std::thread service_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  bool stopped_ = false;  ///< stop() ran to completion (segment unlinked)
+};
+
+}  // namespace whtlab::ipc

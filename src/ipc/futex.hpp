@@ -1,0 +1,39 @@
+// Cross-process wakeups for the shared-memory serving layer.
+//
+// The shm rings (spsc_ring.hpp) signal progress by bumping a 32-bit atomic
+// word that lives in the shared segment; the waiting side parks on that word
+// until it changes.  On Linux the park is a real futex (FUTEX_WAIT on the
+// *shared* word — deliberately not FUTEX_PRIVATE, the waiter and the waker
+// are different processes), so an idle daemon or a blocked client costs
+// nothing until the other side rings.  Elsewhere the same API degrades to a
+// sleep-poll loop — slower wakeups, identical semantics.
+//
+// All waits are spin-then-sleep: a short user-space spin first, because the
+// common serving case is a response that is microseconds away and a syscall
+// round-trip would dominate small-n transforms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace whtlab::ipc {
+
+/// Blocks until `word != expected` or `timeout_ns` elapses (timeout_ns < 0 =
+/// no timeout).  Returns word's current value — callers loop on it, because
+/// futex wakeups are allowed to be spurious.  The word must live in memory
+/// shared by waiter and waker (an mmap'd segment or ordinary process memory).
+std::uint32_t futex_wait_changed(const std::atomic<std::uint32_t>& word,
+                                 std::uint32_t expected,
+                                 std::int64_t timeout_ns);
+
+/// Wakes every futex_wait_changed parked on `word`.  Cheap when nobody
+/// waits (one syscall on Linux, nothing at all elsewhere).
+void futex_wake_all(const std::atomic<std::uint32_t>& word);
+
+/// Spin-then-sleep wait: ~`spins` pause-loop iterations watching for the
+/// word to change, then the futex park.  Returns the current value.
+std::uint32_t spin_then_wait(const std::atomic<std::uint32_t>& word,
+                             std::uint32_t expected, int spins,
+                             std::int64_t timeout_ns);
+
+}  // namespace whtlab::ipc

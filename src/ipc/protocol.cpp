@@ -1,0 +1,28 @@
+#include "ipc/protocol.hpp"
+
+#include <ctime>
+
+namespace whtlab::ipc {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kServerFull: return "server-full";
+    case Status::kThrottled: return "throttled";
+    case Status::kTimeout: return "timeout";
+    case Status::kDaemonGone: return "daemon-gone";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kTooLarge: return "too-large";
+    case Status::kExecError: return "exec-error";
+  }
+  return "unknown";
+}
+
+std::uint64_t monotonic_ns() {
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace whtlab::ipc

@@ -1,0 +1,203 @@
+// The whtd shared-memory serving protocol: segment layout + message types.
+//
+// One named shm segment per serving endpoint holds everything daemon and
+// clients exchange:
+//
+//   [ ControlHeader | Slot 0 | Slot 1 | ... | arena 0 | arena 1 | ... ]
+//
+// Each client slot is a SlotShared — claim state, a single-writer request
+// ring (client -> daemon) and a single-writer response ring (daemon ->
+// client) — plus a fixed per-slot staging arena of doubles at the back of
+// the segment.  Requests never carry vector data: the client writes its
+// vectors straight into its own arena and sends (offset, n, count); the
+// daemon executes *in place* there and the client reads the spectrum back
+// from the same memory.  Zero copies cross the process boundary.
+//
+// Slot lifecycle (the admission-control and crash-reclaim state machine):
+//
+//   kFree --CAS by client--> kClaimed --client wrote pid, reset rings-->
+//   kActive --client release / daemon reclaim--> kFree
+//
+// The daemon only ever touches rings of kActive slots, so the claimant is
+// provably alone while it resets them.  A pid-liveness sweep in the daemon
+// frees slots whose owner died (kill(pid, 0) == ESRCH), resets their rings,
+// and drops their in-flight requests — one crashed client can never wedge
+// the daemon or leak its slot.  Slot generations disambiguate reuse: every
+// claim bumps `generation`, request seq numbers embed it, and the daemon
+// drops completions whose generation no longer matches (a response for a
+// dead client must not leak into its successor's ring).
+//
+// Every struct here lives in shared memory: standard-layout, pointer-free,
+// lock-free atomics only, and zero-initialized-is-valid (a fresh segment is
+// kernel-zeroed).  `kVersion`/`kAbiTag` gate mismatched binaries at connect.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "ipc/spsc_ring.hpp"
+
+namespace whtlab::ipc {
+
+// --- typed serving errors ---------------------------------------------------
+
+enum class Status : std::int32_t {
+  kOk = 0,
+  kServerFull,   ///< admission control: every client slot is claimed
+  kThrottled,    ///< this client exceeded its trailing-window rate budget
+  kTimeout,      ///< no response within the deadline (daemon overloaded?)
+  kDaemonGone,   ///< daemon shut down, or its pid is no longer alive
+  kBadRequest,   ///< daemon rejected the request shape (n/count/offset)
+  kTooLarge,     ///< request does not fit the slot arena
+  kExecError,    ///< execution threw inside the daemon
+};
+
+const char* to_string(Status status);
+
+/// Exception face of Status for the paths where failing is exceptional
+/// (connect/handshake, staging).  The serving hot path (transform/wait)
+/// returns Status instead — a throttled request is an answer, not a crash.
+class Error : public std::runtime_error {
+ public:
+  Error(Status status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+// --- wire messages ----------------------------------------------------------
+
+struct Request {
+  std::uint64_t seq = 0;     ///< (generation << 32) | client-local counter
+  std::uint32_t n = 0;       ///< transform size log2
+  std::uint32_t count = 0;   ///< vectors, packed contiguously
+  std::uint64_t offset = 0;  ///< first double, relative to this slot's arena
+};
+
+struct Response {
+  std::uint64_t seq = 0;
+  std::int32_t status = 0;  ///< Status
+  std::int32_t pad = 0;
+};
+
+inline constexpr std::uint32_t kRingDepth = 64;
+
+using RequestRing = SpscRing<Request, kRingDepth>;
+using ResponseRing = SpscRing<Response, kRingDepth>;
+
+// --- slot table -------------------------------------------------------------
+
+enum SlotState : std::uint32_t {
+  kFree = 0,
+  kClaimed = 1,  ///< CAS won; pid/rings not yet published
+  kActive = 2,   ///< serving
+};
+
+struct SlotShared {
+  std::atomic<std::uint32_t> state;  ///< SlotState
+  std::atomic<std::uint32_t> pid;    ///< owner, for the liveness sweep
+  std::atomic<std::uint64_t> generation;  ///< bumped by every claim
+  RequestRing requests;    ///< client produces, daemon consumes
+  ResponseRing responses;  ///< daemon produces, client consumes
+};
+
+// --- daemon stats, exported through the segment -----------------------------
+
+/// Live serving counters the daemon maintains in the control header, so any
+/// process that can map the segment (clients, `whtd --stats`, ops tooling)
+/// reads a consistent-enough snapshot without a request round-trip.
+struct SharedStats {
+  std::atomic<std::uint64_t> requests;     ///< popped from request rings
+  std::atomic<std::uint64_t> vectors;      ///< transforms executed
+  std::atomic<std::uint64_t> throttled;    ///< rejected by the rate limiter
+  std::atomic<std::uint64_t> bad_request;  ///< rejected by validation
+  std::atomic<std::uint64_t> exec_errors;  ///< execution threw
+  std::atomic<std::uint64_t> reclaimed;    ///< slots freed by the sweep
+  std::atomic<std::uint64_t> dropped;      ///< completions with stale generation
+};
+
+// --- control header ---------------------------------------------------------
+
+inline constexpr std::uint64_t kMagic = 0x7768746c61622d69ULL;  // "whtlab-i"
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Compile-time ABI fingerprint: both sides must agree on the shared struct
+/// sizes or the mapping is garbage.  Checked against the header at connect.
+inline constexpr std::uint32_t abi_tag() {
+  return static_cast<std::uint32_t>(sizeof(SlotShared)) ^
+         (static_cast<std::uint32_t>(sizeof(Request)) << 16) ^
+         (static_cast<std::uint32_t>(sizeof(Response)) << 24);
+}
+
+struct ControlHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t abi;
+  std::uint32_t slot_count;
+  std::uint32_t ring_depth;
+  std::uint64_t arena_doubles;   ///< per-slot staging capacity
+  std::uint64_t rate_limit;      ///< admitted requests per window per client (0 = off)
+  std::uint64_t rate_window_ns;  ///< the trailing window
+  std::uint64_t timeout_ms;      ///< suggested client wait deadline
+  std::atomic<std::uint32_t> daemon_pid;  ///< liveness anchor for clients
+  std::atomic<std::uint32_t> shutdown;    ///< 1 = daemon is gone / going
+  /// Doorbell the daemon parks on: clients bump-and-wake after every request
+  /// push, so one futex word covers all slots (the daemon rescans rings on
+  /// every wake — cheap, slot_count is small).
+  std::atomic<std::uint32_t> doorbell;
+  std::uint32_t reserved;
+  SharedStats stats;
+};
+
+static_assert(std::is_standard_layout_v<ControlHeader>);
+static_assert(std::is_standard_layout_v<SlotShared>);
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "shm atomics must be address-free to work across processes");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm atomics must be address-free to work across processes");
+
+// --- segment layout ---------------------------------------------------------
+
+/// Byte offsets of every region, derived from (slot_count, arena_doubles).
+/// Both sides compute it from the header, so it is never serialized.
+struct Layout {
+  std::uint32_t slot_count = 0;
+  std::uint64_t arena_doubles = 0;
+
+  static constexpr std::size_t align64(std::size_t bytes) {
+    return (bytes + 63) & ~std::size_t{63};
+  }
+
+  std::size_t slots_offset() const { return align64(sizeof(ControlHeader)); }
+  std::size_t slot_offset(std::uint32_t slot) const {
+    return slots_offset() + slot * align64(sizeof(SlotShared));
+  }
+  std::size_t arenas_offset() const { return slot_offset(slot_count); }
+  std::size_t arena_offset(std::uint32_t slot) const {
+    return arenas_offset() + slot * arena_doubles * sizeof(double);
+  }
+  std::size_t total_bytes() const { return arena_offset(slot_count); }
+
+  ControlHeader* header(void* base) const {
+    return static_cast<ControlHeader*>(base);
+  }
+  SlotShared* slot(void* base, std::uint32_t index) const {
+    return reinterpret_cast<SlotShared*>(static_cast<char*>(base) +
+                                         slot_offset(index));
+  }
+  double* arena(void* base, std::uint32_t index) const {
+    return reinterpret_cast<double*>(static_cast<char*>(base) +
+                                     arena_offset(index));
+  }
+};
+
+/// Monotonic nanoseconds (CLOCK_MONOTONIC) — the protocol's only clock:
+/// rate-limiter stamps, wait deadlines, sweep periods.
+std::uint64_t monotonic_ns();
+
+}  // namespace whtlab::ipc

@@ -1,0 +1,66 @@
+// Trailing-window rate limiter over a circular timestamp buffer.
+//
+// Admission decision for "at most `limit` events in any trailing `window`":
+// keep the timestamps of the last `limit` admitted events in a ring; a new
+// event at time `now` is admitted iff the event `limit` admissions ago —
+// the oldest retained stamp, which the new event would evict — happened
+// before `now - window`.  That is the exact sliding-window answer (not a
+// bucketed approximation): admitting the event makes it the limit-th event
+// of the trailing window only if the evicted one has aged out.
+//
+// O(1) per decision, O(limit) memory, no background bookkeeping — cheap
+// enough for the whtd daemon to keep one per client slot and consult on
+// every request (daemon.cpp), and standalone enough to reuse anywhere a
+// per-key budget is needed.  Not thread-safe: one limiter belongs to one
+// decision stream (whtd's are all consulted from the single service
+// thread).  Timestamps are caller-supplied nanoseconds, so tests drive it
+// with a fake clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace whtlab::ipc {
+
+class RateLimiter {
+ public:
+  /// `limit` admissions per trailing `window_ns` nanoseconds.  limit == 0
+  /// disables the limiter (everything admits) — the daemon's "no rate
+  /// limit configured" representation.
+  explicit RateLimiter(std::size_t limit = 0,
+                       std::uint64_t window_ns = 1000000000ULL)
+      : limit_(limit), window_ns_(window_ns), stamps_(limit, 0) {}
+
+  /// Admits (and records) the event at `now_ns`, or rejects it.  Rejected
+  /// events are NOT recorded: a client hammering past its budget does not
+  /// push its own window forward and starve itself once it slows down.
+  bool try_acquire(std::uint64_t now_ns) {
+    if (limit_ == 0) return true;
+    const std::uint64_t oldest = stamps_[next_];
+    if (admitted_ >= limit_ && now_ns < oldest + window_ns_) return false;
+    stamps_[next_] = now_ns;
+    next_ = (next_ + 1) % limit_;
+    if (admitted_ < limit_) ++admitted_;
+    return true;
+  }
+
+  /// Forgets all history (slot reclaimed / handed to a new client).
+  void reset() {
+    next_ = 0;
+    admitted_ = 0;
+    stamps_.assign(stamps_.size(), 0);
+  }
+
+  std::size_t limit() const { return limit_; }
+  std::uint64_t window_ns() const { return window_ns_; }
+
+ private:
+  std::size_t limit_;
+  std::uint64_t window_ns_;
+  std::vector<std::uint64_t> stamps_;  ///< circular: next_ = oldest retained
+  std::size_t next_ = 0;
+  std::size_t admitted_ = 0;  ///< saturates at limit_
+};
+
+}  // namespace whtlab::ipc

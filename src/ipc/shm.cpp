@@ -1,0 +1,104 @@
+#include "ipc/shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace whtlab::ipc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("ipc: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Shm::Shm(Shm&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      name_(std::move(other.name_)) {}
+
+Shm& Shm::operator=(Shm&& other) noexcept {
+  if (this != &other) {
+    this->~Shm();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    name_ = std::move(other.name_);
+  }
+  return *this;
+}
+
+Shm::~Shm() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+}
+
+Shm Shm::create(const std::string& name, std::size_t bytes) {
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0666);
+  if (fd < 0) throw_errno("shm_open(create " + name + ")");
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw_errno("ftruncate " + name);
+  }
+  void* map =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the segment alive; the fd is not needed
+  if (map == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    throw_errno("mmap " + name);
+  }
+  Shm shm;
+  shm.data_ = map;
+  shm.size_ = bytes;
+  shm.name_ = name;
+  return shm;
+}
+
+Shm Shm::open(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0);
+  if (fd < 0) throw_errno("shm_open(" + name + ")");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("fstat " + name);
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  void* map =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) throw_errno("mmap " + name);
+  Shm shm;
+  shm.data_ = map;
+  shm.size_ = bytes;
+  shm.name_ = name;
+  return shm;
+}
+
+bool Shm::exists(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+bool Shm::unlink(const std::string& name) {
+  return ::shm_unlink(name.c_str()) == 0;
+}
+
+std::string shm_name_for(const std::string& endpoint) {
+  if (endpoint.empty() || endpoint.find('/') != std::string::npos) {
+    throw std::invalid_argument("ipc: endpoint name must be non-empty and "
+                                "slash-free: '" + endpoint + "'");
+  }
+  return "/whtlab." + endpoint;
+}
+
+}  // namespace whtlab::ipc

@@ -1,0 +1,61 @@
+// POSIX shared-memory segment RAII for the whtd serving layer.
+//
+// One named segment (shm_open under /dev/shm on Linux) carries the whole
+// daemon/client contact surface: control header, slot table, rings, and the
+// per-slot staging arenas (protocol.hpp describes the layout).  This wrapper
+// owns exactly the mapping lifetime: create() makes-and-maps a zeroed
+// segment, open() maps an existing one, the destructor unmaps — and nothing
+// else.  *Unlinking* is a separate, deliberate act (Shm::unlink), because
+// who removes the name is protocol, not plumbing: the daemon unlinks on
+// clean shutdown, and a starting daemon may unlink a stale segment whose
+// recorded owner pid is dead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace whtlab::ipc {
+
+class Shm {
+ public:
+  Shm() = default;
+  Shm(Shm&& other) noexcept;
+  Shm& operator=(Shm&& other) noexcept;
+  Shm(const Shm&) = delete;
+  Shm& operator=(const Shm&) = delete;
+  ~Shm();  ///< unmaps; never unlinks
+
+  /// Creates the named segment exclusively (throws std::runtime_error with
+  /// errno text if it already exists — callers decide takeover policy),
+  /// sizes it to `bytes`, and maps it read-write.  Fresh segments are
+  /// zero-filled by the kernel, which the protocol relies on (a zeroed ring
+  /// is a valid empty ring).
+  static Shm create(const std::string& name, std::size_t bytes);
+
+  /// Maps an existing segment read-write at its current size.  Throws
+  /// std::runtime_error when it does not exist or cannot be mapped.
+  static Shm open(const std::string& name);
+
+  static bool exists(const std::string& name);
+
+  /// Removes the name (segment memory lives on until the last unmap).
+  /// Returns false when no such segment existed.
+  static bool unlink(const std::string& name);
+
+  bool valid() const { return data_ != nullptr; }
+  void* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string name_;
+};
+
+/// The shm name for a serving endpoint: "/whtlab.<endpoint>".  shm_open
+/// requires exactly one leading slash and no others, so the endpoint may not
+/// contain '/' (throws std::invalid_argument).
+std::string shm_name_for(const std::string& endpoint);
+
+}  // namespace whtlab::ipc

@@ -1,0 +1,77 @@
+// Single-producer / single-consumer ring for shared-memory message passing.
+//
+// The whtd protocol (protocol.hpp) gives every client slot two of these: a
+// request ring the client produces into and the daemon consumes, and a
+// response ring the other way around.  With exactly one writer and one
+// reader per ring there is nothing to lock: `tail` is written only by the
+// producer, `head` only by the consumer, and a release/acquire pair on each
+// publishes the slot contents.  Both indices advance monotonically and are
+// masked on use, so full/empty are distinguishable without a wasted slot.
+//
+// The struct is placed *inside* an mmap'd segment by the daemon (zeroed
+// memory is a valid empty ring — no placement-new handshake needed) and
+// reinterpreted by clients, so it must stay standard-layout and free of
+// pointers.  `tail` doubles as the consumer's futex word: a consumer that
+// saw tail == t parks on it (futex.hpp) and the producer wakes the word
+// after publishing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace whtlab::ipc {
+
+template <typename T, std::uint32_t Depth>
+struct SpscRing {
+  static_assert(Depth > 0 && (Depth & (Depth - 1)) == 0,
+                "ring depth must be a power of two");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring payloads cross process boundaries raw");
+
+  /// Producer cursor (and the consumer-side futex word).  Padded onto its
+  /// own cache line so producer and consumer do not false-share.
+  alignas(64) std::atomic<std::uint32_t> tail;
+  /// Consumer cursor.
+  alignas(64) std::atomic<std::uint32_t> head;
+  alignas(64) T slots[Depth];
+
+  static constexpr std::uint32_t depth() { return Depth; }
+
+  /// Producer side.  False when the ring is full (consumer lagging Depth
+  /// items); the item is not enqueued.
+  bool try_push(const T& item) {
+    const std::uint32_t t = tail.load(std::memory_order_relaxed);
+    const std::uint32_t h = head.load(std::memory_order_acquire);
+    if (t - h >= Depth) return false;
+    slots[t & (Depth - 1)] = item;
+    tail.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  False when empty.
+  bool try_pop(T& out) {
+    const std::uint32_t h = head.load(std::memory_order_relaxed);
+    const std::uint32_t t = tail.load(std::memory_order_acquire);
+    if (t == h) return false;
+    out = slots[h & (Depth - 1)];
+    head.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::uint32_t size() const {
+    return tail.load(std::memory_order_acquire) -
+           head.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Resets to empty.  Only valid while neither side is touching the ring —
+  /// the slot-claim and dead-client-reclaim paths, where the claimant is
+  /// provably the only toucher (protocol.hpp's slot state machine).
+  void reset() {
+    head.store(0, std::memory_order_relaxed);
+    tail.store(0, std::memory_order_release);
+  }
+};
+
+}  // namespace whtlab::ipc

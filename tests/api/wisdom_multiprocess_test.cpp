@@ -5,6 +5,7 @@
 // the union to survive every interleaving.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -75,6 +76,73 @@ TEST(WisdomMultiProcess, ForkedWritersLoseNothing) {
 
   std::remove(path.c_str());
   std::remove((path + ".lock").c_str());
+}
+
+// The lock file is reclaimed by the last holder (unlink-while-holding +
+// revalidate-after-acquire in wisdom.cpp's FileLock), AND the reclamation
+// never costs an entry: many processes hammering save_merged — each
+// acquisition racing a sibling's unlink — still produce the exact union,
+// and no `*.lock` litter survives.
+TEST(WisdomMultiProcess, LockFileReclaimedWithoutLosingEntries) {
+  const std::string path = ::testing::TempDir() + "wisdom_lock_reclaim.txt";
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+
+  constexpr int kWriters = 6;
+  constexpr int kRoundsPerWriter = 8;
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Every round creates, locks, and unlinks the lock file afresh — the
+      // maximally reclaim-heavy schedule, so any unlink/acquire race (a
+      // waiter left holding an orphaned inode while a second waiter locks
+      // the recreated file) gets many chances to drop an entry.
+      for (int i = 0; i < kRoundsPerWriter; ++i) {
+        Wisdom wisdom;
+        wisdom.insert(
+            Wisdom::Key{"scalar", 4 + (i % 8), "measure",
+                        "lock" + std::to_string(w) + "_" + std::to_string(i)},
+            core::Plan::iterative(4 + (i % 8)));
+        try {
+          wisdom.save_merged(path);
+        } catch (...) {
+          ::_exit(1);
+        }
+      }
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "writer process failed";
+  }
+
+  const Wisdom merged = Wisdom::load(path);
+  EXPECT_EQ(merged.size(),
+            static_cast<std::size_t>(kWriters * kRoundsPerWriter));
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kRoundsPerWriter; ++i) {
+      EXPECT_NE(merged.lookup(Wisdom::Key{
+                    "scalar", 4 + (i % 8), "measure",
+                    "lock" + std::to_string(w) + "_" + std::to_string(i)}),
+                nullptr)
+          << "writer " << w << " round " << i << " was dropped";
+    }
+  }
+
+  // The whole point: after the last save_merged returns, no lock file.
+  struct stat st {};
+  EXPECT_NE(::stat((path + ".lock").c_str(), &st), 0)
+      << "lock file left behind after the last holder released";
+
+  std::remove(path.c_str());
 }
 
 TEST(WisdomMultiProcess, SaveMergedReturnsTheUnion) {

@@ -1,0 +1,76 @@
+// RateLimiter: exact trailing-window admission from a circular buffer of
+// the last `limit` admission timestamps.  The properties the daemon's
+// per-client throttling depends on: at most `limit` admissions in any
+// trailing window, rejected attempts cost nothing (they are not recorded,
+// so a hammering client is not punished forever), and expiry readmits the
+// moment the oldest admission leaves the window.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ipc/rate_limiter.hpp"
+
+namespace whtlab::ipc {
+namespace {
+
+constexpr std::uint64_t kWindow = 1000;  // ns, arbitrary units
+
+TEST(RateLimiter, AdmitsUpToLimitInOneWindow) {
+  RateLimiter limiter(3, kWindow);
+  EXPECT_TRUE(limiter.try_acquire(0));
+  EXPECT_TRUE(limiter.try_acquire(1));
+  EXPECT_TRUE(limiter.try_acquire(2));
+  EXPECT_FALSE(limiter.try_acquire(3));
+  EXPECT_FALSE(limiter.try_acquire(kWindow - 1));
+}
+
+TEST(RateLimiter, OldestExpiryReadmitsExactly) {
+  RateLimiter limiter(2, kWindow);
+  EXPECT_TRUE(limiter.try_acquire(0));
+  EXPECT_TRUE(limiter.try_acquire(100));
+  // Window is trailing: t=0 leaves at t=kWindow, not at a period boundary.
+  EXPECT_FALSE(limiter.try_acquire(kWindow - 1));
+  EXPECT_TRUE(limiter.try_acquire(kWindow));
+  // Now the retained stamps are {100, kWindow}; 100 expires at 100+kWindow.
+  EXPECT_FALSE(limiter.try_acquire(kWindow + 99));
+  EXPECT_TRUE(limiter.try_acquire(kWindow + 100));
+}
+
+TEST(RateLimiter, RejectionsAreNotRecorded) {
+  RateLimiter limiter(1, kWindow);
+  EXPECT_TRUE(limiter.try_acquire(0));
+  // A storm of rejected attempts must not extend the penalty: only the
+  // t=0 admission occupies the window.
+  for (std::uint64_t t = 1; t < kWindow; t += 50) {
+    EXPECT_FALSE(limiter.try_acquire(t));
+  }
+  EXPECT_TRUE(limiter.try_acquire(kWindow));
+}
+
+TEST(RateLimiter, ZeroLimitDisables) {
+  RateLimiter limiter(0, kWindow);
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    EXPECT_TRUE(limiter.try_acquire(t));
+  }
+}
+
+TEST(RateLimiter, ResetForgetsHistory) {
+  RateLimiter limiter(1, kWindow);
+  EXPECT_TRUE(limiter.try_acquire(0));
+  EXPECT_FALSE(limiter.try_acquire(1));
+  limiter.reset();  // slot reclaimed -> the next owner starts fresh
+  EXPECT_TRUE(limiter.try_acquire(2));
+}
+
+TEST(RateLimiter, SteadyRateJustUnderLimitAlwaysAdmits) {
+  RateLimiter limiter(4, kWindow);
+  // 4 per window spaced evenly = exactly the budget; every attempt lands
+  // as its predecessor from one window ago expires.
+  std::uint64_t t = 0;
+  for (int i = 0; i < 64; ++i, t += kWindow / 4) {
+    EXPECT_TRUE(limiter.try_acquire(t)) << "attempt " << i;
+  }
+}
+
+}  // namespace
+}  // namespace whtlab::ipc

@@ -1,0 +1,118 @@
+// whtd — the whtlab shared-memory serving daemon (src/ipc/daemon.hpp).
+//
+// Owns one process-wide wht::Engine and serves every connected client
+// process through zero-copy shm rings:
+//
+//   whtd &                          # serve endpoint "whtlab"
+//   whtd --endpoint lab --slots 8 --rate-limit 5000
+//   whtd --stats                    # periodic shared-counter lines
+//
+// Defaults come from DaemonOptions::from_env() (the WHTLAB_IPC_* knobs);
+// flags override the environment.  SIGINT/SIGTERM trigger a clean stop():
+// in-flight work drains, blocked clients resolve to kDaemonGone, the
+// segment is unlinked.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "api/engine.hpp"
+#include "ipc/daemon.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+void print_stats(const whtlab::ipc::Daemon& daemon) {
+  const whtlab::ipc::Daemon::Stats s = daemon.stats();
+  std::printf(
+      "whtd: requests=%llu vectors=%llu throttled=%llu bad_request=%llu "
+      "exec_errors=%llu reclaimed=%llu dropped=%llu\n",
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.vectors),
+      static_cast<unsigned long long>(s.throttled),
+      static_cast<unsigned long long>(s.bad_request),
+      static_cast<unsigned long long>(s.exec_errors),
+      static_cast<unsigned long long>(s.reclaimed),
+      static_cast<unsigned long long>(s.dropped));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  whtlab::util::Cli cli;
+  cli.add_flag("endpoint", "serving endpoint (segment /dev/shm/whtlab.<name>)");
+  cli.add_flag("slots", "client slots (admission-control bound)");
+  cli.add_flag("arena-doubles", "per-slot staging arena, in doubles");
+  cli.add_flag("rate-limit", "admitted requests/client/window (0 = off)");
+  cli.add_flag("timeout-ms", "published client wait deadline, ms");
+  cli.add_flag("sweep-ms", "dead-client liveness sweep period, ms");
+  cli.add_flag("wisdom", "wisdom file for first-touch planning");
+  cli.add_bool("stats", "print shared counters once a second");
+  cli.add_bool("once-ready", "print READY on stdout once serving (for scripts)");
+  if (!cli.parse(argc, argv)) return 2;
+
+  whtlab::ipc::DaemonOptions options = whtlab::ipc::DaemonOptions::from_env();
+  options.endpoint = cli.get("endpoint", options.endpoint);
+  options.slots =
+      static_cast<std::uint32_t>(cli.get_int("slots", options.slots));
+  options.arena_doubles = static_cast<std::uint64_t>(cli.get_int(
+      "arena-doubles", static_cast<std::int64_t>(options.arena_doubles)));
+  options.rate_limit = static_cast<std::uint64_t>(cli.get_int(
+      "rate-limit", static_cast<std::int64_t>(options.rate_limit)));
+  options.timeout_ms = static_cast<std::uint64_t>(cli.get_int(
+      "timeout-ms", static_cast<std::int64_t>(options.timeout_ms)));
+  options.sweep_ms = static_cast<std::uint64_t>(
+      cli.get_int("sweep-ms", static_cast<std::int64_t>(options.sweep_ms)));
+  options.engine.wisdom_file = cli.get("wisdom", options.engine.wisdom_file);
+
+  try {
+    whtlab::ipc::Daemon daemon(options);
+    daemon.start();
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    std::fprintf(stderr, "whtd: serving %s (slots=%u arena=%llu doubles)\n",
+                 daemon.shm_name().c_str(), options.slots,
+                 static_cast<unsigned long long>(options.arena_doubles));
+    if (cli.has("once-ready")) {
+      std::printf("READY\n");
+      std::fflush(stdout);
+    }
+
+    const bool stats = cli.has("stats");
+    auto last_stats = std::chrono::steady_clock::now();
+    while (g_signal.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (stats) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_stats >= std::chrono::seconds(1)) {
+          print_stats(daemon);
+          last_stats = now;
+        }
+      }
+    }
+
+    std::fprintf(stderr, "whtd: signal %d, stopping\n",
+                 g_signal.load(std::memory_order_relaxed));
+    daemon.stop();
+    print_stats(daemon);
+    std::fprintf(stderr, "whtd: engine %s\n",
+                 whtlab::api::to_string(daemon.engine().stats()).c_str());
+  } catch (const whtlab::ipc::Error& e) {
+    std::fprintf(stderr, "whtd: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "whtd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

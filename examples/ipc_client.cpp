@@ -14,9 +14,17 @@
 // --verify computes the same transforms in-process and requires bit-exact
 // agreement — the CI smoke job runs several of these concurrently against
 // one daemon.  Exit: 0 ok, 1 mismatch/error, 3 daemon unreachable.
+//
+// --reconnect opts into the client's fault-tolerant mode (the chaos smoke
+// job pairs it with a SIGKILL-restarted `whtd --supervise`): requests ride
+// out daemon crashes via auto-reconnect + replay, typed non-OK statuses are
+// counted but tolerated, a bit-exactness failure is always fatal, and the
+// run succeeds iff at least one request completed verified.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/wht.hpp"
@@ -34,7 +42,9 @@ int main(int argc, char** argv) {
   cli.add_flag("requests", "round trips to serve", "8");
   cli.add_flag("seed", "rng seed for the staged inputs", "1");
   cli.add_flag("wait-ms", "wait this long for the daemon to come up", "2000");
+  cli.add_flag("pace-ms", "sleep between requests (spread a chaos run)", "0");
   cli.add_bool("verify", "check results bit-exact against in-process plans");
+  cli.add_bool("reconnect", "auto-reconnect and replay across daemon restarts");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::string endpoint = cli.get("endpoint");
@@ -42,7 +52,9 @@ int main(int argc, char** argv) {
   const auto count = static_cast<std::size_t>(cli.get_int("count", 1));
   const int requests = static_cast<int>(cli.get_int("requests", 8));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto pace_ms = cli.get_int("pace-ms", 0);
   const bool verify = cli.has("verify");
+  const bool reconnect = cli.has("reconnect");
   const std::size_t doubles = count << n;
 
   if (!ipc::Client::wait_for_daemon(
@@ -53,7 +65,10 @@ int main(int argc, char** argv) {
   }
 
   try {
-    auto client = ipc::Client::connect({.endpoint = endpoint});
+    ipc::Client::Options copts;
+    copts.endpoint = endpoint;
+    copts.reconnect = reconnect;
+    auto client = ipc::Client::connect(copts);
     std::printf("connected: slot %d, arena %zu doubles\n", client.slot_index(),
                 client.arena_capacity());
 
@@ -62,8 +77,24 @@ int main(int argc, char** argv) {
     wht::Transform reference;
     if (verify) reference = wht::Planner().plan(n);
 
+    int ok = 0;
+    int failed = 0;
     for (int r = 0; r < requests; ++r) {
-      double* x = client.stage(n, count);          // call 1: stage in shm
+      if (pace_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+      }
+      double* x = nullptr;
+      try {
+        x = client.stage(n, count);                // call 1: stage in shm
+      } catch (const ipc::Error& e) {
+        // In reconnect mode a typed staging failure during an outage is an
+        // answer, not a crash; without it, it ends the run as before.
+        if (!reconnect) throw;
+        std::fprintf(stderr, "ipc_client: request %d stage failed: %s\n", r,
+                     ipc::to_string(e.status()));
+        ++failed;
+        continue;
+      }
       const auto input = util::random_vector(
           doubles, seed + static_cast<std::uint64_t>(r));
       std::memcpy(x, input.data(), doubles * sizeof(double));
@@ -72,7 +103,9 @@ int main(int argc, char** argv) {
       if (status != ipc::Status::kOk) {
         std::fprintf(stderr, "ipc_client: request %d failed: %s\n", r,
                      ipc::to_string(status));
-        return 1;
+        if (!reconnect) return 1;
+        ++failed;
+        continue;
       }
 
       if (verify) {
@@ -84,14 +117,22 @@ int main(int argc, char** argv) {
           std::fprintf(stderr,
                        "ipc_client: request %d NOT bit-exact vs in-process\n",
                        r);
-          return 1;
+          return 1;  // corruption is fatal in every mode
         }
       }
+      ++ok;
     }
 
+    if (reconnect && ok == 0) {
+      std::fprintf(stderr,
+                   "ipc_client: every request failed (%d typed failures)\n",
+                   failed);
+      return 1;
+    }
     const auto stats = client.stats();
-    std::printf("%d requests ok (%zu vectors each)%s\n", requests, count,
-                verify ? ", all bit-exact" : "");
+    std::printf("%d/%d requests ok (%zu vectors each)%s, %llu reconnects\n",
+                ok, requests, count, verify ? ", all bit-exact" : "",
+                static_cast<unsigned long long>(client.reconnects()));
     std::printf("daemon: requests=%llu vectors=%llu throttled=%llu "
                 "reclaimed=%llu\n",
                 (unsigned long long)stats.requests,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <ctime>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -10,10 +12,35 @@
 
 #include "api/planner.hpp"
 #include "model/combined_model.hpp"
+#include "util/fault.hpp"
 
 namespace whtlab::api {
 
 namespace {
+
+namespace fault = util::fault;
+
+/// The quarantine fallback: the reference backend every other execution
+/// path is parity-tested against, always present in the registry.
+constexpr const char* kFallbackBackend = "generated";
+
+std::uint64_t engine_monotonic_ns() {
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+bool all_finite(const double* x, std::size_t count, std::uint64_t size,
+                std::ptrdiff_t dist) {
+  for (std::size_t v = 0; v < count; ++v) {
+    const double* vec = x + static_cast<std::ptrdiff_t>(v) * dist;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      if (!std::isfinite(vec[i])) return false;
+    }
+  }
+  return true;
+}
 
 /// Per-vector model cost for arbitration: the backend's own model when it
 /// has one ("fused" prices memory passes), the CombinedModel at its vector
@@ -38,6 +65,12 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   if (options_.batch_window_us < 0) {
     throw std::invalid_argument("wht::Engine: batch_window_us must be >= 0");
   }
+  if (options_.quarantine_strikes < 0) {
+    throw std::invalid_argument("wht::Engine: quarantine_strikes must be >= 0");
+  }
+  if (options_.quarantine_strikes > 0 && options_.probation_ms < 1) {
+    throw std::invalid_argument("wht::Engine: probation_ms must be >= 1");
+  }
   candidates_ = options_.backends;
   if (candidates_.empty()) {
     candidates_ = {"generated", "simd", "fused"};
@@ -49,6 +82,13 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
       throw std::invalid_argument("wht::Engine: unknown candidate backend '" +
                                   name + "'");
     }
+    health_[name];  // breaker cells exist up front; never erased
+  }
+  if (options_.quarantine_strikes > 0 &&
+      !registry.contains(kFallbackBackend)) {
+    throw std::invalid_argument(
+        "wht::Engine: quarantine needs the reference backend '" +
+        std::string(kFallbackBackend) + "' in the registry");
   }
 }
 
@@ -135,26 +175,33 @@ Engine::Choice Engine::choose(int n, std::size_t count) {
   Choice choice;
   choice.decision.cost = std::numeric_limits<double>::infinity();
   std::exception_ptr first_error;
-  for (std::size_t i = 0; i < candidates_.size(); ++i) {
-    const std::string& name = candidates_[i];
-    try {
-      Entry& e = ensure_built(*cells[i], n, name);
-      double cost = e.unit_cost * static_cast<double>(count);
-      if (count > 1) {
-        cost *= e.transform->backend().batch_factor(e.transform->plan(), count,
-                                                    options_.threads);
+  // Two passes at most: first honouring quarantine, then — only if the
+  // breaker has sidelined every single candidate — ignoring it, because a
+  // degraded answer beats refusing to serve.
+  for (const bool honour_quarantine : {true, false}) {
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const std::string& name = candidates_[i];
+      if (honour_quarantine && quarantine_blocked(name)) continue;
+      try {
+        Entry& e = ensure_built(*cells[i], n, name);
+        double cost = e.unit_cost * static_cast<double>(count);
+        if (count > 1) {
+          cost *= e.transform->backend().batch_factor(e.transform->plan(),
+                                                      count, options_.threads);
+        }
+        choice.decision.candidates.push_back({name, cost});
+        if (cost < choice.decision.cost) {
+          choice.decision.cost = cost;
+          choice.decision.backend = name;
+          choice.winner = &e;
+        }
+      } catch (...) {
+        // A broken candidate must not take the whole size down while others
+        // can serve; it is absent from this ranking and retried next touch.
+        if (!first_error) first_error = std::current_exception();
       }
-      choice.decision.candidates.push_back({name, cost});
-      if (cost < choice.decision.cost) {
-        choice.decision.cost = cost;
-        choice.decision.backend = name;
-        choice.winner = &e;
-      }
-    } catch (...) {
-      // A broken candidate must not take the whole size down while others
-      // can serve; it is absent from this ranking and retried next touch.
-      if (!first_error) first_error = std::current_exception();
     }
+    if (!choice.decision.candidates.empty()) break;
   }
   if (choice.decision.candidates.empty()) {
     if (first_error) std::rethrow_exception(first_error);
@@ -171,6 +218,111 @@ Engine::Decision Engine::arbitrate(int n, std::size_t count) {
   return choose(n, count).decision;
 }
 
+bool Engine::quarantine_blocked(const std::string& backend) {
+  if (options_.quarantine_strikes < 1) return false;
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  const auto it = health_.find(backend);
+  if (it == health_.end() || !it->second.quarantined) return false;
+  // Probation elapsed: the backend stays marked quarantined but the arbiter
+  // lets this request through as a live-traffic probe.  Success clears the
+  // breaker; failure re-trips it immediately (the trip left strikes at the
+  // threshold, so one probe failure is enough — no fresh streak required).
+  return engine_monotonic_ns() < it->second.until_ns;
+}
+
+void Engine::on_backend_failure(const std::string& backend) {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  Health& h = health_[backend];
+  h.strikes += 1;
+  if (h.strikes >= options_.quarantine_strikes) {
+    h.quarantined = true;
+    h.until_ns = engine_monotonic_ns() + options_.probation_ms * 1000000ULL;
+    h.trips += 1;
+  }
+}
+
+void Engine::on_backend_success(const std::string& backend) {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  Health& h = health_[backend];
+  h.strikes = 0;
+  h.quarantined = false;
+}
+
+void Engine::run_guarded(Choice& choice, int n, double* x, std::size_t count,
+                         std::ptrdiff_t dist, ExecContext* ctx) {
+  const std::uint64_t size = std::uint64_t{1} << n;
+  const std::string backend = choice.decision.backend;
+  const bool resilient =
+      options_.quarantine_strikes > 0 && backend != kFallbackBackend;
+  // Execution is in place, so a failed or corrupt run has already destroyed
+  // the caller's input by the time the failure is visible.  The snapshot
+  // is a local buffer on purpose: ctx staging may hold this very batch
+  // (serve_group), and ScratchArena::acquire may relocate on growth.
+  std::vector<double> snapshot;
+  if (resilient) {
+    snapshot.resize(size * count);
+    for (std::size_t v = 0; v < count; ++v) {
+      std::memcpy(snapshot.data() + v * size,
+                  x + static_cast<std::ptrdiff_t>(v) * dist,
+                  size * sizeof(double));
+    }
+  }
+  const auto run = [&](const Transform& t) {
+    if (count == 1) {
+      if (ctx != nullptr) {
+        t.execute(x, 1, *ctx);
+      } else {
+        t.execute(x);
+      }
+    } else if (ctx != nullptr) {
+      t.execute_many(x, count, dist, *ctx);
+    } else {
+      t.execute_many(x, count, dist);
+    }
+  };
+  bool failed = false;
+  try {
+    if (fault::enabled() && fault::point("engine.exec." + backend)) {
+      throw std::runtime_error("engine: backend '" + backend +
+                               "' failed [fault injected]");
+    }
+    run(*choice.winner->transform);
+    if (fault::enabled() && fault::point("engine.corrupt." + backend)) {
+      x[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (resilient && options_.verify_finite &&
+        !all_finite(x, count, size, dist) &&
+        all_finite(snapshot.data(), count, size,
+                   static_cast<std::ptrdiff_t>(size))) {
+      // Finite input, non-finite output: the backend corrupted the result.
+      // (Non-finite *input* legitimately yields non-finite output and is
+      // the caller's business, hence the snapshot check.)
+      failed = true;
+    }
+  } catch (...) {
+    if (!resilient) throw;
+    failed = true;
+  }
+  if (!failed) {
+    if (resilient) on_backend_success(backend);
+    return;
+  }
+  on_backend_failure(backend);
+  for (std::size_t v = 0; v < count; ++v) {
+    std::memcpy(x + static_cast<std::ptrdiff_t>(v) * dist,
+                snapshot.data() + v * size, size * sizeof(double));
+  }
+  // The reference backend's own failures propagate: there is nothing left
+  // to fall back to, and masking them would hide real breakage.
+  run(*entry(n, kFallbackBackend).transform);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.failures += 1;
+    stats_.fallbacks += count;
+  }
+  choice.decision.backend = kFallbackBackend;
+}
+
 void Engine::record(const std::string& backend, std::uint64_t vectors,
                     bool batch, bool from_submit) {
   const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -185,8 +337,9 @@ void Engine::record(const std::string& backend, std::uint64_t vectors,
 }
 
 void Engine::execute(int n, double* x) {
-  const Choice choice = choose(n, 1);
-  choice.winner->transform->execute(x);
+  Choice choice = choose(n, 1);
+  run_guarded(choice, n, x, 1,
+              static_cast<std::ptrdiff_t>(std::uint64_t{1} << n), nullptr);
   record(choice.decision.backend, 1, false, false);
 }
 
@@ -197,22 +350,23 @@ void Engine::execute_many(int n, double* x, std::size_t count) {
 void Engine::execute_many(int n, double* x, std::size_t count,
                           std::ptrdiff_t dist) {
   if (count == 0) return;
-  const Choice choice = choose(n, count);
-  choice.winner->transform->execute_many(x, count, dist);
+  Choice choice = choose(n, count);
+  run_guarded(choice, n, x, count, dist, nullptr);
   record(choice.decision.backend, count, count > 1, false);
 }
 
 void Engine::execute(int n, double* x, ExecContext& ctx) {
-  const Choice choice = choose(n, 1);
-  choice.winner->transform->execute(x, 1, ctx);
+  Choice choice = choose(n, 1);
+  run_guarded(choice, n, x, 1,
+              static_cast<std::ptrdiff_t>(std::uint64_t{1} << n), &ctx);
   record(choice.decision.backend, 1, false, false);
 }
 
 void Engine::execute_many(int n, double* x, std::size_t count,
                           std::ptrdiff_t dist, ExecContext& ctx) {
   if (count == 0) return;
-  const Choice choice = choose(n, count);
-  choice.winner->transform->execute_many(x, count, dist, ctx);
+  Choice choice = choose(n, count);
+  run_guarded(choice, n, x, count, dist, &ctx);
   record(choice.decision.backend, count, count > 1, false);
 }
 
@@ -306,10 +460,14 @@ void Engine::serve_group(std::vector<Pending> group) {
     // Price the shape that will actually run: a group too large to stage
     // serves as independent single-vector requests.
     const Choice choice = choose(n, staged ? count : 1);
-    const Transform& transform = *choice.winner->transform;
     if (!staged) {
       for (Pending& p : group) {
-        transform.execute(p.x, 1, dispatcher_ctx_);
+        // Per-vector copy: run_guarded may reroute ONE vector to the
+        // fallback without disturbing the winner the rest still use.
+        Choice per = choice;
+        run_guarded(per, n, p.x, 1, static_cast<std::ptrdiff_t>(size),
+                    &dispatcher_ctx_);
+        record(per.decision.backend, 1, false, true);
       }
     } else {
       // Stage the scattered request buffers contiguously, run ONE batched
@@ -320,13 +478,14 @@ void Engine::serve_group(std::vector<Pending> group) {
       for (std::size_t v = 0; v < count; ++v) {
         std::memcpy(stage + v * size, group[v].x, size * sizeof(double));
       }
-      transform.execute_many(stage, count, static_cast<std::ptrdiff_t>(size),
-                             dispatcher_ctx_);
+      Choice batch = choice;
+      run_guarded(batch, n, stage, count, static_cast<std::ptrdiff_t>(size),
+                  &dispatcher_ctx_);
       for (std::size_t v = 0; v < count; ++v) {
         std::memcpy(group[v].x, stage + v * size, size * sizeof(double));
       }
+      record(batch.decision.backend, count, staged, true);
     }
-    record(choice.decision.backend, count, staged, true);
     for (Pending& p : group) p.promise.set_value();
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
@@ -335,8 +494,17 @@ void Engine::serve_group(std::vector<Pending> group) {
 }
 
 Engine::Stats Engine::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  Stats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  for (const auto& [name, h] : health_) {
+    if (h.trips > 0) snapshot.quarantine_trips[name] = h.trips;
+    if (h.quarantined) snapshot.quarantined.push_back(name);
+  }
+  return snapshot;
 }
 
 std::string to_string(const Engine::Stats& stats) {
@@ -344,8 +512,20 @@ std::string to_string(const Engine::Stats& stats) {
   out << "vectors=" << stats.vectors << " singles=" << stats.singles
       << " submitted=" << stats.submitted << " batches=" << stats.batches
       << " coalesced=" << stats.coalesced;
+  if (stats.failures > 0 || stats.fallbacks > 0) {
+    out << " failures=" << stats.failures << " fallbacks=" << stats.fallbacks;
+  }
   for (const auto& [backend, vectors] : stats.per_backend) {
     out << ' ' << backend << '=' << vectors;
+  }
+  for (const auto& [backend, trips] : stats.quarantine_trips) {
+    out << " trips." << backend << '=' << trips;
+  }
+  if (!stats.quarantined.empty()) {
+    out << " quarantined=";
+    for (std::size_t i = 0; i < stats.quarantined.size(); ++i) {
+      out << (i == 0 ? "" : ",") << stats.quarantined[i];
+    }
   }
   return out.str();
 }

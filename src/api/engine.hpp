@@ -97,6 +97,27 @@ struct EngineOptions {
 
   /// ... or this long after its first request arrived, whichever is first.
   long batch_window_us = 200;
+
+  /// Backend circuit breaker: after this many consecutive serving-time
+  /// failures (an exception out of the backend, or a non-finite output
+  /// caught by the verify hook) a backend is quarantined — the arbiter
+  /// stops routing to it and the failed request is transparently re-run on
+  /// the `generated` reference backend from a pristine input snapshot.
+  /// 0 disables the breaker entirely (the library default: no snapshot
+  /// copies, no behavior change); the whtd daemon arms it.
+  int quarantine_strikes = 0;
+
+  /// How long a quarantined backend sits out before the arbiter re-probes
+  /// it with live traffic.  A successful probe clears the quarantine; a
+  /// failed one re-trips it for another probation period.
+  std::uint64_t probation_ms = 2000;
+
+  /// Verify hook: scan every served output for non-finite values and treat
+  /// a corrupt result from a finite input as a backend failure (feeds the
+  /// circuit breaker).  Only meaningful with quarantine_strikes > 0 — the
+  /// snapshot that makes the fallback re-run possible is what makes
+  /// detection actionable.
+  bool verify_finite = false;
 };
 
 class Engine {
@@ -165,7 +186,13 @@ class Engine {
     std::uint64_t submitted = 0;     ///< submit() requests
     std::uint64_t batches = 0;       ///< run_many dispatches (any path)
     std::uint64_t coalesced = 0;     ///< submits served in a merged batch (>= 2)
+    std::uint64_t failures = 0;      ///< serving-time backend failures absorbed
+    std::uint64_t fallbacks = 0;     ///< requests re-run on the reference backend
     std::map<std::string, std::uint64_t> per_backend;  ///< vectors per winner
+    /// Circuit-breaker state: quarantine trips per backend since
+    /// construction, and the backends sitting in quarantine right now.
+    std::map<std::string, std::uint64_t> quarantine_trips;
+    std::vector<std::string> quarantined;
   };
   Stats stats() const;
 
@@ -210,6 +237,30 @@ class Engine {
   };
   Choice choose(int n, std::size_t count);
 
+  /// Circuit-breaker bookkeeping per candidate backend.  Entries are
+  /// created in the constructor and never erased; all fields are guarded by
+  /// health_mutex_.
+  struct Health {
+    int strikes = 0;          ///< consecutive serving-time failures
+    bool quarantined = false;
+    std::uint64_t until_ns = 0;  ///< monotonic re-probe time
+    std::uint64_t trips = 0;     ///< times quarantine engaged
+  };
+
+  /// True while `backend` is quarantined and its probation has not elapsed
+  /// (after probation the arbiter lets live traffic re-probe it).
+  bool quarantine_blocked(const std::string& backend);
+  void on_backend_failure(const std::string& backend);
+  void on_backend_success(const std::string& backend);
+
+  /// Runs the chosen transform; with the breaker armed, absorbs a backend
+  /// failure (exception, injected fault, or non-finite output from a finite
+  /// input when verify_finite) by striking the backend, restoring the input
+  /// from a snapshot, and re-running on the reference backend.  Updates
+  /// choice.decision.backend to the backend that actually served.
+  void run_guarded(Choice& choice, int n, double* x, std::size_t count,
+                   std::ptrdiff_t dist, ExecContext* ctx);
+
   void record(const std::string& backend, std::uint64_t vectors,
               bool batch, bool from_submit);
 
@@ -230,6 +281,9 @@ class Engine {
   bool dispatcher_started_ = false;
   std::thread dispatcher_;
   ExecContext dispatcher_ctx_;  ///< staging + scratch for coalesced batches
+
+  mutable std::mutex health_mutex_;
+  std::map<std::string, Health> health_;
 
   mutable std::mutex stats_mutex_;
   Stats stats_;

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "core/plan_io.hpp"
+#include "util/fault.hpp"
 
 namespace whtlab::api {
 
@@ -158,6 +159,10 @@ void Wisdom::save(const std::string& path) const {
   // the old complete file or the new complete file, never a prefix.  The
   // temp name carries the pid so concurrent processes saving the same path
   // cannot interleave writes inside one temp file.
+  if (util::fault::enabled() && util::fault::point("wisdom.save")) {
+    throw std::runtime_error("wisdom: cannot write " + path +
+                             " [fault injected]");
+  }
   const std::string temp = path + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream out(temp, std::ios::trunc);

@@ -10,10 +10,14 @@
 #include <thread>
 
 #include "ipc/futex.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
 
 namespace whtlab::ipc {
 
 namespace {
+
+namespace fault = util::fault;
 
 bool pid_alive(std::uint32_t pid) {
   if (pid == 0) return false;
@@ -27,19 +31,50 @@ constexpr std::int64_t kWaitSliceNs = 20000000LL;         // 20 ms
 }  // namespace
 
 Client Client::connect(const Options& options) {
+  // Serving entry point: a WHTLAB_FAULTS spec set on the client process
+  // arms its fault points here (no-op when unset).
+  fault::arm_from_env();
+  if (options.reconnect) {
+    // Typed rejection, not silent clamping: a zero window or an inverted
+    // backoff range is a configuration bug the caller must see.
+    if (options.reconnect_window_ms < 1) {
+      throw Error(Status::kBadRequest,
+                  "ipc::Client: reconnect_window_ms must be >= 1");
+    }
+    if (options.backoff_initial_ms < 1) {
+      throw Error(Status::kBadRequest,
+                  "ipc::Client: backoff_initial_ms must be >= 1");
+    }
+    if (options.backoff_max_ms < options.backoff_initial_ms) {
+      throw Error(Status::kBadRequest,
+                  "ipc::Client: backoff_max_ms must be >= backoff_initial_ms");
+    }
+  }
   Client client;
-  const std::string name = shm_name_for(options.endpoint);
+  client.endpoint_ = options.endpoint;
+  client.option_timeout_ms_ = options.timeout_ms;
+  client.reconnect_ = options.reconnect;
+  client.reconnect_window_ms_ = options.reconnect_window_ms;
+  client.backoff_initial_ms_ = options.backoff_initial_ms;
+  client.backoff_max_ms_ = options.backoff_max_ms;
+  client.drain_ms_ = options.drain_ms;
+  client.attach_endpoint();
+  return client;
+}
+
+void Client::attach_endpoint() {
+  const std::string name = shm_name_for(endpoint_);
   try {
-    client.shm_ = Shm::open(name);
+    shm_ = Shm::open(name);
   } catch (const std::runtime_error& error) {
     throw Error(Status::kDaemonGone,
-                "ipc::Client: no daemon at '" + options.endpoint +
+                "ipc::Client: no daemon at '" + endpoint_ +
                     "' (" + error.what() + ")");
   }
-  if (client.shm_.size() < sizeof(ControlHeader)) {
+  if (shm_.size() < sizeof(ControlHeader)) {
     throw Error(Status::kBadRequest, "ipc::Client: runt control segment");
   }
-  ControlHeader* hdr = static_cast<ControlHeader*>(client.shm_.data());
+  ControlHeader* hdr = static_cast<ControlHeader*>(shm_.data());
   if (hdr->magic != kMagic || hdr->version != kVersion) {
     throw Error(Status::kBadRequest,
                 "ipc::Client: segment version mismatch (daemon built from "
@@ -53,21 +88,20 @@ Client Client::connect(const Options& options) {
   if (hdr->shutdown.load(std::memory_order_acquire) != 0 ||
       !pid_alive(hdr->daemon_pid.load(std::memory_order_acquire))) {
     throw Error(Status::kDaemonGone,
-                "ipc::Client: daemon for '" + options.endpoint +
+                "ipc::Client: daemon for '" + endpoint_ +
                     "' is shut down or dead");
   }
-  client.layout_.slot_count = hdr->slot_count;
-  client.layout_.arena_doubles = hdr->arena_doubles;
-  if (client.shm_.size() < client.layout_.total_bytes()) {
+  layout_.slot_count = hdr->slot_count;
+  layout_.arena_doubles = hdr->arena_doubles;
+  if (shm_.size() < layout_.total_bytes()) {
     throw Error(Status::kBadRequest, "ipc::Client: truncated segment");
   }
-  client.timeout_ms_ =
-      options.timeout_ms != 0 ? options.timeout_ms : hdr->timeout_ms;
+  timeout_ms_ = option_timeout_ms_ != 0 ? option_timeout_ms_ : hdr->timeout_ms;
 
   // Admission control: claim the first free slot by CAS.  Losing every CAS
   // and finding no kFree cell is the typed "server full" answer.
   for (std::uint32_t s = 0; s < hdr->slot_count; ++s) {
-    SlotShared* cell = client.layout_.slot(client.shm_.data(), s);
+    SlotShared* cell = layout_.slot(shm_.data(), s);
     std::uint32_t expected = kFree;
     if (!cell->state.compare_exchange_strong(expected, kClaimed,
                                              std::memory_order_acq_rel)) {
@@ -76,22 +110,21 @@ Client Client::connect(const Options& options) {
     // Ours alone now: the daemon ignores non-kActive slots, other clients
     // lost the CAS.  Publish identity, reset the rings from any previous
     // tenancy, then go active.
-    client.slot_index_ = s;
-    client.generation_ = cell->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+    slot_index_ = s;
+    generation_ = cell->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
     cell->pid.store(static_cast<std::uint32_t>(::getpid()),
                     std::memory_order_release);
     cell->requests.reset();
     cell->responses.reset();
     cell->state.store(kActive, std::memory_order_release);
-    client.arena_.attach(
-        client.layout_.arena(client.shm_.data(), s),
-        static_cast<std::size_t>(hdr->arena_doubles));
-    client.attached_ = true;
-    return client;
+    arena_.attach(layout_.arena(shm_.data(), s),
+                  static_cast<std::size_t>(hdr->arena_doubles));
+    attached_ = true;
+    return;
   }
   throw Error(Status::kServerFull,
               "ipc::Client: all " + std::to_string(hdr->slot_count) +
-                  " client slots of '" + options.endpoint +
+                  " client slots of '" + endpoint_ +
                   "' are claimed (admission control)");
 }
 
@@ -123,9 +156,9 @@ bool Client::wait_for_daemon(const std::string& endpoint,
 Client::~Client() {
   if (!attached_ || !shm_.valid()) return;
   // Drain what is in flight so the daemon is not mid-conversation with a
-  // freed slot; bounded — a dead daemon must not hang our destructor.
-  const std::uint64_t deadline =
-      monotonic_ns() + std::min<std::uint64_t>(timeout_ms_, 500) * 1000000ULL;
+  // freed slot; bounded by drain_ms — a dead (or wedged) daemon must not
+  // hang our destructor.
+  const std::uint64_t deadline = monotonic_ns() + drain_ms_ * 1000000ULL;
   while (!outstanding_.empty() && daemon_alive() &&
          monotonic_ns() < deadline) {
     if (wait_any_response(deadline) != Status::kOk) break;
@@ -153,12 +186,119 @@ std::uint64_t Client::make_seq() {
 }
 
 std::uint64_t Client::deadline_from_now() const {
-  return monotonic_ns() + timeout_ms_ * 1000000ULL;
+  // A resilient client's per-request deadline covers one full outage: the
+  // serve timeout plus the whole reconnect window.
+  const std::uint64_t budget_ms =
+      timeout_ms_ + (reconnect_ ? reconnect_window_ms_ : 0);
+  return monotonic_ns() + budget_ms * 1000000ULL;
+}
+
+bool Client::try_reconnect() {
+  if (!reconnect_) return false;
+  if (attached_ && shm_.valid()) {
+    // Keep the dead mapping alive for the Client's lifetime: the caller
+    // holds stage() pointers (and awaits results) inside its arena.
+    retired_.push_back(std::move(shm_));
+  }
+  attached_ = false;
+  // Wire seqs of the dead connection can never be answered; replay below
+  // assigns fresh ones under the new generation.
+  wire_to_ticket_.clear();
+
+  util::Rng jitter;
+  jitter.reseed(monotonic_ns() ^
+                (static_cast<std::uint64_t>(::getpid()) << 32));
+  const std::uint64_t deadline =
+      monotonic_ns() + reconnect_window_ms_ * 1000000ULL;
+  std::uint64_t delay_ms = backoff_initial_ms_;
+  for (;;) {
+    try {
+      attach_endpoint();
+      break;
+    } catch (const std::exception&) {
+      // kDaemonGone (not back yet), kServerFull (slots still claimed by
+      // other reconnecting clients), runtime_error — all mean "retry".
+    }
+    const std::uint64_t now = monotonic_ns();
+    if (now >= deadline) return false;
+    // Capped exponential backoff with uniform jitter in [0, delay/2]:
+    // a daemon restart must not be met by a synchronized client stampede.
+    std::uint64_t sleep_ms = delay_ms + jitter.next() % (delay_ms / 2 + 1);
+    sleep_ms = std::min<std::uint64_t>(sleep_ms,
+                                       (deadline - now) / 1000000ULL + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    delay_ms = std::min(delay_ms * 2, backoff_max_ms_);
+  }
+  reconnects_ += 1;
+
+  // Replay every unacknowledged request, oldest ticket first: re-stage its
+  // pristine snapshot into the fresh arena and resubmit under the new
+  // generation.  A replay that cannot be placed resolves to a typed Status
+  // instead of vanishing.
+  const std::uint64_t push_deadline =
+      monotonic_ns() + timeout_ms_ * 1000000ULL;
+  const std::vector<std::uint64_t> seqs(outstanding_.begin(),
+                                        outstanding_.end());
+  for (const std::uint64_t seq : seqs) {
+    Inflight& fl = inflight_.at(seq);
+    const std::size_t need =
+        static_cast<std::size_t>(std::uint64_t{1} << fl.n) * fl.count;
+    Status status = Status::kOk;
+    double* p =
+        need <= arena_.max_allocation() ? arena_.allocate(need) : nullptr;
+    if (p == nullptr) {
+      status = Status::kTooLarge;  // the new daemon's arena is smaller
+    } else {
+      std::memcpy(p, fl.snapshot.data(), need * sizeof(double));
+      fl.current = p;
+      status = push_request(seq, push_deadline);
+    }
+    if (status != Status::kOk) {
+      outstanding_.erase(seq);
+      inflight_.erase(seq);
+      completed_[seq] = status;
+    }
+  }
+  return true;
+}
+
+Status Client::push_request(std::uint64_t ticket_seq,
+                            std::uint64_t deadline_ns) {
+  Inflight& fl = inflight_.at(ticket_seq);
+  // First submission rides the ticket seq itself; a replay needs a fresh
+  // wire seq because the slot generation changed underneath the ticket.
+  const std::uint64_t wire =
+      (ticket_seq >> 32) == (generation_ & 0xffffffffULL) ? ticket_seq
+                                                          : make_seq();
+  Request request;
+  request.seq = wire;
+  request.n = fl.n;
+  request.count = fl.count;
+  request.offset = arena_.offset_of(fl.current);
+  const auto push = [&] {
+    // Injected full ring: exercises the retry path below on demand.
+    if (fault::enabled() && fault::point("ipc.ring.publish")) return false;
+    return slot()->requests.try_push(request);
+  };
+  while (!push()) {
+    // Request ring full: the daemon is behind; give it room.
+    if (!daemon_alive()) return Status::kDaemonGone;
+    if (monotonic_ns() >= deadline_ns) return Status::kTimeout;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  wire_to_ticket_.erase(fl.wire_seq);
+  fl.wire_seq = wire;
+  wire_to_ticket_[wire] = ticket_seq;
+  ring_doorbell();
+  return Status::kOk;
 }
 
 double* Client::stage(int n, std::size_t count) {
   if (n < 1 || n > 30 || count < 1) {
     throw Error(Status::kBadRequest, "ipc::Client::stage: bad shape");
+  }
+  if (!attached_ && !try_reconnect()) {
+    throw Error(Status::kDaemonGone, "ipc::Client::stage: not connected");
   }
   const std::uint64_t need = (std::uint64_t{1} << n) * count;
   if (need > arena_.max_allocation()) {
@@ -176,6 +316,7 @@ double* Client::stage(int n, std::size_t count) {
   const std::uint64_t deadline = deadline_from_now();
   while (!outstanding_.empty()) {
     const Status status = wait_any_response(deadline);
+    if (status == Status::kDaemonGone && try_reconnect()) continue;
     if (status != Status::kOk) {
       throw Error(status, "ipc::Client::stage: draining in-flight requests "
                           "failed while recycling the arena");
@@ -188,33 +329,62 @@ double* Client::stage(int n, std::size_t count) {
 
 Status Client::submit(int n, double* staged, std::size_t count,
                       Ticket& ticket) {
-  if (!attached_) return Status::kDaemonGone;
   if (n < 1 || n > 30 || count < 1) return Status::kBadRequest;
-  if (!daemon_alive()) return Status::kDaemonGone;
+  if (!attached_ && !try_reconnect()) return Status::kDaemonGone;
+  if (!daemon_alive() && !try_reconnect()) return Status::kDaemonGone;
   // Backpressure: keep outstanding responses below the ring depth so the
   // daemon's response push can never meet a full ring.
   const std::uint64_t deadline = deadline_from_now();
   while (outstanding_.size() >= kRingDepth - 1) {
     const Status status = wait_any_response(deadline);
+    if (status == Status::kDaemonGone && try_reconnect()) continue;
     if (status != Status::kOk) return status;
   }
-  Request request;
-  request.seq = make_seq();
-  request.n = static_cast<std::uint32_t>(n);
-  request.count = static_cast<std::uint32_t>(count);
-  request.offset = arena_.offset_of(staged);
-  while (!slot()->requests.try_push(request)) {
-    // Request ring full: the daemon is behind; give it room.
-    if (!daemon_alive()) return Status::kDaemonGone;
-    if (monotonic_ns() >= deadline) return Status::kTimeout;
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  const std::size_t need =
+      static_cast<std::size_t>(std::uint64_t{1} << n) * count;
+  double* current = staged;
+  if (!arena_.contains(staged)) {
+    // Staged before a reconnect: the pointer names retired memory the new
+    // daemon cannot see.  Re-home the bytes into the live arena (the
+    // retired mapping keeps them readable).
+    if (!reconnect_) return Status::kBadRequest;
+    if (need > arena_.max_allocation()) return Status::kTooLarge;
+    current = arena_.allocate(need);
+    if (current == nullptr) {
+      const std::uint64_t drain_deadline = deadline_from_now();
+      while (!outstanding_.empty()) {
+        const Status status = wait_any_response(drain_deadline);
+        if (status == Status::kDaemonGone && try_reconnect()) continue;
+        if (status != Status::kOk) return status;
+      }
+      arena_.reset();
+      current = arena_.allocate(need);
+    }
+    std::memcpy(current, staged, need * sizeof(double));
   }
-  outstanding_.insert(request.seq);
-  ring_doorbell();
-  ticket.seq = request.seq;
+  const std::uint64_t seq = make_seq();
+  Inflight fl;
+  fl.n = static_cast<std::uint32_t>(n);
+  fl.count = static_cast<std::uint32_t>(count);
+  fl.data = staged;
+  fl.current = current;
+  if (reconnect_) fl.snapshot.assign(current, current + need);
+  inflight_[seq] = std::move(fl);
+  outstanding_.insert(seq);
+  Status pushed = push_request(seq, deadline);
+  if (pushed == Status::kDaemonGone && try_reconnect()) {
+    // The replay inside try_reconnect resubmitted (or typed-failed) it.
+    pushed = Status::kOk;
+  }
+  if (pushed != Status::kOk) {
+    outstanding_.erase(seq);
+    inflight_.erase(seq);
+    return pushed;
+  }
+  ticket.seq = seq;
   ticket.data = staged;
-  ticket.n = request.n;
-  ticket.count = request.count;
+  ticket.n = static_cast<std::uint32_t>(n);
+  ticket.count = static_cast<std::uint32_t>(count);
   return Status::kOk;
 }
 
@@ -224,8 +394,26 @@ void Client::drain_responses() {
     if ((response.seq >> 32) != (generation_ & 0xffffffffULL)) {
       continue;  // a previous tenant's stale answer
     }
-    outstanding_.erase(response.seq);
-    completed_[response.seq] = static_cast<Status>(response.status);
+    const auto w = wire_to_ticket_.find(response.seq);
+    if (w == wire_to_ticket_.end()) continue;  // duplicate or pre-replay echo
+    const std::uint64_t ticket_seq = w->second;
+    wire_to_ticket_.erase(w);
+    outstanding_.erase(ticket_seq);
+    const Status status = static_cast<Status>(response.status);
+    const auto fl = inflight_.find(ticket_seq);
+    if (fl != inflight_.end()) {
+      if (status == Status::kOk && fl->second.current != fl->second.data) {
+        // A replayed request ran in the fresh arena; land the result where
+        // the caller's (retired-arena) pointer says it is.
+        const std::size_t doubles =
+            static_cast<std::size_t>(std::uint64_t{1} << fl->second.n) *
+            fl->second.count;
+        std::memcpy(fl->second.data, fl->second.current,
+                    doubles * sizeof(double));
+      }
+      inflight_.erase(fl);
+    }
+    completed_[ticket_seq] = status;
   }
   // Abandoned (timed-out, never wait()ed) completions must not accumulate
   // forever on a long-lived client.
@@ -261,7 +449,6 @@ Status Client::wait_any_response(std::uint64_t deadline_ns) {
 Status Client::wait_seq(std::uint64_t seq, double*) {
   const std::uint64_t deadline = deadline_from_now();
   for (;;) {
-    drain_responses();
     const auto it = completed_.find(seq);
     if (it != completed_.end()) {
       const Status status = it->second;
@@ -273,13 +460,18 @@ Status Client::wait_seq(std::uint64_t seq, double*) {
       // evicted from the abandoned-response cache.
       return Status::kBadRequest;
     }
+    if (!attached_) {
+      if (!try_reconnect()) return Status::kDaemonGone;
+      continue;
+    }
     const Status status = wait_any_response(deadline);
+    if (status == Status::kDaemonGone && try_reconnect()) continue;
     if (status != Status::kOk) return status;
   }
 }
 
 Status Client::wait(const Ticket& ticket) {
-  if (!attached_) return Status::kDaemonGone;
+  if (!attached_ && !reconnect_) return Status::kDaemonGone;
   return wait_seq(ticket.seq, ticket.data);
 }
 
@@ -307,6 +499,7 @@ Status Client::transform_copy(int n, double* data, std::size_t count) {
 
 Client::DaemonStats Client::stats() const {
   DaemonStats out;
+  if (!attached_ || !shm_.valid()) return out;
   const SharedStats& s = header()->stats;
   out.requests = s.requests.load(std::memory_order_relaxed);
   out.vectors = s.vectors.load(std::memory_order_relaxed);

@@ -25,6 +25,17 @@
 //
 // A Client is NOT thread-safe (one slot = one request stream); concurrency
 // comes from connecting more clients, which is the point of the daemon.
+//
+// Resilience (opt-in, Options::reconnect): when any call answers
+// kDaemonGone, the client re-handshakes against the endpoint with capped
+// exponential backoff until reconnect_window_ms elapses, re-stages every
+// unacknowledged request from a pristine input snapshot into the fresh
+// arena, and resubmits it under the new slot generation.  Results of
+// replayed requests are copied back to the caller's original staged
+// pointers (the old mapping is kept alive for exactly this), so tickets
+// and pointers taken before the crash stay valid across it.  A request is
+// never silently dropped: it completes bit-exactly or resolves to a typed
+// Status once the window closes.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +43,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "ipc/protocol.hpp"
 #include "ipc/shm.hpp"
@@ -45,6 +57,19 @@ class Client {
     std::string endpoint = "whtlab";
     /// Per-wait deadline; 0 = the daemon's published timeout_ms.
     std::uint64_t timeout_ms = 0;
+    /// Transparent auto-reconnect on kDaemonGone (see the class comment).
+    /// Off by default: a non-resilient client pays zero snapshot copies.
+    bool reconnect = false;
+    /// Total time budget for one outage: handshake attempts (with backoff)
+    /// stop and kDaemonGone becomes the final answer once this elapses.
+    std::uint64_t reconnect_window_ms = 10000;
+    /// First retry delay; doubles per failed attempt up to backoff_max_ms,
+    /// each with uniform jitter in [0, delay/2] to avoid reconnect stampedes.
+    std::uint64_t backoff_initial_ms = 5;
+    std::uint64_t backoff_max_ms = 500;
+    /// Destructor drain bound: how long ~Client waits for in-flight
+    /// requests before abandoning them and freeing the slot.
+    std::uint64_t drain_ms = 500;
   };
 
   /// In-flight request handle.  `data` is the staged region the result
@@ -102,6 +127,8 @@ class Client {
   std::size_t arena_capacity() const { return arena_.capacity(); }
   std::size_t inflight() const { return outstanding_.size(); }
   int slot_index() const { return static_cast<int>(slot_index_); }
+  /// Successful re-handshakes since connect() (0 without Options::reconnect).
+  std::uint64_t reconnects() const { return reconnects_; }
 
   /// The daemon's live shared counters (read straight from the segment —
   /// the stats-export path; no request round-trip).
@@ -130,6 +157,27 @@ class Client {
   std::uint64_t make_seq();
   std::uint64_t deadline_from_now() const;
 
+  /// One handshake against endpoint_: open + validate the segment, claim a
+  /// slot, attach the arena.  Throws ipc::Error.  Shared by connect() and
+  /// the reconnect path.
+  void attach_endpoint();
+  /// The reconnect engine: retires the dead mapping, re-handshakes with
+  /// capped exponential backoff inside reconnect_window_ms_, replays every
+  /// unacknowledged request.  False when disabled or the window closes.
+  bool try_reconnect();
+  /// Pushes one wire request for a (possibly replayed) in-flight entry.
+  Status push_request(std::uint64_t ticket_seq, std::uint64_t deadline_ns);
+
+  /// Everything needed to replay (and route the answer of) one request.
+  struct Inflight {
+    std::uint32_t n = 0;
+    std::uint32_t count = 0;
+    double* data = nullptr;     ///< caller's staged region (original arena)
+    double* current = nullptr;  ///< live location in the *current* arena
+    std::uint64_t wire_seq = 0;
+    std::vector<double> snapshot;  ///< pristine input (reconnect mode only)
+  };
+
   Shm shm_;
   Layout layout_;
   std::uint32_t slot_index_ = 0;
@@ -137,8 +185,19 @@ class Client {
   std::uint64_t timeout_ms_ = 5000;
   std::uint32_t next_counter_ = 1;
   util::BumpArena arena_;
-  std::set<std::uint64_t> outstanding_;        ///< submitted, not yet answered
+  std::set<std::uint64_t> outstanding_;        ///< ticket seqs, not yet answered
   std::map<std::uint64_t, Status> completed_;  ///< answered, not yet wait()ed
+  std::map<std::uint64_t, Inflight> inflight_;         ///< ticket seq → replay state
+  std::map<std::uint64_t, std::uint64_t> wire_to_ticket_;
+  std::vector<Shm> retired_;  ///< pre-crash mappings kept so old pointers stay valid
+  std::string endpoint_;
+  bool reconnect_ = false;
+  std::uint64_t reconnect_window_ms_ = 10000;
+  std::uint64_t backoff_initial_ms_ = 5;
+  std::uint64_t backoff_max_ms_ = 500;
+  std::uint64_t drain_ms_ = 500;
+  std::uint64_t option_timeout_ms_ = 0;
+  std::uint64_t reconnects_ = 0;
   bool attached_ = false;
 };
 

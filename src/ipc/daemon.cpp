@@ -14,10 +14,13 @@
 #include "ipc/futex.hpp"
 #include "ipc/rate_limiter.hpp"
 #include "util/env.hpp"
+#include "util/fault.hpp"
 
 namespace whtlab::ipc {
 
 namespace {
+
+namespace fault = util::fault;
 
 /// pid liveness via the null signal.  EPERM still means "exists".
 bool pid_alive(std::uint32_t pid) {
@@ -28,6 +31,27 @@ bool pid_alive(std::uint32_t pid) {
 /// Hard cap on request n: beyond this even one vector cannot be staged in
 /// any plausible arena, and plan trees this deep are a config error.
 constexpr std::uint32_t kMaxRequestN = 30;
+
+/// Validated env knob: reject (never clamp) zero/negative/overflow values —
+/// a daemon started with a typo must fail loudly, not serve misconfigured.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback,
+                      std::uint64_t min, std::uint64_t max) {
+  std::int64_t value = 0;
+  try {
+    value = util::env_int(name, static_cast<std::int64_t>(fallback));
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("ipc: ") + name +
+                                " is not an integer");
+  }
+  if (value < 0 || static_cast<std::uint64_t>(value) < min ||
+      static_cast<std::uint64_t>(value) > max) {
+    throw std::invalid_argument(
+        std::string("ipc: ") + name + "=" + std::to_string(value) +
+        " out of range [" + std::to_string(min) + ", " + std::to_string(max) +
+        "]");
+  }
+  return static_cast<std::uint64_t>(value);
+}
 
 }  // namespace
 
@@ -48,24 +72,41 @@ struct Daemon::PendingExec {
 DaemonOptions DaemonOptions::from_env() {
   DaemonOptions options;
   if (const auto name = util::env_string("WHTLAB_IPC_NAME")) {
-    options.endpoint = *name;
+    options.endpoint = *name;  // shm_name_for rejects empty / slashed names
   }
   options.slots = static_cast<std::uint32_t>(
-      util::env_int("WHTLAB_IPC_SLOTS", options.slots));
-  options.arena_doubles = static_cast<std::uint64_t>(util::env_int(
-      "WHTLAB_IPC_ARENA_BYTES",
-      static_cast<std::int64_t>(options.arena_doubles * sizeof(double)))) /
+      env_u64("WHTLAB_IPC_SLOTS", options.slots, 1, 1024));
+  // Arena: at least 64 doubles (512 bytes), at most 1 TiB per slot — the
+  // per-slot __int128 total check in the constructor still applies on top.
+  options.arena_doubles =
+      env_u64("WHTLAB_IPC_ARENA_BYTES", options.arena_doubles * sizeof(double),
+              64 * sizeof(double), std::uint64_t{1} << 40) /
       sizeof(double);
-  options.rate_limit = static_cast<std::uint64_t>(
-      util::env_int("WHTLAB_IPC_RATE_LIMIT", options.rate_limit));
-  options.timeout_ms = static_cast<std::uint64_t>(
-      util::env_int("WHTLAB_IPC_TIMEOUT_MS", options.timeout_ms));
-  options.sweep_ms = static_cast<std::uint64_t>(
-      util::env_int("WHTLAB_IPC_SWEEP_MS", options.sweep_ms));
+  options.rate_limit = env_u64("WHTLAB_IPC_RATE_LIMIT", options.rate_limit, 0,
+                               std::uint64_t{1} << 32);
+  options.rate_window_ns =
+      env_u64("WHTLAB_IPC_RATE_WINDOW_MS",
+              options.rate_window_ns / 1000000ULL, 1, 3600000) *
+      1000000ULL;
+  options.timeout_ms =
+      env_u64("WHTLAB_IPC_TIMEOUT_MS", options.timeout_ms, 1, 86400000);
+  options.sweep_ms =
+      env_u64("WHTLAB_IPC_SWEEP_MS", options.sweep_ms, 1, 60000);
+  // The daemon arms the Engine circuit breaker by default: a serving
+  // process must degrade to the reference backend, not crash or corrupt.
+  options.engine.quarantine_strikes = static_cast<int>(
+      env_u64("WHTLAB_IPC_QUARANTINE", 3, 0, 1000000));
+  options.engine.probation_ms =
+      env_u64("WHTLAB_IPC_PROBATION_MS", 2000, 1, 86400000);
+  options.engine.verify_finite =
+      env_u64("WHTLAB_IPC_VERIFY", 1, 0, 1) != 0;
   return options;
 }
 
 Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  // Serving entry point: a WHTLAB_FAULTS spec set on the daemon process
+  // arms its fault points here (no-op when unset).
+  fault::arm_from_env();
   if (options_.slots < 1 || options_.slots > 1024) {
     throw std::invalid_argument("ipc::Daemon: slots must be in [1, 1024]");
   }
@@ -75,8 +116,27 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   if (options_.sweep_ms < 1) {
     throw std::invalid_argument("ipc::Daemon: sweep_ms must be >= 1");
   }
+  if (options_.timeout_ms < 1) {
+    throw std::invalid_argument("ipc::Daemon: timeout_ms must be >= 1");
+  }
+  if (options_.rate_window_ns < 1) {
+    throw std::invalid_argument("ipc::Daemon: rate_window_ns must be >= 1");
+  }
   layout_.slot_count = options_.slots;
   layout_.arena_doubles = options_.arena_doubles;
+  // Overflow-check the segment size in 128-bit before Layout's 64-bit
+  // arithmetic can wrap: slots * (slot struct + arena bytes) + header.
+  const auto total =
+      static_cast<unsigned __int128>(options_.slots) *
+          (static_cast<unsigned __int128>(options_.arena_doubles) *
+               sizeof(double) +
+           sizeof(SlotShared)) +
+      sizeof(ControlHeader);
+  if (total > (static_cast<unsigned __int128>(1) << 47)) {
+    throw std::invalid_argument(
+        "ipc::Daemon: slots * arena would need an implausible segment "
+        "(> 128 TiB); lower WHTLAB_IPC_SLOTS or WHTLAB_IPC_ARENA_BYTES");
+  }
 
   const std::string name = shm_name_for(options_.endpoint);
   try {
@@ -190,6 +250,28 @@ void Daemon::service_loop() {
   std::uint64_t last_sweep = monotonic_ns();
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Supervision heartbeat: stamped at least once per iteration, and the
+    // idle park below is bounded by the sweep period, so a healthy loop
+    // never lets the stamp age beyond ~sweep_ms + one serve.  (First-touch
+    // planning on this thread can stall it for seconds — the supervisor's
+    // wedge threshold must stay generous.)
+    header()->heartbeat_ns.store(monotonic_ns(), std::memory_order_relaxed);
+    if (fault::enabled()) {
+      if (fault::point("ipc.daemon.service")) {
+        // An unhandled serving-loop error: the exception leaves the thread
+        // and std::terminate brings the whole process down — precisely the
+        // crash the supervisor (whtd --supervise) exists to absorb.
+        throw std::runtime_error("ipc::Daemon: service loop fault injected");
+      }
+      if (fault::point("ipc.daemon.wedge")) {
+        // A wedged (not dead) daemon: alive pid, stale heartbeat.  Spin
+        // here without stamping until stopped or killed from outside.
+        while (!stop_requested_.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        break;
+      }
+    }
     const std::uint32_t seen =
         header()->doorbell.load(std::memory_order_acquire);
     bool progress = poll_requests(local, pending);
@@ -377,7 +459,11 @@ void Daemon::respond(SlotShared* cell, std::uint64_t seq, Status status) {
   // a brief retry covers consumption races, then the response is dropped
   // (the client will time out — its own doing).
   for (int attempt = 0; attempt < 1000; ++attempt) {
-    if (cell->responses.try_push(response)) {
+    // The injected fault makes this push attempt behave as a full ring,
+    // exercising the retry-then-drop path on demand.
+    const bool ring_full =
+        fault::enabled() && fault::point("ipc.ring.publish");
+    if (!ring_full && cell->responses.try_push(response)) {
       futex_wake_all(cell->responses.tail);
       return;
     }

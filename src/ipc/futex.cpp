@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/fault.hpp"
+
 #if defined(__linux__)
 #include <linux/futex.h>
 #include <sys/syscall.h>
@@ -74,6 +76,12 @@ void futex_wake_all(const std::atomic<std::uint32_t>&) {}
 std::uint32_t spin_then_wait(const std::atomic<std::uint32_t>& word,
                              std::uint32_t expected, int spins,
                              std::int64_t timeout_ns) {
+  // Injected spurious wakeup/timeout: the wait returns immediately with the
+  // word unchanged — exactly what FUTEX_WAIT is allowed to do — so every
+  // waiter's retry loop can be exercised on demand.
+  if (util::fault::enabled() && util::fault::point("ipc.futex.wait")) {
+    return word.load(std::memory_order_acquire);
+  }
   for (int i = 0; i < spins; ++i) {
     const std::uint32_t value = word.load(std::memory_order_acquire);
     if (value != expected) return value;

@@ -124,15 +124,7 @@ struct SharedStats {
 // --- control header ---------------------------------------------------------
 
 inline constexpr std::uint64_t kMagic = 0x7768746c61622d69ULL;  // "whtlab-i"
-inline constexpr std::uint32_t kVersion = 1;
-
-/// Compile-time ABI fingerprint: both sides must agree on the shared struct
-/// sizes or the mapping is garbage.  Checked against the header at connect.
-inline constexpr std::uint32_t abi_tag() {
-  return static_cast<std::uint32_t>(sizeof(SlotShared)) ^
-         (static_cast<std::uint32_t>(sizeof(Request)) << 16) ^
-         (static_cast<std::uint32_t>(sizeof(Response)) << 24);
-}
+inline constexpr std::uint32_t kVersion = 2;  // v2: heartbeat_ns supervision word
 
 struct ControlHeader {
   std::uint64_t magic;
@@ -151,8 +143,22 @@ struct ControlHeader {
   /// every wake — cheap, slot_count is small).
   std::atomic<std::uint32_t> doorbell;
   std::uint32_t reserved;
+  /// Supervision heartbeat: the service loop stamps monotonic_ns() at least
+  /// once per sweep period, so a watchdog (`whtd --supervise`) that maps the
+  /// segment can tell a *wedged* daemon (live pid, stale heartbeat) from a
+  /// busy one and restart it.  0 until the service loop first runs.
+  std::atomic<std::uint64_t> heartbeat_ns;
   SharedStats stats;
 };
+
+/// Compile-time ABI fingerprint: both sides must agree on the shared struct
+/// sizes or the mapping is garbage.  Checked against the header at connect.
+inline constexpr std::uint32_t abi_tag() {
+  return static_cast<std::uint32_t>(sizeof(SlotShared)) ^
+         (static_cast<std::uint32_t>(sizeof(Request)) << 16) ^
+         (static_cast<std::uint32_t>(sizeof(Response)) << 24) ^
+         (static_cast<std::uint32_t>(sizeof(ControlHeader)) << 4);
+}
 
 static_assert(std::is_standard_layout_v<ControlHeader>);
 static_assert(std::is_standard_layout_v<SlotShared>);

@@ -38,7 +38,11 @@ class RateLimiter {
   bool try_acquire(std::uint64_t now_ns) {
     if (limit_ == 0) return true;
     const std::uint64_t oldest = stamps_[next_];
-    if (admitted_ >= limit_ && now_ns < oldest + window_ns_) return false;
+    // Age via subtraction, not `now < oldest + window`: the addition can
+    // wrap near the top of the clock's range and admit a full window's
+    // worth of extra events at the rollover boundary.  Modular subtraction
+    // gives the true elapsed time for any monotonic now >= oldest.
+    if (admitted_ >= limit_ && now_ns - oldest < window_ns_) return false;
     stamps_[next_] = now_ns;
     next_ = (next_ + 1) % limit_;
     if (admitted_ < limit_) ++admitted_;

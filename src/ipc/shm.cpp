@@ -10,9 +10,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace whtlab::ipc {
 
 namespace {
+
+namespace fault = util::fault;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error("ipc: " + what + ": " + std::strerror(errno));
@@ -26,21 +30,34 @@ Shm::Shm(Shm&& other) noexcept
       name_(std::move(other.name_)) {}
 
 Shm& Shm::operator=(Shm&& other) noexcept {
+  // Swap, don't destroy-in-place: `other`'s destructor unmaps our previous
+  // mapping.  (The old explicit ~Shm() call ended `name_`'s lifetime and
+  // then assigned into the dead string — a double free the first time a
+  // long-named mapping was replaced, e.g. on client reconnect.)
   if (this != &other) {
-    this->~Shm();
-    data_ = std::exchange(other.data_, nullptr);
-    size_ = std::exchange(other.size_, 0);
-    name_ = std::move(other.name_);
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(name_, other.name_);
   }
   return *this;
 }
 
 Shm::~Shm() {
-  if (data_ != nullptr) ::munmap(data_, size_);
+  // The unmap fault simulates a leaked mapping (a crashed unmapper) without
+  // UB: the pages stay mapped for the process lifetime.  Never armed outside
+  // leak-handling tests.
+  if (data_ != nullptr &&
+      !(fault::enabled() && fault::point("ipc.shm.unmap"))) {
+    ::munmap(data_, size_);
+  }
   data_ = nullptr;
 }
 
 Shm Shm::create(const std::string& name, std::size_t bytes) {
+  if (fault::enabled() && fault::point("ipc.shm.create")) {
+    errno = ENOSPC;
+    throw_errno("shm_open(create " + name + ") [fault injected]");
+  }
   const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0666);
   if (fd < 0) throw_errno("shm_open(create " + name + ")");
   if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
@@ -63,6 +80,10 @@ Shm Shm::create(const std::string& name, std::size_t bytes) {
 }
 
 Shm Shm::open(const std::string& name) {
+  if (fault::enabled() && fault::point("ipc.shm.map")) {
+    errno = ENOMEM;
+    throw_errno("mmap " + name + " [fault injected]");
+  }
   const int fd = ::shm_open(name.c_str(), O_RDWR, 0);
   if (fd < 0) throw_errno("shm_open(" + name + ")");
   struct stat st {};

@@ -1,0 +1,182 @@
+#include "util/fault.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::util::fault {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+}
+
+namespace {
+
+enum class Trigger { kOnce, kAlways, kNth, kEvery, kProb };
+
+struct Point {
+  Trigger trigger = Trigger::kOnce;
+  std::uint64_t k = 1;       ///< nth/every operand
+  double p = 0.0;            ///< prob operand
+  Rng rng{0};                ///< prob stream (seeded)
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+std::mutex g_mutex;
+std::map<std::string, Point> g_points;
+
+double parse_probability(const std::string& text, const std::string& entry) {
+  std::size_t pos = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != text.size() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("fault spec '" + entry +
+                                "': probability must be in [0, 1]");
+  }
+  return p;
+}
+
+std::uint64_t parse_count(const std::string& text, const std::string& entry) {
+  std::size_t pos = 0;
+  long long k = 0;
+  try {
+    k = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != text.size() || k < 1) {
+    throw std::invalid_argument("fault spec '" + entry +
+                                "': count must be a positive integer");
+  }
+  return static_cast<std::uint64_t>(k);
+}
+
+Point parse_trigger(const std::string& trigger, const std::string& entry) {
+  Point point;
+  if (trigger == "once") {
+    point.trigger = Trigger::kOnce;
+    return point;
+  }
+  if (trigger == "always") {
+    point.trigger = Trigger::kAlways;
+    return point;
+  }
+  if (trigger.rfind("nth:", 0) == 0) {
+    point.trigger = Trigger::kNth;
+    point.k = parse_count(trigger.substr(4), entry);
+    return point;
+  }
+  if (trigger.rfind("every:", 0) == 0) {
+    point.trigger = Trigger::kEvery;
+    point.k = parse_count(trigger.substr(6), entry);
+    return point;
+  }
+  if (trigger.rfind("prob:", 0) == 0) {
+    point.trigger = Trigger::kProb;
+    std::string rest = trigger.substr(5);
+    std::uint64_t seed = 0x5eedULL;
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      seed = parse_count(rest.substr(colon + 1), entry);
+      rest = rest.substr(0, colon);
+    }
+    point.p = parse_probability(rest, entry);
+    point.rng.reseed(seed);
+    return point;
+  }
+  throw std::invalid_argument(
+      "fault spec '" + entry +
+      "': unknown trigger (want once|always|nth:K|every:K|prob:P[:SEED])");
+}
+
+}  // namespace
+
+void arm(const std::string& spec) {
+  std::map<std::string, Point> points;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding whitespace: env specs get written by hand.
+    const std::size_t first = entry.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // tolerate ",," and trailing ','
+    entry = entry.substr(first, entry.find_last_not_of(" \t") - first + 1);
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      throw std::invalid_argument("fault spec '" + entry +
+                                  "': want name=trigger");
+    }
+    points[entry.substr(0, eq)] = parse_trigger(entry.substr(eq + 1), entry);
+  }
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_points = std::move(points);
+  detail::g_armed.store(static_cast<int>(g_points.size()),
+                        std::memory_order_relaxed);
+}
+
+void arm_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const auto spec = env_string("WHTLAB_FAULTS")) arm(*spec);
+  });
+}
+
+void disarm() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_points.clear();
+  detail::g_armed.store(0, std::memory_order_relaxed);
+}
+
+bool point(const char* name) {
+  if (!enabled()) return false;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = g_points.find(name);
+  if (it == g_points.end()) return false;
+  Point& p = it->second;
+  ++p.hits;
+  bool fire = false;
+  switch (p.trigger) {
+    case Trigger::kOnce:
+      fire = p.hits == 1;
+      break;
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kNth:
+      fire = p.hits == p.k;
+      break;
+    case Trigger::kEvery:
+      fire = p.hits % p.k == 0;
+      break;
+    case Trigger::kProb:
+      // 53-bit mantissa draw in [0, 1); p == 1.0 always fires, p == 0 never.
+      fire = static_cast<double>(p.rng.next() >> 11) * 0x1.0p-53 < p.p;
+      break;
+  }
+  if (fire) ++p.fired;
+  return fire;
+}
+
+std::uint64_t hits(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = g_points.find(name);
+  return it == g_points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fired(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = g_points.find(name);
+  return it == g_points.end() ? 0 : it->second.fired;
+}
+
+}  // namespace whtlab::util::fault

@@ -1,0 +1,77 @@
+// Deterministic fault injection for the serving stack.
+//
+// Production failure paths — a full ring, a futex timeout, a backend that
+// throws mid-request, a wisdom write that hits a full disk — are exactly the
+// paths ordinary tests cannot reach on demand.  This module names each such
+// path as a *fault point* and lets a spec arm it to fail deterministically:
+//
+//   // call site (client.cpp, daemon.cpp, engine.cpp, shm.cpp, ...):
+//   if (fault::enabled() && fault::point("ipc.ring.publish")) {
+//     /* behave exactly as if the real failure happened */
+//   }
+//
+//   // armed from the environment (validated; garbage fails loudly):
+//   WHTLAB_FAULTS="ipc.ring.publish=nth:3,engine.exec.simd=prob:0.1:42"
+//
+//   // or programmatically (tests):
+//   util::fault::arm("ipc.futex.wait=always");
+//
+// Spec grammar (comma-separated `name=trigger` entries):
+//
+//   trigger := "once"            first hit fires, later hits pass
+//            | "always"          every hit fires
+//            | "nth:K"           exactly the K-th hit fires (1-based)
+//            | "every:K"         every K-th hit fires (K, 2K, 3K, ...)
+//            | "prob:P"          each hit fires with probability P in [0, 1]
+//            | "prob:P:SEED"     ... from a seeded xoshiro stream, so a
+//                                given (P, SEED) fires on a reproducible
+//                                hit subsequence
+//
+// Disarmed cost is one relaxed atomic load (`enabled()` — the call sites
+// gate on it before even materializing the point name), so the hooks stay in
+// release builds: chaos tests and `WHTLAB_FAULTS` work against the exact
+// binaries that serve.  Armed evaluation takes a mutex — fault runs are
+// about determinism, not throughput.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace whtlab::util::fault {
+
+namespace detail {
+extern std::atomic<int> g_armed;
+}
+
+/// True when at least one fault point is armed.  The fast-path gate: call
+/// sites check it before building point names or calling point().
+inline bool enabled() {
+  return detail::g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+/// Records a hit of the named point and returns true when the armed trigger
+/// says this hit fails.  Unarmed points (and everything while disarmed)
+/// return false.  Thread-safe.
+bool point(const char* name);
+inline bool point(const std::string& name) { return point(name.c_str()); }
+
+/// Parses and arms a spec (replacing whatever was armed).  Throws
+/// std::invalid_argument on grammar errors — a typo in a fault spec must
+/// fail the run loudly, not silently test nothing.
+void arm(const std::string& spec);
+
+/// Arms from WHTLAB_FAULTS once per process (later calls are no-ops, so
+/// every serving entry point can call it).  Unset/empty = no-op.  Throws
+/// std::invalid_argument when the variable is set but malformed.
+void arm_from_env();
+
+/// Disarms every point and resets all counters.
+void disarm();
+
+/// Hit / fire counters for one point since it was last armed (0 when the
+/// point was never armed).  For test assertions.
+std::uint64_t hits(const std::string& name);
+std::uint64_t fired(const std::string& name);
+
+}  // namespace whtlab::util::fault

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "util/aligned_buffer.hpp"
 
@@ -90,6 +91,14 @@ class BumpArena {
     return static_cast<std::size_t>(p - base_);
   }
   double* at(std::size_t offset) const { return base_ + offset; }
+
+  /// Whether `p` points into this arena's storage.  Reconnecting clients use
+  /// it to spot pointers staged in a *previous* attachment (std::less makes
+  /// the unrelated-pointer comparison well-defined).
+  bool contains(const double* p) const {
+    return base_ != nullptr && !std::less<const double*>{}(p, base_) &&
+           std::less<const double*>{}(p, base_ + capacity_);
+  }
 
   bool attached() const { return base_ != nullptr; }
   std::size_t capacity() const { return capacity_; }

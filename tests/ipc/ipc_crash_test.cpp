@@ -156,6 +156,53 @@ TEST(IpcCrash, SigkilledDaemonResolvesToTypedErrorNotHang) {
   Shm::unlink(shm_name_for(endpoint));  // the corpse's segment
 }
 
+TEST(IpcCrash, DestructorDrainIsBounded) {
+  const std::string endpoint = unique_endpoint("drain");
+
+  // The daemon lives in a forked child so it can be SIGSTOPped: alive by
+  // the pid probe (no kDaemonGone short-circuit) but serving nothing —
+  // the worst case for a destructor that waits on in-flight requests.
+  const pid_t daemon_pid = ::fork();
+  ASSERT_GE(daemon_pid, 0);
+  if (daemon_pid == 0) {
+    try {
+      Daemon daemon(daemon_options(endpoint, 2));
+      daemon.start();
+      for (;;) ::pause();
+    } catch (...) {
+      ::_exit(11);
+    }
+  }
+  ASSERT_TRUE(Client::wait_for_daemon(endpoint, 10000));
+
+  Client::Options options;
+  options.endpoint = endpoint;
+  options.timeout_ms = 30000;  // the per-wait deadline must NOT govern this
+  options.drain_ms = 200;
+  auto client = std::make_unique<Client>(Client::connect(options));
+  double* x = client->stage(5);
+  for (int i = 0; i < 32; ++i) x[i] = static_cast<double>(i);
+
+  ASSERT_EQ(::kill(daemon_pid, SIGSTOP), 0);
+  Client::Ticket ticket;
+  ASSERT_EQ(client->submit(5, x, 1, ticket), Status::kOk);
+  ASSERT_EQ(client->inflight(), 1u);
+
+  // ~Client: the drain waits at most drain_ms for the parked daemon, then
+  // abandons the request and frees the slot.
+  const auto t0 = std::chrono::steady_clock::now();
+  client.reset();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(2))
+      << "destructor ignored the drain_ms bound";
+  ASSERT_EQ(::kill(daemon_pid, SIGCONT), 0);
+
+  ASSERT_EQ(::kill(daemon_pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon_pid, &status, 0), daemon_pid);
+  Shm::unlink(shm_name_for(endpoint));
+}
+
 TEST(IpcCrash, StaleSegmentFromDeadDaemonIsTakenOver) {
   const std::string endpoint = unique_endpoint("stale");
 

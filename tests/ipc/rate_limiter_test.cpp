@@ -72,5 +72,26 @@ TEST(RateLimiter, SteadyRateJustUnderLimitAlwaysAdmits) {
   }
 }
 
+TEST(RateLimiter, WindowRolloverAtClockBoundary) {
+  // Admission near the top of the 64-bit clock: `oldest + window` would
+  // wrap and misclassify everything, `now - oldest` (what the limiter
+  // computes) stays exact across the rollover.
+  RateLimiter limiter(2, kWindow);
+  const std::uint64_t top = UINT64_MAX - 500;
+  EXPECT_TRUE(limiter.try_acquire(top));
+  EXPECT_TRUE(limiter.try_acquire(top + 100));
+  // Still inside `top`'s trailing window — including attempts whose
+  // timestamp has already wrapped past zero.
+  EXPECT_FALSE(limiter.try_acquire(top + 499));   // == UINT64_MAX - 1
+  EXPECT_FALSE(limiter.try_acquire(top + 501));   // wrapped: == 0
+  EXPECT_FALSE(limiter.try_acquire(top + 999));
+  // `top` expires exactly kWindow later, on the far side of the wrap.
+  EXPECT_TRUE(limiter.try_acquire(top + kWindow));  // wrapped: == 499
+  // And the retained stamps {top + 100, top + kWindow} keep expiring on
+  // schedule in wrapped time.
+  EXPECT_FALSE(limiter.try_acquire(top + kWindow + 99));
+  EXPECT_TRUE(limiter.try_acquire(top + kWindow + 100));
+}
+
 }  // namespace
 }  // namespace whtlab::ipc

@@ -7,10 +7,14 @@
 // checks.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
+#include "ipc/futex.hpp"
 #include "ipc/spsc_ring.hpp"
+#include "util/fault.hpp"
 
 namespace whtlab::ipc {
 namespace {
@@ -58,6 +62,52 @@ TEST(SpscRing, ResetEmptiesAfterUse) {
   EXPECT_TRUE(ring.empty());
   std::uint64_t out;
   EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, Uint32CursorWrapIsSeamless) {
+  // The monotonic cursors are 32-bit: a long-lived serving slot WILL wrap
+  // them.  Start both just below the wrap (legal only because nobody else
+  // touches the ring, same as the reclaim path) and stream across it.
+  Ring ring;
+  const std::uint32_t start = UINT32_MAX - 3;
+  ring.head.store(start, std::memory_order_relaxed);
+  ring.tail.store(start, std::memory_order_release);
+  EXPECT_TRUE(ring.empty());
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_push(i)) << i;  // tail passes UINT32_MAX mid-loop
+  }
+  EXPECT_FALSE(ring.try_push(99)) << "full detection broke across the wrap";
+  EXPECT_EQ(ring.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    std::uint64_t out = ~0ULL;
+    ASSERT_TRUE(ring.try_pop(out));  // head wraps while draining
+    EXPECT_EQ(out, i) << "FIFO order broke across the wrap";
+  }
+  EXPECT_TRUE(ring.empty());
+  std::uint64_t out;
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, InjectedSpuriousFutexWakeupIsJustARetry) {
+  // ipc.futex.wait makes spin_then_wait return immediately with the word
+  // unchanged — the spurious wakeup FUTEX_WAIT is allowed to deliver.  The
+  // contract every ring waiter is written against: re-check, re-park.
+  util::fault::disarm();
+  util::fault::arm("ipc.futex.wait=always");
+  std::atomic<std::uint32_t> word{7};
+  const auto t0 = std::chrono::steady_clock::now();
+  // An unbounded wait (timeout < 0) on a word nobody will change: without
+  // the injected wakeup this would park forever.
+  const std::uint32_t seen = spin_then_wait(word, 7, /*spins=*/8,
+                                            /*timeout_ns=*/-1);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(seen, 7u) << "spurious return must report the unchanged word";
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+  EXPECT_EQ(util::fault::fired("ipc.futex.wait"), 1u);
+  util::fault::disarm();
+  // Disarmed again, the same wait parks for real until the timeout.
+  EXPECT_EQ(spin_then_wait(word, 7, 8, 1000000), 7u);
 }
 
 TEST(SpscRing, CrossThreadFifoExactness) {

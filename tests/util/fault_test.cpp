@@ -1,0 +1,127 @@
+// Deterministic fault injection (util/fault.hpp): the spec grammar, every
+// trigger kind, the disarmed fast path, and the hit/fire counters the chaos
+// tests assert on.  Each test disarms on entry and exit so fault state
+// never leaks between tests sharing the process.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/fault.hpp"
+
+namespace whtlab::util::fault {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm(); }
+  void TearDown() override { disarm(); }
+};
+
+TEST_F(FaultTest, DisarmedIsInert) {
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(point("ipc.ring.publish"));
+  EXPECT_EQ(hits("ipc.ring.publish"), 0u);
+  EXPECT_EQ(fired("ipc.ring.publish"), 0u);
+}
+
+TEST_F(FaultTest, OnceFiresExactlyOnce) {
+  arm("a.b=once");
+  EXPECT_TRUE(enabled());
+  EXPECT_TRUE(point("a.b"));
+  EXPECT_FALSE(point("a.b"));
+  EXPECT_FALSE(point("a.b"));
+  EXPECT_EQ(hits("a.b"), 3u);
+  EXPECT_EQ(fired("a.b"), 1u);
+}
+
+TEST_F(FaultTest, AlwaysFiresEveryHit) {
+  arm("a.b=always");
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(point("a.b"));
+  EXPECT_EQ(fired("a.b"), 5u);
+}
+
+TEST_F(FaultTest, NthFiresExactlyTheKthHit) {
+  arm("a.b=nth:3");
+  EXPECT_FALSE(point("a.b"));
+  EXPECT_FALSE(point("a.b"));
+  EXPECT_TRUE(point("a.b"));
+  EXPECT_FALSE(point("a.b"));
+  EXPECT_EQ(fired("a.b"), 1u);
+}
+
+TEST_F(FaultTest, EveryFiresPeriodically) {
+  arm("a.b=every:2");
+  int fired_count = 0;
+  for (int i = 0; i < 6; ++i) fired_count += point("a.b") ? 1 : 0;
+  EXPECT_EQ(fired_count, 3);  // hits 2, 4, 6
+}
+
+TEST_F(FaultTest, ProbabilityEndpointsAreExact) {
+  arm("never=prob:0,ever=prob:1");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(point("never"));
+    EXPECT_TRUE(point("ever"));
+  }
+}
+
+TEST_F(FaultTest, SeededProbabilityIsReproducible) {
+  std::string first;
+  arm("a.b=prob:0.5:42");
+  for (int i = 0; i < 64; ++i) first += point("a.b") ? '1' : '0';
+  // Re-arming with the same (P, SEED) must replay the same fire sequence.
+  arm("a.b=prob:0.5:42");
+  std::string second;
+  for (int i = 0; i < 64; ++i) second += point("a.b") ? '1' : '0';
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('1'), std::string::npos);
+  EXPECT_NE(first.find('0'), std::string::npos);
+}
+
+TEST_F(FaultTest, UnarmedPointsPassWhileOthersAreArmed) {
+  arm("a.b=always");
+  EXPECT_FALSE(point("c.d"));
+  EXPECT_EQ(hits("c.d"), 0u) << "unarmed points are not tracked";
+}
+
+TEST_F(FaultTest, ArmReplacesThePreviousSpec) {
+  arm("a.b=always");
+  ASSERT_TRUE(point("a.b"));
+  arm("c.d=always");
+  EXPECT_FALSE(point("a.b"));
+  EXPECT_TRUE(point("c.d"));
+}
+
+TEST_F(FaultTest, DisarmRestoresTheFastPath) {
+  arm("a.b=always");
+  ASSERT_TRUE(enabled());
+  disarm();
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(point("a.b"));
+}
+
+TEST_F(FaultTest, MalformedSpecsThrowLoudly) {
+  // A typo in a fault spec must fail the run, not silently test nothing.
+  EXPECT_THROW(arm("missing-equals"), std::invalid_argument);
+  EXPECT_THROW(arm("a.b=bogus"), std::invalid_argument);
+  EXPECT_THROW(arm("a.b=nth:0"), std::invalid_argument);
+  EXPECT_THROW(arm("a.b=nth:x"), std::invalid_argument);
+  EXPECT_THROW(arm("a.b=every:0"), std::invalid_argument);
+  EXPECT_THROW(arm("a.b=prob:1.5"), std::invalid_argument);
+  EXPECT_THROW(arm("a.b=prob:-0.1"), std::invalid_argument);
+  EXPECT_THROW(arm("a.b=prob:abc"), std::invalid_argument);
+  EXPECT_THROW(arm("=once"), std::invalid_argument);
+  EXPECT_FALSE(enabled()) << "a failed arm must not leave points armed";
+}
+
+TEST_F(FaultTest, MultiPointSpecArmsIndependentTriggers) {
+  arm("a.b=once,c.d=nth:2, e.f=always");
+  EXPECT_TRUE(point("a.b"));
+  EXPECT_FALSE(point("a.b"));
+  EXPECT_FALSE(point("c.d"));
+  EXPECT_TRUE(point("c.d"));
+  EXPECT_TRUE(point("e.f"));
+}
+
+}  // namespace
+}  // namespace whtlab::util::fault

@@ -6,11 +6,25 @@
 //   whtd &                          # serve endpoint "whtlab"
 //   whtd --endpoint lab --slots 8 --rate-limit 5000
 //   whtd --stats                    # periodic shared-counter lines
+//   whtd --supervise --pid-file d.pid   # fork-based watchdog (below)
 //
 // Defaults come from DaemonOptions::from_env() (the WHTLAB_IPC_* knobs);
 // flags override the environment.  SIGINT/SIGTERM trigger a clean stop():
 // in-flight work drains, blocked clients resolve to kDaemonGone, the
 // segment is unlinked.
+//
+// --supervise turns whtd into a watchdog: the serving daemon runs in a
+// forked child, and the parent restarts it (with capped backoff) whenever
+// it crashes, is SIGKILLed, or wedges — a wedge being a live pid whose
+// segment heartbeat (ControlHeader::heartbeat_ns) has not advanced within
+// --wedge-ms.  Reconnect-enabled clients ride the restart transparently.
+// --pid-file always records the *serving* pid (the child under
+// --supervise), so kill scripts hit the daemon and not the watchdog.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -21,6 +35,8 @@
 
 #include "api/engine.hpp"
 #include "ipc/daemon.hpp"
+#include "ipc/protocol.hpp"
+#include "ipc/shm.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -44,51 +60,35 @@ void print_stats(const whtlab::ipc::Daemon& daemon) {
   std::fflush(stdout);
 }
 
-}  // namespace
+void write_pid_file(const std::string& path, pid_t pid) {
+  if (path.empty()) return;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "%d\n", static_cast<int>(pid));
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "whtd: cannot write pid file %s\n", path.c_str());
+  }
+}
 
-int main(int argc, char** argv) {
-  whtlab::util::Cli cli;
-  cli.add_flag("endpoint", "serving endpoint (segment /dev/shm/whtlab.<name>)");
-  cli.add_flag("slots", "client slots (admission-control bound)");
-  cli.add_flag("arena-doubles", "per-slot staging arena, in doubles");
-  cli.add_flag("rate-limit", "admitted requests/client/window (0 = off)");
-  cli.add_flag("timeout-ms", "published client wait deadline, ms");
-  cli.add_flag("sweep-ms", "dead-client liveness sweep period, ms");
-  cli.add_flag("wisdom", "wisdom file for first-touch planning");
-  cli.add_bool("stats", "print shared counters once a second");
-  cli.add_bool("once-ready", "print READY on stdout once serving (for scripts)");
-  if (!cli.parse(argc, argv)) return 2;
-
-  whtlab::ipc::DaemonOptions options = whtlab::ipc::DaemonOptions::from_env();
-  options.endpoint = cli.get("endpoint", options.endpoint);
-  options.slots =
-      static_cast<std::uint32_t>(cli.get_int("slots", options.slots));
-  options.arena_doubles = static_cast<std::uint64_t>(cli.get_int(
-      "arena-doubles", static_cast<std::int64_t>(options.arena_doubles)));
-  options.rate_limit = static_cast<std::uint64_t>(cli.get_int(
-      "rate-limit", static_cast<std::int64_t>(options.rate_limit)));
-  options.timeout_ms = static_cast<std::uint64_t>(cli.get_int(
-      "timeout-ms", static_cast<std::int64_t>(options.timeout_ms)));
-  options.sweep_ms = static_cast<std::uint64_t>(
-      cli.get_int("sweep-ms", static_cast<std::int64_t>(options.sweep_ms)));
-  options.engine.wisdom_file = cli.get("wisdom", options.engine.wisdom_file);
-
+/// The serving process proper: construct, serve until signalled, stop.
+int run_daemon(const whtlab::ipc::DaemonOptions& options, bool stats,
+               bool once_ready, const std::string& pid_file) {
   try {
     whtlab::ipc::Daemon daemon(options);
     daemon.start();
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    write_pid_file(pid_file, ::getpid());
 
     std::fprintf(stderr, "whtd: serving %s (slots=%u arena=%llu doubles)\n",
                  daemon.shm_name().c_str(), options.slots,
                  static_cast<unsigned long long>(options.arena_doubles));
-    if (cli.has("once-ready")) {
+    if (once_ready) {
       std::printf("READY\n");
       std::fflush(stdout);
     }
 
-    const bool stats = cli.has("stats");
     auto last_stats = std::chrono::steady_clock::now();
     while (g_signal.load(std::memory_order_relaxed) == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -115,4 +115,171 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+/// Heartbeat staleness in ms for the endpoint's segment, or -1 when the
+/// segment is missing/unreadable (daemon still booting — not a wedge).
+std::int64_t heartbeat_age_ms(const std::string& endpoint) {
+  try {
+    const whtlab::ipc::Shm probe =
+        whtlab::ipc::Shm::open(whtlab::ipc::shm_name_for(endpoint));
+    if (probe.size() < sizeof(whtlab::ipc::ControlHeader)) return -1;
+    const auto* hdr =
+        static_cast<const whtlab::ipc::ControlHeader*>(probe.data());
+    if (hdr->magic != whtlab::ipc::kMagic) return -1;
+    const std::uint64_t hb =
+        hdr->heartbeat_ns.load(std::memory_order_relaxed);
+    if (hb == 0) return -1;  // service loop not entered yet
+    const std::uint64_t now = whtlab::ipc::monotonic_ns();
+    return now <= hb ? 0
+                     : static_cast<std::int64_t>((now - hb) / 1000000ULL);
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+/// Fork-based watchdog: serve in a child, restart it on crash or wedge.
+int supervise(const whtlab::ipc::DaemonOptions& options, bool stats,
+              bool once_ready, const std::string& pid_file,
+              std::int64_t wedge_ms, std::int64_t max_restarts) {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::int64_t restarts = 0;
+  for (;;) {
+    const pid_t child = ::fork();
+    if (child < 0) {
+      std::perror("whtd: fork");
+      return 1;
+    }
+    if (child == 0) {
+      // IMPORTANT: the parent is still single-threaded here; all threads
+      // (Engine dispatcher, service loop) are born inside this child.
+      ::_exit(run_daemon(options, stats, once_ready, pid_file));
+    }
+    std::fprintf(stderr, "whtd[supervisor]: daemon pid %d (restart %lld)\n",
+                 static_cast<int>(child),
+                 static_cast<long long>(restarts));
+    const std::uint64_t spawn_ns = whtlab::ipc::monotonic_ns();
+    bool respawn = false;
+    int wait_status = 0;
+    for (;;) {
+      const int sig = g_signal.load(std::memory_order_relaxed);
+      if (sig != 0) {
+        // Forward the shutdown request, give the child a grace period to
+        // drain, then make sure of it.
+        ::kill(child, SIGTERM);
+        for (int i = 0; i < 100; ++i) {
+          if (::waitpid(child, &wait_status, WNOHANG) == child) {
+            return WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 0;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        ::kill(child, SIGKILL);
+        ::waitpid(child, &wait_status, 0);
+        return 0;
+      }
+      const pid_t done = ::waitpid(child, &wait_status, WNOHANG);
+      if (done == child) {
+        if (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0) {
+          return 0;  // clean voluntary exit: nothing to supervise
+        }
+        std::fprintf(stderr,
+                     "whtd[supervisor]: daemon died (%s %d), restarting\n",
+                     WIFSIGNALED(wait_status) ? "signal" : "status",
+                     WIFSIGNALED(wait_status) ? WTERMSIG(wait_status)
+                                              : WEXITSTATUS(wait_status));
+        respawn = true;
+        break;
+      }
+      // Wedge detection: a live child whose heartbeat went stale is as
+      // gone as a dead one — replace it.  The boot grace period covers
+      // segment creation + Engine construction + first loop entry.
+      const std::int64_t age = heartbeat_age_ms(options.endpoint);
+      const std::uint64_t up_ms =
+          (whtlab::ipc::monotonic_ns() - spawn_ns) / 1000000ULL;
+      const bool booted = age >= 0;
+      const bool wedged =
+          (booted && age > wedge_ms) ||
+          (!booted && up_ms > static_cast<std::uint64_t>(wedge_ms) + 10000);
+      if (wedged) {
+        std::fprintf(stderr,
+                     "whtd[supervisor]: daemon wedged (heartbeat %lld ms "
+                     "stale), killing pid %d\n",
+                     static_cast<long long>(age), static_cast<int>(child));
+        ::kill(child, SIGKILL);
+        ::waitpid(child, &wait_status, 0);
+        respawn = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (!respawn) return 0;
+    restarts += 1;
+    if (max_restarts > 0 && restarts > max_restarts) {
+      std::fprintf(stderr, "whtd[supervisor]: %lld restarts exhausted\n",
+                   static_cast<long long>(max_restarts));
+      return 1;
+    }
+    // Capped restart backoff so a daemon that dies on boot cannot spin the
+    // supervisor hot.
+    const std::int64_t backoff_ms =
+        std::min<std::int64_t>(100 << std::min<std::int64_t>(restarts, 5),
+                               2000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  whtlab::util::Cli cli;
+  cli.add_flag("endpoint", "serving endpoint (segment /dev/shm/whtlab.<name>)");
+  cli.add_flag("slots", "client slots (admission-control bound)");
+  cli.add_flag("arena-doubles", "per-slot staging arena, in doubles");
+  cli.add_flag("rate-limit", "admitted requests/client/window (0 = off)");
+  cli.add_flag("timeout-ms", "published client wait deadline, ms");
+  cli.add_flag("sweep-ms", "dead-client liveness sweep period, ms");
+  cli.add_flag("wisdom", "wisdom file for first-touch planning");
+  cli.add_flag("pid-file", "write the serving pid here (child pid under --supervise)");
+  cli.add_flag("wedge-ms", "supervisor: heartbeat staleness that counts as wedged");
+  cli.add_flag("max-restarts", "supervisor: give up after this many restarts (0 = never)");
+  cli.add_bool("stats", "print shared counters once a second");
+  cli.add_bool("once-ready", "print READY on stdout once serving (for scripts)");
+  cli.add_bool("supervise", "run the daemon in a watchdogged child, restart on crash/wedge");
+  if (!cli.parse(argc, argv)) return 2;
+
+  whtlab::ipc::DaemonOptions options;
+  try {
+    options = whtlab::ipc::DaemonOptions::from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "whtd: %s\n", e.what());
+    return 2;
+  }
+  options.endpoint = cli.get("endpoint", options.endpoint);
+  options.slots =
+      static_cast<std::uint32_t>(cli.get_int("slots", options.slots));
+  options.arena_doubles = static_cast<std::uint64_t>(cli.get_int(
+      "arena-doubles", static_cast<std::int64_t>(options.arena_doubles)));
+  options.rate_limit = static_cast<std::uint64_t>(cli.get_int(
+      "rate-limit", static_cast<std::int64_t>(options.rate_limit)));
+  options.timeout_ms = static_cast<std::uint64_t>(cli.get_int(
+      "timeout-ms", static_cast<std::int64_t>(options.timeout_ms)));
+  options.sweep_ms = static_cast<std::uint64_t>(
+      cli.get_int("sweep-ms", static_cast<std::int64_t>(options.sweep_ms)));
+  options.engine.wisdom_file = cli.get("wisdom", options.engine.wisdom_file);
+
+  const bool stats = cli.has("stats");
+  const bool once_ready = cli.has("once-ready");
+  const std::string pid_file = cli.get("pid-file", "");
+  if (cli.has("supervise")) {
+    const std::int64_t wedge_ms = cli.get_int("wedge-ms", 10000);
+    const std::int64_t max_restarts = cli.get_int("max-restarts", 0);
+    if (wedge_ms < 1) {
+      std::fprintf(stderr, "whtd: --wedge-ms must be >= 1\n");
+      return 2;
+    }
+    return supervise(options, stats, once_ready, pid_file, wedge_ms,
+                     max_restarts);
+  }
+  return run_daemon(options, stats, once_ready, pid_file);
 }

@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "rng seed for the staged inputs", "1");
   cli.add_flag("wait-ms", "wait this long for the daemon to come up", "2000");
   cli.add_flag("pace-ms", "sleep between requests (spread a chaos run)", "0");
+  cli.add_flag("deadline-ms",
+               "per-request execution deadline (0 = none; a daemon with "
+               "shedding armed answers kTimeout past it)", "0");
   cli.add_bool("verify", "check results bit-exact against in-process plans");
   cli.add_bool("reconnect", "auto-reconnect and replay across daemon restarts");
   if (!cli.parse(argc, argv)) return 2;
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
     ipc::Client::Options copts;
     copts.endpoint = endpoint;
     copts.reconnect = reconnect;
+    copts.request_deadline_ms =
+        static_cast<std::uint64_t>(cli.get_int("deadline-ms", 0));
     auto client = ipc::Client::connect(copts);
     std::printf("connected: slot %d, arena %zu doubles\n", client.slot_index(),
                 client.arena_capacity());

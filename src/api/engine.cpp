@@ -6,12 +6,15 @@
 #include <cstring>
 #include <ctime>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "api/planner.hpp"
+#include "api/wisdom.hpp"
 #include "model/combined_model.hpp"
+#include "simd/cpu_features.hpp"
 #include "util/fault.hpp"
 
 namespace whtlab::api {
@@ -154,6 +157,39 @@ void Engine::build_entry(Entry& e, int n, const std::string& backend) {
 std::shared_ptr<const Transform> Engine::transform(int n,
                                                    const std::string& backend) {
   return entry(n, backend).transform;
+}
+
+std::size_t Engine::prewarm() {
+  if (options_.wisdom_file.empty()) return 0;
+  Wisdom wisdom;
+  try {
+    wisdom = Wisdom::load(options_.wisdom_file);
+  } catch (const std::exception&) {
+    return 0;  // unreadable/corrupt wisdom: prewarm is best-effort
+  }
+  const std::string cpu = simd::to_string(simd::active_level());
+  // Dedup to (n, backend): wisdom may record several strategies for one
+  // shape, but the Engine caches exactly one Transform per pair.
+  std::set<std::pair<int, std::string>> shapes;
+  for (const Wisdom::Key& key : wisdom.keys()) {
+    if (key.cpu != cpu) continue;  // tuned for another host/SIMD level
+    if (key.n < 1 || key.n > 30) continue;
+    if (std::find(candidates_.begin(), candidates_.end(), key.backend) ==
+        candidates_.end()) {
+      continue;
+    }
+    shapes.emplace(key.n, key.backend);
+  }
+  std::size_t built = 0;
+  for (const auto& [n, backend] : shapes) {
+    try {
+      if (transform(n, backend) != nullptr) ++built;
+    } catch (const std::exception&) {
+      // A shape that cannot build now will retry on first touch; prewarm
+      // must not keep the daemon from serving everything else.
+    }
+  }
+  return built;
 }
 
 Engine::Choice Engine::choose(int n, std::size_t count) {

@@ -155,6 +155,16 @@ class Engine {
   /// lookup on a hot serve path.
   std::shared_ptr<const Transform> transform(int n, const std::string& backend);
 
+  /// Rebuilds the shared Transform cache for every (n, backend) shape the
+  /// configured wisdom file records for this host's SIMD level and this
+  /// Engine's candidate backends — so a freshly (re)started daemon pays its
+  /// first-touch planning stalls *before* taking traffic instead of on the
+  /// first unlucky request (`whtd --prewarm`).  Returns the number of
+  /// Transforms built; shapes whose build throws are skipped (they will
+  /// retry on first touch, exactly as without prewarming).  No wisdom file
+  /// configured, or none readable, prewarms nothing.
+  std::size_t prewarm();
+
   /// Serves one in-place transform of x[0 .. 2^n) on the arbitrated
   /// backend, synchronously on the calling thread.
   void execute(int n, double* x);

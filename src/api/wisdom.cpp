@@ -220,6 +220,13 @@ void Wisdom::merge_from(const Wisdom& other) {
   for (const auto& [key, value] : other.properties_) properties_[key] = value;
 }
 
+std::vector<Wisdom::Key> Wisdom::keys() const {
+  std::vector<Key> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, plan] : entries_) out.push_back(key);
+  return out;
+}
+
 // --- process-wide registry --------------------------------------------------
 
 struct WisdomRegistry::Impl {

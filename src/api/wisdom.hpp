@@ -47,6 +47,7 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/plan.hpp"
 
@@ -104,6 +105,11 @@ class Wisdom {
   /// Merges `other` into this wisdom; entries and properties from `other`
   /// win on key collisions (newest writer has the freshest measurement).
   void merge_from(const Wisdom& other);
+
+  /// Every recorded key, sorted (the map order) — the enumeration hook for
+  /// consumers that want to act on recorded shapes rather than look one up
+  /// (Engine::prewarm rebuilds Transforms for them at daemon startup).
+  std::vector<Key> keys() const;
 
   std::size_t size() const { return entries_.size(); }
 

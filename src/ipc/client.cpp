@@ -50,6 +50,10 @@ Client Client::connect(const Options& options) {
                   "ipc::Client: backoff_max_ms must be >= backoff_initial_ms");
     }
   }
+  if (options.request_deadline_ms > 86400000) {
+    throw Error(Status::kBadRequest,
+                "ipc::Client: request_deadline_ms must be <= 86400000");
+  }
   Client client;
   client.endpoint_ = options.endpoint;
   client.option_timeout_ms_ = options.timeout_ms;
@@ -58,6 +62,7 @@ Client Client::connect(const Options& options) {
   client.backoff_initial_ms_ = options.backoff_initial_ms;
   client.backoff_max_ms_ = options.backoff_max_ms;
   client.drain_ms_ = options.drain_ms;
+  client.request_deadline_ms_ = options.request_deadline_ms;
   client.attach_endpoint();
   return client;
 }
@@ -275,6 +280,7 @@ Status Client::push_request(std::uint64_t ticket_seq,
   request.n = fl.n;
   request.count = fl.count;
   request.offset = arena_.offset_of(fl.current);
+  request.deadline_ns = fl.deadline_ns;
   const auto push = [&] {
     // Injected full ring: exercises the retry path below on demand.
     if (fault::enabled() && fault::point("ipc.ring.publish")) return false;
@@ -368,6 +374,9 @@ Status Client::submit(int n, double* staged, std::size_t count,
   fl.count = static_cast<std::uint32_t>(count);
   fl.data = staged;
   fl.current = current;
+  if (request_deadline_ms_ != 0) {
+    fl.deadline_ns = monotonic_ns() + request_deadline_ms_ * 1000000ULL;
+  }
   if (reconnect_) fl.snapshot.assign(current, current + need);
   inflight_[seq] = std::move(fl);
   outstanding_.insert(seq);
@@ -433,6 +442,16 @@ Status Client::wait_any_response(std::uint64_t deadline_ns) {
     if (now >= deadline_ns) return Status::kTimeout;
     if (now >= next_probe) {
       if (!daemon_alive()) return Status::kDaemonGone;
+      // Eviction probe: a daemon that struck us out bumped the generation
+      // and freed the slot — our outstanding seqs can never be answered.
+      // Resolve like a daemon loss (a resilient client re-handshakes and
+      // replays; a plain one gets the typed answer) instead of waiting out
+      // the full timeout on a ring nobody will fill.
+      SlotShared* cell = slot();
+      if (cell->state.load(std::memory_order_acquire) != kActive ||
+          cell->generation.load(std::memory_order_acquire) != generation_) {
+        return Status::kDaemonGone;
+      }
       next_probe = now + kLivenessProbeNs;
     }
     const auto& word = slot()->responses.tail;
@@ -508,7 +527,16 @@ Client::DaemonStats Client::stats() const {
   out.exec_errors = s.exec_errors.load(std::memory_order_relaxed);
   out.reclaimed = s.reclaimed.load(std::memory_order_relaxed);
   out.dropped = s.dropped.load(std::memory_order_relaxed);
+  out.protocol_errors = s.protocol_errors.load(std::memory_order_relaxed);
+  out.evictions = s.evictions.load(std::memory_order_relaxed);
+  out.shed_expired = s.shed_expired.load(std::memory_order_relaxed);
+  out.credit_stalls = s.credit_stalls.load(std::memory_order_relaxed);
   return out;
+}
+
+std::uint64_t Client::credits() const {
+  if (!attached_ || !shm_.valid()) return 0;
+  return slot()->credits.load(std::memory_order_relaxed);
 }
 
 }  // namespace whtlab::ipc

@@ -70,6 +70,14 @@ class Client {
     /// Destructor drain bound: how long ~Client waits for in-flight
     /// requests before abandoning them and freeing the slot.
     std::uint64_t drain_ms = 500;
+    /// Per-request execution deadline stamped into every wire request
+    /// (Request::deadline_ns = submit time + this).  A daemon with load
+    /// shedding armed drops a request still queued past its deadline with
+    /// a typed kTimeout instead of executing it — the client's way of
+    /// saying "after this long, the answer is worthless, don't burn cycles
+    /// on it".  The stamp survives replay unchanged: the deadline bounds
+    /// total latency, outages included.  0 = no deadline (never shed).
+    std::uint64_t request_deadline_ms = 0;
   };
 
   /// In-flight request handle.  `data` is the staged region the result
@@ -140,8 +148,18 @@ class Client {
     std::uint64_t exec_errors = 0;
     std::uint64_t reclaimed = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t shed_expired = 0;
+    std::uint64_t credit_stalls = 0;
   };
   DaemonStats stats() const;
+
+  /// The daemon-published advisory credit balance for this slot (pacing
+  /// hint; the binding balance is daemon-local).  Meaningful only when the
+  /// daemon runs with credit flow control armed — otherwise it stays at the
+  /// published credit_limit of 0.
+  std::uint64_t credits() const;
 
  private:
   Client() = default;
@@ -175,6 +193,9 @@ class Client {
     double* data = nullptr;     ///< caller's staged region (original arena)
     double* current = nullptr;  ///< live location in the *current* arena
     std::uint64_t wire_seq = 0;
+    /// Absolute shed deadline stamped at first submit; replays carry it
+    /// unchanged (a deadline bounds total latency, outages included).
+    std::uint64_t deadline_ns = 0;
     std::vector<double> snapshot;  ///< pristine input (reconnect mode only)
   };
 
@@ -197,6 +218,7 @@ class Client {
   std::uint64_t backoff_max_ms_ = 500;
   std::uint64_t drain_ms_ = 500;
   std::uint64_t option_timeout_ms_ = 0;
+  std::uint64_t request_deadline_ms_ = 0;
   std::uint64_t reconnects_ = 0;
   bool attached_ = false;
 };

@@ -13,6 +13,7 @@
 
 #include "ipc/futex.hpp"
 #include "ipc/rate_limiter.hpp"
+#include "ipc/validate.hpp"
 #include "util/env.hpp"
 #include "util/fault.hpp"
 
@@ -57,8 +58,22 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback,
 
 struct Daemon::SlotLocal {
   RateLimiter limiter;
+  CreditBucket credits;
+  StrikeCounter strikes;
   std::uint64_t seen_generation = 0;
-  int claim_strikes = 0;  ///< sweeps spent in kClaimed with no pid
+  /// Highest seq counter consumed this generation (serial-number order).
+  std::uint32_t last_counter = 0;
+  int claim_strikes = 0;  ///< sweeps spent claimed/ownerless without a live pid
+
+  /// A new tenant (or an eviction) starts every budget and ledger fresh.
+  void new_tenant(std::uint64_t generation) {
+    seen_generation = generation;
+    limiter.reset();
+    credits.reset();
+    strikes.reset();
+    last_counter = 0;
+    claim_strikes = 0;
+  }
 };
 
 struct Daemon::PendingExec {
@@ -92,6 +107,16 @@ DaemonOptions DaemonOptions::from_env() {
       env_u64("WHTLAB_IPC_TIMEOUT_MS", options.timeout_ms, 1, 86400000);
   options.sweep_ms =
       env_u64("WHTLAB_IPC_SWEEP_MS", options.sweep_ms, 1, 60000);
+  options.credit_limit = env_u64("WHTLAB_IPC_CREDITS", options.credit_limit,
+                                 0, std::uint64_t{1} << 32);
+  options.credit_window_ns =
+      env_u64("WHTLAB_IPC_CREDIT_WINDOW_MS",
+              options.credit_window_ns / 1000000ULL, 1, 3600000) *
+      1000000ULL;
+  options.shed_expired =
+      env_u64("WHTLAB_IPC_SHED", options.shed_expired ? 1 : 0, 0, 1) != 0;
+  options.strike_limit = static_cast<std::uint32_t>(
+      env_u64("WHTLAB_IPC_STRIKES", options.strike_limit, 0, 1000000));
   // The daemon arms the Engine circuit breaker by default: a serving
   // process must degrade to the reference backend, not crash or corrupt.
   options.engine.quarantine_strikes = static_cast<int>(
@@ -121,6 +146,9 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   }
   if (options_.rate_window_ns < 1) {
     throw std::invalid_argument("ipc::Daemon: rate_window_ns must be >= 1");
+  }
+  if (options_.credit_window_ns < 1) {
+    throw std::invalid_argument("ipc::Daemon: credit_window_ns must be >= 1");
   }
   layout_.slot_count = options_.slots;
   layout_.arena_doubles = options_.arena_doubles;
@@ -182,7 +210,22 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   hdr->rate_limit = options_.rate_limit;
   hdr->rate_window_ns = options_.rate_window_ns;
   hdr->timeout_ms = options_.timeout_ms;
+  hdr->credit_limit = options_.credit_limit;
+  hdr->credit_window_ns = options_.credit_window_ns;
+  hdr->shed_expired = options_.shed_expired ? 1 : 0;
+  hdr->strike_limit = options_.strike_limit;
   hdr->magic = kMagic;
+  // Per-slot trust/budget state stays daemon-local: the shared segment gets
+  // only the advisory balance word.
+  slot_local_.resize(options_.slots);
+  for (std::uint32_t s = 0; s < options_.slots; ++s) {
+    slot_local_[s].limiter =
+        RateLimiter(options_.rate_limit, options_.rate_window_ns);
+    slot_local_[s].credits =
+        CreditBucket(options_.credit_limit, options_.credit_window_ns);
+    slot_local_[s].strikes = StrikeCounter(options_.strike_limit);
+    slot(s)->credits.store(options_.credit_limit, std::memory_order_relaxed);
+  }
   engine_ = std::make_unique<api::Engine>(options_.engine);
   hdr->daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
                         std::memory_order_release);
@@ -237,14 +280,28 @@ Daemon::Stats Daemon::stats() const {
   out.exec_errors = s.exec_errors.load(std::memory_order_relaxed);
   out.reclaimed = s.reclaimed.load(std::memory_order_relaxed);
   out.dropped = s.dropped.load(std::memory_order_relaxed);
+  out.protocol_errors = s.protocol_errors.load(std::memory_order_relaxed);
+  out.evictions = s.evictions.load(std::memory_order_relaxed);
+  out.shed_expired = s.shed_expired.load(std::memory_order_relaxed);
+  out.credit_stalls = s.credit_stalls.load(std::memory_order_relaxed);
   return out;
 }
 
+std::string to_string(const Daemon::Stats& stats) {
+  return "requests=" + std::to_string(stats.requests) +
+         " vectors=" + std::to_string(stats.vectors) +
+         " throttled=" + std::to_string(stats.throttled) +
+         " bad_request=" + std::to_string(stats.bad_request) +
+         " exec_errors=" + std::to_string(stats.exec_errors) +
+         " reclaimed=" + std::to_string(stats.reclaimed) +
+         " dropped=" + std::to_string(stats.dropped) +
+         " protocol_errors=" + std::to_string(stats.protocol_errors) +
+         " evictions=" + std::to_string(stats.evictions) +
+         " shed_expired=" + std::to_string(stats.shed_expired) +
+         " credit_stalls=" + std::to_string(stats.credit_stalls);
+}
+
 void Daemon::service_loop() {
-  std::vector<SlotLocal> local(options_.slots);
-  for (auto& l : local) {
-    l.limiter = RateLimiter(options_.rate_limit, options_.rate_window_ns);
-  }
   std::vector<PendingExec> pending;
   const std::uint64_t sweep_ns = options_.sweep_ms * 1000000ULL;
   std::uint64_t last_sweep = monotonic_ns();
@@ -274,12 +331,12 @@ void Daemon::service_loop() {
     }
     const std::uint32_t seen =
         header()->doorbell.load(std::memory_order_acquire);
-    bool progress = poll_requests(local, pending);
+    bool progress = poll_requests(pending);
     progress |= drain_completions(pending, /*block_one=*/false);
 
     const std::uint64_t now = monotonic_ns();
     if (now - last_sweep >= sweep_ns) {
-      sweep(local);
+      sweep();
       last_sweep = now;
     }
     if (progress) continue;
@@ -319,24 +376,41 @@ void Daemon::service_loop() {
   }
 }
 
-bool Daemon::poll_requests(std::vector<SlotLocal>& local,
-                           std::vector<PendingExec>& pending) {
+bool Daemon::poll_requests(std::vector<PendingExec>& pending) {
   bool any = false;
   for (std::uint32_t s = 0; s < options_.slots; ++s) {
     SlotShared* cell = slot(s);
     if (cell->state.load(std::memory_order_acquire) != kActive) continue;
     const std::uint64_t gen =
         cell->generation.load(std::memory_order_acquire);
-    if (gen != local[s].seen_generation) {
-      // A new client took this slot: its rate budget starts fresh.
-      local[s].seen_generation = gen;
-      local[s].limiter.reset();
-      local[s].claim_strikes = 0;
+    if (gen != slot_local_[s].seen_generation) {
+      // A new client took this slot: budgets and rap sheet start fresh.
+      slot_local_[s].new_tenant(gen);
+      cell->credits.store(options_.credit_limit, std::memory_order_relaxed);
     }
+    // Bounded drain: at most one ring's worth per slot per round.  A
+    // byzantine producer that keeps bumping its tail cursor could otherwise
+    // pin the loop on one slot and starve its neighbours (and the
+    // heartbeat) — with the bound it buys at most kRingDepth pops before
+    // the round moves on.
     Request request;
-    while (cell->requests.try_pop(request)) {
+    for (std::uint32_t budget = kRingDepth; budget != 0; --budget) {
+      const RingOp op = cell->requests.try_pop_checked(request);
+      if (op == RingOp::kEmpty) break;
       any = true;
-      handle_request(s, cell, gen, request, local, pending);
+      if (op == RingOp::kCorrupt) {
+        // Scribbled cursor words: an impossible occupancy, not a full ring.
+        // Typed signal + strike; never trust the delta enough to read.
+        header()->stats.protocol_errors.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        strike(s, cell);
+        break;
+      }
+      handle_request(s, cell, gen, request, pending);
+      if (cell->state.load(std::memory_order_acquire) != kActive ||
+          cell->generation.load(std::memory_order_acquire) != gen) {
+        break;  // the tenant was evicted mid-drain; its queue died with it
+      }
     }
   }
   return any;
@@ -344,35 +418,60 @@ bool Daemon::poll_requests(std::vector<SlotLocal>& local,
 
 void Daemon::handle_request(std::uint32_t index, SlotShared* cell,
                             std::uint64_t gen, const Request& request,
-                            std::vector<SlotLocal>& local,
                             std::vector<PendingExec>& pending) {
   SharedStats& stats = header()->stats;
   stats.requests.fetch_add(1, std::memory_order_relaxed);
+  SlotLocal& local = slot_local_[index];
 
-  // A request from a previous slot owner (reclaim raced a late push) must
-  // not be answered into the current owner's ring.
-  if ((request.seq >> 32) != (gen & 0xffffffffULL)) {
+  // Trust boundary (validate.hpp): `request` is already a daemon-local
+  // snapshot — the checked pop copied it out of the shared ring — and every
+  // verdict below is about that snapshot only.  The bounds come from
+  // options_/layout_, never from the (client-writable) header.
+  const SlotBounds bounds{options_.arena_doubles, kMaxRequestN};
+  const Verdict verdict =
+      validate_request(request, gen, local.last_counter, bounds);
+  if (verdict == Verdict::kStaleGeneration) {
+    // A previous slot owner's late push racing the reclaim — expected
+    // churn, not hostility; must not be answered into the current owner's
+    // ring.
     stats.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (verdict != Verdict::kAccept) {
+    // A state the shipped client library can never produce: answer typed,
+    // book a strike, evict on repeat offense.
+    stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    respond(index, cell, request.seq, Status::kProtocolError);
+    strike(index, cell);
+    return;
+  }
+  local.last_counter = static_cast<std::uint32_t>(request.seq & 0xffffffffULL);
+
+  const std::uint64_t now = monotonic_ns();
+  // Overload degradation, cheapest checks first.  Shedding precedes the
+  // budgets: an expired request must not charge credits or rate quota for
+  // work that will not happen.
+  if (options_.shed_expired && request_expired(request, now)) {
+    stats.shed_expired.fetch_add(1, std::memory_order_relaxed);
+    respond(index, cell, request.seq, Status::kTimeout);
+    return;
+  }
+  if (!local.credits.try_spend(request.count, now)) {
+    stats.credit_stalls.fetch_add(1, std::memory_order_relaxed);
+    cell->credits.store(local.credits.available(now),
+                        std::memory_order_relaxed);
+    respond(index, cell, request.seq, Status::kThrottled);
+    return;
+  }
+  cell->credits.store(local.credits.available(now),
+                      std::memory_order_relaxed);
+  if (!local.limiter.try_acquire(now)) {
+    stats.throttled.fetch_add(1, std::memory_order_relaxed);
+    respond(index, cell, request.seq, Status::kThrottled);
     return;
   }
 
   const std::uint64_t size = std::uint64_t{1} << request.n;
-  const bool shape_ok =
-      request.n >= 1 && request.n <= kMaxRequestN && request.count >= 1 &&
-      request.count <= options_.arena_doubles / size &&
-      request.offset <= options_.arena_doubles - request.count * size;
-  if (!shape_ok) {
-    stats.bad_request.fetch_add(1, std::memory_order_relaxed);
-    respond(cell, request.seq, Status::kBadRequest);
-    return;
-  }
-
-  if (!local[index].limiter.try_acquire(monotonic_ns())) {
-    stats.throttled.fetch_add(1, std::memory_order_relaxed);
-    respond(cell, request.seq, Status::kThrottled);
-    return;
-  }
-
   double* data = arena(index) + request.offset;
   if (request.count == 1) {
     // Single vectors ride the Engine's coalescing submit() path: requests
@@ -388,7 +487,7 @@ void Daemon::handle_request(std::uint32_t index, SlotShared* cell,
       pending.push_back(std::move(exec));
     } catch (...) {
       stats.exec_errors.fetch_add(1, std::memory_order_relaxed);
-      respond(cell, request.seq, Status::kExecError);
+      respond(index, cell, request.seq, Status::kExecError);
     }
     return;
   }
@@ -398,10 +497,10 @@ void Daemon::handle_request(std::uint32_t index, SlotShared* cell,
     engine_->execute_many(static_cast<int>(request.n), data, request.count,
                           static_cast<std::ptrdiff_t>(size), ctx_);
     stats.vectors.fetch_add(request.count, std::memory_order_relaxed);
-    respond(cell, request.seq, Status::kOk);
+    respond(index, cell, request.seq, Status::kOk);
   } catch (...) {
     stats.exec_errors.fetch_add(1, std::memory_order_relaxed);
-    respond(cell, request.seq, Status::kExecError);
+    respond(index, cell, request.seq, Status::kExecError);
   }
 }
 
@@ -442,29 +541,39 @@ void Daemon::complete(std::uint32_t index, std::uint64_t gen,
   SlotShared* cell = slot(index);
   if (cell->state.load(std::memory_order_acquire) != kActive ||
       cell->generation.load(std::memory_order_acquire) != gen) {
-    // The requester is gone (reclaimed or released); its successor must not
-    // see a stranger's completion.
+    // The requester is gone (reclaimed, released, or evicted); its
+    // successor must not see a stranger's completion.
     header()->stats.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  respond(cell, seq, status);
+  respond(index, cell, seq, status);
 }
 
-void Daemon::respond(SlotShared* cell, std::uint64_t seq, Status status) {
+void Daemon::respond(std::uint32_t index, SlotShared* cell, std::uint64_t seq,
+                     Status status) {
   Response response;
   response.seq = seq;
   response.status = static_cast<std::int32_t>(status);
   // The client-side inflight cap (client.cpp) keeps outstanding responses
   // below the ring depth, so a full ring means a protocol-violating client;
   // a brief retry covers consumption races, then the response is dropped
-  // (the client will time out — its own doing).
+  // (the client will time out — its own doing).  A *corrupt* consumer
+  // cursor is different: no amount of waiting un-scribbles it, so the push
+  // is abandoned immediately and the offense is struck.
   for (int attempt = 0; attempt < 1000; ++attempt) {
     // The injected fault makes this push attempt behave as a full ring,
     // exercising the retry-then-drop path on demand.
     const bool ring_full =
         fault::enabled() && fault::point("ipc.ring.publish");
-    if (!ring_full && cell->responses.try_push(response)) {
+    const RingOp op =
+        ring_full ? RingOp::kFull : cell->responses.try_push_checked(response);
+    if (op == RingOp::kOk) {
       futex_wake_all(cell->responses.tail);
+      return;
+    }
+    if (op == RingOp::kCorrupt) {
+      header()->stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      strike(index, cell);
       return;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(10));
@@ -472,29 +581,53 @@ void Daemon::respond(SlotShared* cell, std::uint64_t seq, Status status) {
   header()->stats.dropped.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Daemon::sweep(std::vector<SlotLocal>& local) {
+void Daemon::strike(std::uint32_t index, SlotShared* cell) {
+  if (slot_local_[index].strikes.strike()) evict(index, cell);
+}
+
+void Daemon::evict(std::uint32_t index, SlotShared* cell) {
+  // Generation bump FIRST: from this store on, every outstanding seq of
+  // the evicted tenant is stale — in-flight Engine completions die on the
+  // generation check in complete(), late ring pushes die in
+  // validate_request.  Then free the slot exactly like a dead-client
+  // reclaim.  The evicted process keeps its (read-only-to-us) mapping; its
+  // next wait notices the generation change and resolves typed instead of
+  // hanging (client.cpp's eviction probe).
+  cell->generation.fetch_add(1, std::memory_order_acq_rel);
+  cell->pid.store(0, std::memory_order_release);
+  cell->requests.reset();
+  cell->responses.reset();
+  cell->state.store(kFree, std::memory_order_release);
+  futex_wake_all(cell->responses.tail);
+  slot_local_[index].new_tenant(
+      cell->generation.load(std::memory_order_acquire));
+  header()->stats.evictions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Daemon::sweep() {
   for (std::uint32_t s = 0; s < options_.slots; ++s) {
     SlotShared* cell = slot(s);
     const std::uint32_t state = cell->state.load(std::memory_order_acquire);
     if (state == kFree) {
-      local[s].claim_strikes = 0;
+      slot_local_[s].claim_strikes = 0;
       continue;
     }
     const std::uint32_t pid = cell->pid.load(std::memory_order_acquire);
     if (pid != 0) {
-      local[s].claim_strikes = 0;
-      if (!pid_alive(pid)) reclaim(s, cell, local[s]);
-    } else if (state == kClaimed) {
-      // Claimed but no pid published: either a handshake in progress
-      // (microseconds) or a client that died mid-claim.  Three sweep
-      // periods of grace separates the two.
-      if (++local[s].claim_strikes >= 3) reclaim(s, cell, local[s]);
+      slot_local_[s].claim_strikes = 0;
+      if (!pid_alive(pid)) reclaim(s, cell);
+    } else {
+      // Non-free but ownerless: a kClaimed handshake in progress
+      // (microseconds), a client that died mid-claim, or a byzantine
+      // tenant that scribbled its own pid/state words (kActive with pid 0
+      // is unreachable through the client library).  Three sweep periods
+      // of grace separates a live handshake from a zombie either way.
+      if (++slot_local_[s].claim_strikes >= 3) reclaim(s, cell);
     }
   }
 }
 
-void Daemon::reclaim(std::uint32_t /*index*/, SlotShared* cell,
-                     SlotLocal& local) {
+void Daemon::reclaim(std::uint32_t index, SlotShared* cell) {
   // The owner is dead, so the daemon is the only toucher: reset both rings
   // (dropping anything the corpse left queued), clear the pid, and free the
   // slot.  In-flight Engine work for this slot still completes — its
@@ -504,8 +637,8 @@ void Daemon::reclaim(std::uint32_t /*index*/, SlotShared* cell,
   cell->requests.reset();
   cell->responses.reset();
   cell->state.store(kFree, std::memory_order_release);
-  local.limiter.reset();
-  local.claim_strikes = 0;
+  slot_local_[index].limiter.reset();
+  slot_local_[index].claim_strikes = 0;
   header()->stats.reclaimed.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -39,6 +39,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "api/engine.hpp"
 #include "ipc/protocol.hpp"
@@ -69,6 +70,29 @@ struct DaemonOptions {
   /// Liveness sweep period — the reclamation latency bound for a SIGKILLed
   /// client's slot.  [WHTLAB_IPC_SWEEP_MS]
   std::uint64_t sweep_ms = 50;
+
+  /// Credit-based flow control: per-client work budget in *vectors* (one
+  /// credit buys one staged vector), refilled continuously at credit_limit
+  /// per credit_window_ns.  A request whose cost exceeds the balance gets a
+  /// typed kThrottled without execution.  0 disables.  Complements
+  /// rate_limit, which counts requests regardless of size.
+  /// [WHTLAB_IPC_CREDITS / WHTLAB_IPC_CREDIT_WINDOW_MS]
+  std::uint64_t credit_limit = 0;
+  std::uint64_t credit_window_ns = 1000000000ULL;
+
+  /// Deadline-aware load shedding: drop requests whose stamped deadline_ns
+  /// already passed when the daemon would execute them, answering a typed
+  /// kTimeout instead of burning Engine time on an answer nobody waits
+  /// for.  On by default — a request without a deadline is never shed.
+  /// [WHTLAB_IPC_SHED]
+  bool shed_expired = true;
+
+  /// Trust-boundary strikes before a slot is evicted (generation bump +
+  /// reclaim).  Violations the shipped client library can never produce —
+  /// corrupt ring cursors, out-of-arena shapes, seq replays — each count
+  /// one strike; at the limit the offender loses its slot.  0 = count but
+  /// never evict.  [WHTLAB_IPC_STRIKES]
+  std::uint32_t strike_limit = 3;
 
   /// Replace a leftover segment whose recorded daemon pid is dead (crashed
   /// predecessor).  A segment with a *live* daemon is never taken over.
@@ -111,6 +135,10 @@ class Daemon {
     std::uint64_t exec_errors = 0;
     std::uint64_t reclaimed = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t shed_expired = 0;
+    std::uint64_t credit_stalls = 0;
   };
   Stats stats() const;
 
@@ -119,22 +147,29 @@ class Daemon {
   const std::string& shm_name() const { return shm_.name(); }
 
  private:
-  struct SlotLocal;  // daemon-private per-slot state (limiter, strikes)
+  struct SlotLocal;  // daemon-private per-slot state (limiter, strikes, ...)
   struct PendingExec;
 
   void service_loop();
-  bool poll_requests(std::vector<SlotLocal>& local,
-                     std::vector<PendingExec>& pending);
+  bool poll_requests(std::vector<PendingExec>& pending);
   void handle_request(std::uint32_t index, SlotShared* slot,
                       std::uint64_t gen, const Request& request,
-                      std::vector<SlotLocal>& local,
                       std::vector<PendingExec>& pending);
   bool drain_completions(std::vector<PendingExec>& pending, bool block_one);
   void complete(std::uint32_t index, std::uint64_t gen, std::uint64_t seq,
                 Status status);
-  void respond(SlotShared* slot, std::uint64_t seq, Status status);
-  void sweep(std::vector<SlotLocal>& local);
-  void reclaim(std::uint32_t index, SlotShared* slot, SlotLocal& local);
+  void respond(std::uint32_t index, SlotShared* slot, std::uint64_t seq,
+               Status status);
+  /// Records one trust-boundary violation against the slot; evicts the
+  /// tenant when the strike limit is crossed.
+  void strike(std::uint32_t index, SlotShared* slot);
+  /// Forcibly un-claims a slot whose tenant proved byzantine: generation
+  /// bump (outstanding seqs and late completions die on the generation
+  /// check), ring reset, state back to kFree.  The evicted process's next
+  /// wait observes the generation change and resolves typed.
+  void evict(std::uint32_t index, SlotShared* slot);
+  void sweep();
+  void reclaim(std::uint32_t index, SlotShared* slot);
 
   ControlHeader* header() const { return layout_.header(shm_.data()); }
   SlotShared* slot(std::uint32_t index) const {
@@ -149,11 +184,21 @@ class Daemon {
   Shm shm_;
   std::unique_ptr<api::Engine> engine_;
   api::ExecContext ctx_;  ///< service-thread scratch for direct batch runs
+  /// Daemon-private per-slot trust/budget state (limiter, credit bucket,
+  /// strike ledger, last seq counter).  Lives here — never in the shared
+  /// segment — so clients cannot rewrite their own budgets or rap sheets.
+  /// Touched only by the service thread (and stats(), read-only, counters
+  /// aside).  SlotLocal is incomplete here; ctor/dtor live in daemon.cpp.
+  std::vector<SlotLocal> slot_local_;
 
   std::thread service_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> running_{false};
   bool stopped_ = false;  ///< stop() ran to completion (segment unlinked)
 };
+
+/// One-line counter rendering for log lines (`whtd --stats`,
+/// --stats-interval-ms): "requests=N vectors=N ... credit_stalls=N".
+std::string to_string(const Daemon::Stats& stats);
 
 }  // namespace whtlab::ipc

@@ -1,0 +1,258 @@
+#include "ipc/fuzz.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "ipc/client.hpp"
+#include "ipc/futex.hpp"
+#include "ipc/protocol.hpp"
+#include "ipc/shm.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::ipc {
+
+namespace {
+
+/// The fuzzer's view of one claimed slot: the cell, its arena, and the
+/// generation + counter it would need to speak the protocol honestly (so it
+/// can interleave well-formed requests between the hostile ones — a real
+/// byzantine peer is at its worst when it almost behaves).
+struct Tenancy {
+  SlotShared* cell = nullptr;
+  double* arena = nullptr;
+  std::uint64_t generation = 0;
+  std::uint32_t counter = 0;
+  int index = -1;
+};
+
+/// Protocol-legal claim of any free slot (the same CAS dance the client
+/// library does).  Returns false when every slot is taken.
+bool claim_slot(void* base, const Layout& layout, Tenancy& t) {
+  for (std::uint32_t s = 0; s < layout.slot_count; ++s) {
+    SlotShared* cell = layout.slot(base, s);
+    std::uint32_t expected = kFree;
+    if (!cell->state.compare_exchange_strong(expected, kClaimed,
+                                             std::memory_order_acq_rel)) {
+      continue;
+    }
+    t.cell = cell;
+    t.arena = layout.arena(base, s);
+    t.generation =
+        cell->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+    t.counter = 0;
+    t.index = static_cast<int>(s);
+    cell->pid.store(static_cast<std::uint32_t>(::getpid()),
+                    std::memory_order_release);
+    cell->requests.reset();
+    cell->responses.reset();
+    cell->state.store(kActive, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+void ring_doorbell(ControlHeader* hdr) {
+  hdr->doorbell.fetch_add(1, std::memory_order_release);
+  futex_wake_all(hdr->doorbell);
+}
+
+}  // namespace
+
+FuzzReport run_byzantine_client(const FuzzOptions& options) {
+  if (!Client::wait_for_daemon(options.endpoint, options.wait_ms)) {
+    throw std::runtime_error("ipc::fuzz: no daemon at '" + options.endpoint +
+                             "' within wait_ms");
+  }
+  Shm shm = Shm::open(shm_name_for(options.endpoint));
+  if (shm.size() < sizeof(ControlHeader)) {
+    throw std::runtime_error("ipc::fuzz: runt segment");
+  }
+  ControlHeader* hdr = static_cast<ControlHeader*>(shm.data());
+  Layout layout;
+  layout.slot_count = hdr->slot_count;
+  layout.arena_doubles = hdr->arena_doubles;
+  if (shm.size() < layout.total_bytes()) {
+    throw std::runtime_error("ipc::fuzz: truncated segment");
+  }
+
+  FuzzReport report;
+  util::Rng rng(options.seed);
+  Tenancy t;
+  // The first claim may race honest clients booting alongside; retry
+  // briefly rather than failing the harness.
+  const std::uint64_t claim_deadline = monotonic_ns() + 2000000000ULL;
+  while (!claim_slot(shm.data(), layout, t)) {
+    if (monotonic_ns() >= claim_deadline) {
+      throw std::runtime_error("ipc::fuzz: no free slot to claim");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  report.slot = t.index;
+
+  const auto hostile_u64 = [&]() -> std::uint64_t {
+    switch (rng.below(4)) {
+      case 0: return 0;
+      case 1: return rng.next();  // full-range garbage
+      case 2: return std::numeric_limits<std::uint64_t>::max() -
+                     rng.below(1024);
+      default: return rng.below(1u << 20);
+    }
+  };
+
+  // A request the daemon should accept — the "almost behaves" baseline the
+  // hostile shapes mutate away from.
+  const auto sane_request = [&]() {
+    Request r;
+    r.seq = (t.generation << 32) | std::uint64_t{++t.counter};
+    r.n = 1 + static_cast<std::uint32_t>(rng.below(6));  // tiny: fast serve
+    r.count = 1;
+    r.offset = 0;
+    r.deadline_ns = 0;
+    return r;
+  };
+
+  for (std::uint64_t op = 0;
+       op < options.ops &&
+       hdr->shutdown.load(std::memory_order_acquire) == 0;
+       ++op) {
+    ++report.ops_applied;
+    switch (rng.below(13)) {
+      case 0: {  // malformed shape: n beyond the cap, incl. shift-UB range
+        Request r = sane_request();
+        const std::uint32_t picks[] = {0u, 31u, 63u, 64u, 65u, 127u,
+                                       static_cast<std::uint32_t>(rng.next())};
+        r.n = picks[rng.below(7)];
+        if (t.cell->requests.try_push(r)) ++report.requests_pushed;
+        ring_doorbell(hdr);
+        break;
+      }
+      case 1: {  // malformed count / offset: outside or overflowing the arena
+        Request r = sane_request();
+        r.count = static_cast<std::uint32_t>(hostile_u64());
+        r.offset = hostile_u64();
+        if (t.cell->requests.try_push(r)) ++report.requests_pushed;
+        ring_doorbell(hdr);
+        break;
+      }
+      case 2: {  // seq games: wrong generation, replayed or rewound counter
+        Request r = sane_request();
+        switch (rng.below(3)) {
+          case 0: r.seq = rng.next(); break;                    // random gen
+          case 1: r.seq = (t.generation << 32) | t.counter; break;  // replay
+          default:
+            r.seq = (t.generation << 32) |
+                    (t.counter > 2 ? t.counter - 2 : 0);  // rewind
+        }
+        if (t.cell->requests.try_push(r)) ++report.requests_pushed;
+        ring_doorbell(hdr);
+        break;
+      }
+      case 3: {  // expired deadline: valid shape, dead on arrival
+        Request r = sane_request();
+        r.deadline_ns = 1 + rng.below(1000);  // epoch of the monotonic clock
+        if (t.cell->requests.try_push(r)) ++report.requests_pushed;
+        ring_doorbell(hdr);
+        break;
+      }
+      case 4:  // scribble own request-ring cursors (tail = producer word)
+        t.cell->requests.tail.store(static_cast<std::uint32_t>(rng.next()),
+                                    std::memory_order_release);
+        ring_doorbell(hdr);
+        break;
+      case 5:
+        t.cell->requests.head.store(static_cast<std::uint32_t>(rng.next()),
+                                    std::memory_order_release);
+        break;
+      case 6:  // scribble own response-ring cursors
+        t.cell->responses.head.store(static_cast<std::uint32_t>(rng.next()),
+                                     std::memory_order_release);
+        t.cell->responses.tail.store(static_cast<std::uint32_t>(rng.next()),
+                                     std::memory_order_release);
+        break;
+      case 7: {  // scribble raw ring payload slots
+        Request garbage;
+        garbage.seq = rng.next();
+        garbage.n = static_cast<std::uint32_t>(rng.next());
+        garbage.count = static_cast<std::uint32_t>(rng.next());
+        garbage.offset = rng.next();
+        garbage.deadline_ns = rng.next();
+        t.cell->requests.slots[rng.below(kRingDepth)] = garbage;
+        break;
+      }
+      case 8:  // scribble own slot header words: state / pid / generation
+        switch (rng.below(3)) {
+          case 0:
+            t.cell->state.store(static_cast<std::uint32_t>(rng.below(8)),
+                                std::memory_order_release);
+            break;
+          case 1:
+            t.cell->pid.store(rng.below(2) == 0
+                                  ? 0u
+                                  : static_cast<std::uint32_t>(rng.next()),
+                              std::memory_order_release);
+            break;
+          default:
+            t.cell->generation.store(rng.next(), std::memory_order_release);
+        }
+        break;
+      case 9:  // scribble the advisory credits word (daemon must not care)
+        t.cell->credits.store(rng.next(), std::memory_order_relaxed);
+        break;
+      case 10: {  // poison own arena: NaN/Inf/garbage where inputs live
+        const std::uint64_t start = rng.below(layout.arena_doubles);
+        const std::uint64_t len =
+            std::min<std::uint64_t>(1 + rng.below(256),
+                                    layout.arena_doubles - start);
+        for (std::uint64_t i = 0; i < len; ++i) {
+          switch (rng.below(3)) {
+            case 0: t.arena[start + i] = std::nan(""); break;
+            case 1:
+              t.arena[start + i] =
+                  std::numeric_limits<double>::infinity();
+              break;
+            default:
+              t.arena[start + i] = rng.uniform(-1e300, 1e300);
+          }
+        }
+        break;
+      }
+      case 11:  // spurious doorbell storm (wake with nothing to serve)
+        ring_doorbell(hdr);
+        break;
+      default: {  // drain responses; recover tenancy if we were evicted
+        // Bounded drain: the fuzzer may have scribbled its own response
+        // cursors, and an unchecked pop loop on a corrupt ring "contains"
+        // up to 2^32 garbage elements — the harness would spin for minutes
+        // draining its own lie.  Depth pops per op is all a sane ring holds.
+        Response response;
+        for (std::uint32_t i = 0; i < kRingDepth; ++i) {
+          if (!t.cell->responses.try_pop(response)) break;
+          ++report.responses_seen;
+        }
+        if (t.cell->state.load(std::memory_order_acquire) != kActive ||
+            t.cell->generation.load(std::memory_order_acquire) !=
+                t.generation) {
+          // The daemon struck us out (or swept our scribbled pid).  A real
+          // attacker would just reconnect — so does the fuzzer, legally.
+          if (claim_slot(shm.data(), layout, t)) ++report.reclaims_survived;
+        }
+        break;
+      }
+    }
+    if (options.op_delay_us != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options.op_delay_us));
+    }
+  }
+  // Exit WITHOUT releasing the slot: the corpse (scribbled pid and all) is
+  // the sweep's problem, and sweeping it is part of what the fuzz proves.
+  return report;
+}
+
+}  // namespace whtlab::ipc

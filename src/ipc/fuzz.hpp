@@ -1,0 +1,52 @@
+// Deterministic byzantine-client fuzzer for the whtd trust boundary.
+//
+// run_byzantine_client() connects to a live endpoint the way a *hostile*
+// process would — raw segment mapping, manual slot claim, no client
+// library — and then spends `ops` seeded mutations scribbling every field
+// the protocol lets a client write: its own ring cursor words, ring payload
+// slots, slot header words (state/pid/generation/credits), its own staging
+// arena, the doorbell, and the request stream itself (malformed n, count,
+// offset, generation, seq, deadline combinations, including the shift-UB
+// shapes n >= 64).  The whole op stream derives from FuzzOptions::seed via
+// util::Rng, so every run is replayable from its seed — a crash is a repro,
+// not an anecdote.
+//
+// The fuzzer's writes are confined to resources the protocol assigns to its
+// own slot (plus the shared doorbell, which is wake-only), so honest
+// clients running alongside on *other* slots of the same endpoint must stay
+// bit-exact — exactly what the byzantine test and the CI smoke assert.  The
+// daemon, for its part, must never crash, wedge, or leak: every hostile op
+// lands on the validate.hpp boundary and costs at most this one slot.
+//
+// Exits without releasing the slot: sweeping the corpse is part of what the
+// harness exercises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace whtlab::ipc {
+
+struct FuzzOptions {
+  std::string endpoint = "whtlab";
+  std::uint64_t seed = 1;   ///< the whole op stream derives from this
+  std::uint64_t ops = 500;  ///< hostile mutations to apply
+  std::uint64_t op_delay_us = 0;  ///< pacing between ops (0 = full speed)
+  /// How long to wait for a live daemon before giving up (connect phase).
+  std::uint64_t wait_ms = 5000;
+};
+
+struct FuzzReport {
+  std::uint64_t ops_applied = 0;      ///< hostile mutations performed
+  std::uint64_t requests_pushed = 0;  ///< malformed requests enqueued
+  std::uint64_t responses_seen = 0;   ///< responses drained (any status)
+  std::uint64_t reclaims_survived = 0;  ///< times our slot was taken back
+  int slot = -1;                        ///< first claimed slot index
+};
+
+/// Runs the seeded corruption stream against `options.endpoint`.  Returns
+/// the op tally; throws std::runtime_error only when no daemon ever
+/// answered the endpoint (a harness failure, not a finding).
+FuzzReport run_byzantine_client(const FuzzOptions& options);
+
+}  // namespace whtlab::ipc

@@ -14,6 +14,7 @@ const char* to_string(Status status) {
     case Status::kBadRequest: return "bad-request";
     case Status::kTooLarge: return "too-large";
     case Status::kExecError: return "exec-error";
+    case Status::kProtocolError: return "protocol-error";
   }
   return "unknown";
 }

@@ -47,12 +47,16 @@ namespace whtlab::ipc {
 enum class Status : std::int32_t {
   kOk = 0,
   kServerFull,   ///< admission control: every client slot is claimed
-  kThrottled,    ///< this client exceeded its trailing-window rate budget
-  kTimeout,      ///< no response within the deadline (daemon overloaded?)
+  kThrottled,    ///< rate/credit budget exhausted — typed backpressure
+  kTimeout,      ///< no response within the deadline (daemon overloaded?),
+                 ///< or the request expired before execution (load shedding)
   kDaemonGone,   ///< daemon shut down, or its pid is no longer alive
-  kBadRequest,   ///< daemon rejected the request shape (n/count/offset)
+  kBadRequest,   ///< client-side argument rejection (n/count/offset)
   kTooLarge,     ///< request does not fit the slot arena
   kExecError,    ///< execution threw inside the daemon
+  kProtocolError,  ///< wire-level violation caught at the daemon's trust
+                   ///< boundary (validate.hpp) — an honest client library
+                   ///< never elicits this; repeat offenders are evicted
 };
 
 const char* to_string(Status status);
@@ -77,6 +81,12 @@ struct Request {
   std::uint32_t n = 0;       ///< transform size log2
   std::uint32_t count = 0;   ///< vectors, packed contiguously
   std::uint64_t offset = 0;  ///< first double, relative to this slot's arena
+  /// Absolute monotonic_ns() expiry for this request; 0 = no deadline.
+  /// CLOCK_MONOTONIC is machine-wide, so daemon and clients share the
+  /// timeline.  A request already past its deadline when the daemon would
+  /// execute it is shed with kTimeout instead of burning cycles on an
+  /// answer nobody is waiting for (overload degradation, daemon.hpp).
+  std::uint64_t deadline_ns = 0;
 };
 
 struct Response {
@@ -101,7 +111,13 @@ enum SlotState : std::uint32_t {
 struct SlotShared {
   std::atomic<std::uint32_t> state;  ///< SlotState
   std::atomic<std::uint32_t> pid;    ///< owner, for the liveness sweep
-  std::atomic<std::uint64_t> generation;  ///< bumped by every claim
+  std::atomic<std::uint64_t> generation;  ///< bumped by every claim/eviction
+  /// Advisory credit balance, published (daemon-written) after every
+  /// admission decision when credit flow control is armed.  Clients may
+  /// read it to pace themselves before hitting kThrottled; the *binding*
+  /// balance lives in daemon-local memory (a client scribbling this word
+  /// changes nothing about what the daemon admits).
+  std::atomic<std::uint64_t> credits;
   RequestRing requests;    ///< client produces, daemon consumes
   ResponseRing responses;  ///< daemon produces, client consumes
 };
@@ -119,12 +135,17 @@ struct SharedStats {
   std::atomic<std::uint64_t> exec_errors;  ///< execution threw
   std::atomic<std::uint64_t> reclaimed;    ///< slots freed by the sweep
   std::atomic<std::uint64_t> dropped;      ///< completions with stale generation
+  /// Trust-boundary + overload counters (PR 8).
+  std::atomic<std::uint64_t> protocol_errors;  ///< wire violations (validate.hpp)
+  std::atomic<std::uint64_t> evictions;    ///< slots evicted for repeat offense
+  std::atomic<std::uint64_t> shed_expired;  ///< past-deadline requests shed
+  std::atomic<std::uint64_t> credit_stalls;  ///< requests refused for credits
 };
 
 // --- control header ---------------------------------------------------------
 
 inline constexpr std::uint64_t kMagic = 0x7768746c61622d69ULL;  // "whtlab-i"
-inline constexpr std::uint32_t kVersion = 2;  // v2: heartbeat_ns supervision word
+inline constexpr std::uint32_t kVersion = 3;  // v3: deadline/credit ABI rev
 
 struct ControlHeader {
   std::uint64_t magic;
@@ -136,6 +157,12 @@ struct ControlHeader {
   std::uint64_t rate_limit;      ///< admitted requests per window per client (0 = off)
   std::uint64_t rate_window_ns;  ///< the trailing window
   std::uint64_t timeout_ms;      ///< suggested client wait deadline
+  /// Overload-control config, published for observability (the binding
+  /// copies live in the daemon's DaemonOptions):
+  std::uint64_t credit_limit;      ///< per-slot credit capacity (0 = off)
+  std::uint64_t credit_window_ns;  ///< full-refill period of the bucket
+  std::uint32_t shed_expired;      ///< 1 = deadline shedding armed
+  std::uint32_t strike_limit;      ///< protocol strikes before eviction (0 = never)
   std::atomic<std::uint32_t> daemon_pid;  ///< liveness anchor for clients
   std::atomic<std::uint32_t> shutdown;    ///< 1 = daemon is gone / going
   /// Doorbell the daemon parks on: clients bump-and-wake after every request

@@ -103,6 +103,25 @@ Shm Shm::open(const std::string& name) {
   return shm;
 }
 
+Shm Shm::open_readonly(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
+  if (fd < 0) throw_errno("shm_open(ro " + name + ")");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("fstat " + name);
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) throw_errno("mmap(ro) " + name);
+  Shm shm;
+  shm.data_ = map;
+  shm.size_ = bytes;
+  shm.name_ = name;
+  return shm;
+}
+
 bool Shm::exists(const std::string& name) {
   const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
   if (fd < 0) return false;

@@ -36,6 +36,13 @@ class Shm {
   /// std::runtime_error when it does not exist or cannot be mapped.
   static Shm open(const std::string& name);
 
+  /// Maps an existing segment read-only (O_RDONLY + PROT_READ) — for pure
+  /// observers: the watchdog's heartbeat probe, stats reporting.  An
+  /// observer holding a read-only mapping provably cannot perturb the
+  /// protocol state it is judging, and a bug in it cannot corrupt the
+  /// segment.  Atomic loads are fine; any store faults.
+  static Shm open_readonly(const std::string& name);
+
   static bool exists(const std::string& name);
 
   /// Removes the name (segment memory lives on until the last unmap).

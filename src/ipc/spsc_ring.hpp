@@ -22,6 +22,21 @@
 
 namespace whtlab::ipc {
 
+/// Outcome of the *checked* ring operations the daemon uses on rings whose
+/// other side is an untrusted process.  The plain try_push/try_pop trust the
+/// head/tail subtraction; a hostile or buggy peer that scribbles a cursor
+/// word can make that delta exceed the ring capacity — an impossible state
+/// under the protocol, and proof of corruption rather than of fullness or
+/// emptiness.  The checked ops clamp the delta and report it as a typed
+/// signal so the consumer can strike/evict the peer instead of spinning,
+/// over-reading, or trusting garbage occupancy.
+enum class RingOp : std::uint8_t {
+  kOk = 0,
+  kEmpty,    ///< pop: nothing published
+  kFull,     ///< push: consumer lagging exactly Depth items (legal)
+  kCorrupt,  ///< cursor delta exceeds the ring capacity — protocol violation
+};
+
 template <typename T, std::uint32_t Depth>
 struct SpscRing {
   static_assert(Depth > 0 && (Depth & (Depth - 1)) == 0,
@@ -57,6 +72,37 @@ struct SpscRing {
     out = slots[h & (Depth - 1)];
     head.store(h + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Checked producer: like try_push, but a cursor delta beyond Depth —
+  /// impossible while both cursors are honestly maintained — is reported as
+  /// kCorrupt instead of being treated as a full ring.  For producers whose
+  /// consumer cursor lives in memory an untrusted process can scribble (the
+  /// daemon publishing responses).
+  RingOp try_push_checked(const T& item) {
+    const std::uint32_t t = tail.load(std::memory_order_relaxed);
+    const std::uint32_t h = head.load(std::memory_order_acquire);
+    const std::uint32_t delta = t - h;
+    if (delta > Depth) return RingOp::kCorrupt;
+    if (delta == Depth) return RingOp::kFull;
+    slots[t & (Depth - 1)] = item;
+    tail.store(t + 1, std::memory_order_release);
+    return RingOp::kOk;
+  }
+
+  /// Checked consumer: clamps the occupancy delta instead of trusting the
+  /// subtraction.  `out` is a daemon-local COPY of the slot (copy first,
+  /// then validate — the peer can keep scribbling the shared slot after the
+  /// pop returns, but never the copy).
+  RingOp try_pop_checked(T& out) {
+    const std::uint32_t h = head.load(std::memory_order_relaxed);
+    const std::uint32_t t = tail.load(std::memory_order_acquire);
+    const std::uint32_t delta = t - h;
+    if (delta > Depth) return RingOp::kCorrupt;
+    if (delta == 0) return RingOp::kEmpty;
+    out = slots[h & (Depth - 1)];
+    head.store(h + 1, std::memory_order_release);
+    return RingOp::kOk;
   }
 
   std::uint32_t size() const {

@@ -1,0 +1,46 @@
+#include "ipc/validate.hpp"
+
+namespace whtlab::ipc {
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAccept: return "accept";
+    case Verdict::kStaleGeneration: return "stale-generation";
+    case Verdict::kBadShape: return "bad-shape";
+    case Verdict::kSeqOrder: return "seq-order";
+  }
+  return "unknown";
+}
+
+Verdict validate_request(const Request& snapshot, std::uint64_t generation,
+                         std::uint32_t last_counter, const SlotBounds& bounds) {
+  if ((snapshot.seq >> 32) != (generation & 0xffffffffULL)) {
+    return Verdict::kStaleGeneration;
+  }
+  // Shape: n gates everything else — 2^n is only ever computed after n is
+  // known to be a sane shift amount.
+  if (snapshot.n < 1 || snapshot.n > bounds.max_n) return Verdict::kBadShape;
+  const std::uint64_t size = std::uint64_t{1} << snapshot.n;
+  if (snapshot.count < 1 ||
+      snapshot.count > bounds.arena_doubles / size) {
+    return Verdict::kBadShape;
+  }
+  // count * size <= arena_doubles holds by the division check above, so the
+  // subtraction cannot underflow and the multiply cannot wrap.
+  if (snapshot.offset > bounds.arena_doubles - snapshot.count * size) {
+    return Verdict::kBadShape;
+  }
+  // Seq counters advance monotonically within a generation (the client
+  // library's make_seq), but they are 32-bit and a long-lived connection
+  // legitimately wraps them — so "monotonic" is serial-number arithmetic
+  // (RFC 1982 style): the new counter must be strictly AHEAD of the last
+  // consumed one in modular space.  A rewind or replay (delta 0 or a
+  // backwards half-space jump) is a protocol violation; skipping forward
+  // only wastes the client's own numbering.
+  const auto counter = static_cast<std::uint32_t>(snapshot.seq & 0xffffffffULL);
+  const std::uint32_t ahead = counter - last_counter;
+  if (ahead == 0 || ahead >= 0x80000000u) return Verdict::kSeqOrder;
+  return Verdict::kAccept;
+}
+
+}  // namespace whtlab::ipc

@@ -1,0 +1,98 @@
+// The daemon-side trust boundary for client-controlled protocol state.
+//
+// Every field a whtd client writes — ring cursors, request n/count/offset,
+// seq stamps, slot header words — lives in a shm segment that any connected
+// process can scribble at will, so the daemon must treat all of it as
+// hostile input.  The discipline is copy-then-validate: the service loop
+// snapshots each client-writable value into daemon-local memory exactly
+// once (the checked ring pop copies the whole Request by value), validates
+// the SNAPSHOT against the slot's Layout-derived bounds, and never re-reads
+// the shared field after the verdict — there is no window for the client to
+// swap a validated value for a hostile one (TOCTOU).
+//
+// Verdict policy (daemon.cpp):
+//   * kStaleGeneration — a previous tenant's late push racing the reclaim;
+//     expected during normal slot churn, dropped silently (not hostile).
+//   * kBadShape / kSeqOrder — states the shipped client library can never
+//     produce, i.e. proof of a buggy or byzantine peer: answered with the
+//     typed kProtocolError, counted, and struck; repeat offenders are
+//     evicted (generation bump + slot reclaim) so one bad process cannot
+//     keep the daemon busy refuting garbage.
+//
+// As with network ingress validation, the boundary's job is blast-radius
+// control: one bad peer costs one slot, never the shared daemon.
+#pragma once
+
+#include <cstdint>
+
+#include "ipc/protocol.hpp"
+
+namespace whtlab::ipc {
+
+/// Daemon-local bounds a request snapshot is checked against.  Derived from
+/// DaemonOptions/Layout at startup — never from the shared segment, which
+/// clients can rewrite.
+struct SlotBounds {
+  std::uint64_t arena_doubles = 0;  ///< the slot's staging arena span
+  std::uint32_t max_n = 30;         ///< plannable size cap (kMaxRequestN)
+};
+
+/// The boundary's verdict for one popped request snapshot.
+enum class Verdict : std::uint8_t {
+  kAccept = 0,
+  kStaleGeneration,  ///< seq's generation is not the slot's — drop silently
+  kBadShape,         ///< n/count/offset outside the arena span → kProtocolError
+  kSeqOrder,         ///< seq counter not strictly increasing → kProtocolError
+};
+
+const char* to_string(Verdict verdict);
+
+/// Validates a daemon-local Request snapshot against `bounds` for the slot
+/// currently at `generation`, with `last_counter` the highest seq counter
+/// already consumed this generation (0 = none yet).
+///
+/// Checks, in order (each on the snapshot only):
+///   * generation: seq's high half must equal the slot generation's low 32,
+///   * n in [1, max_n] — checked BEFORE any 1<<n is computed, so a hostile
+///     n >= 64 can never reach undefined-behavior shift territory,
+///   * count >= 1 and count * 2^n <= arena_doubles (division form: no
+///     overflow for any hostile count),
+///   * offset <= arena_doubles - count * 2^n (the staged extent lies fully
+///     inside this slot's arena — the daemon will execute in place there),
+///   * seq counter strictly greater than last_counter (replay/rewind proof).
+Verdict validate_request(const Request& snapshot, std::uint64_t generation,
+                         std::uint32_t last_counter, const SlotBounds& bounds);
+
+/// True when the snapshot carries a deadline that already passed: the
+/// shed-before-execute predicate.  A zero deadline means "none".  Any
+/// hostile garbage value either sheds (typed kTimeout) or executes — both
+/// are safe answers.
+inline bool request_expired(const Request& snapshot, std::uint64_t now_ns) {
+  return snapshot.deadline_ns != 0 && now_ns > snapshot.deadline_ns;
+}
+
+/// Per-slot strike ledger: counts trust-boundary violations and answers
+/// whether the offender has earned eviction.  limit == 0 means "count but
+/// never evict".  Reset whenever the slot changes tenant.
+class StrikeCounter {
+ public:
+  explicit StrikeCounter(std::uint32_t limit = 0) : limit_(limit) {}
+
+  /// Records one violation; true when the strike crosses the eviction
+  /// threshold (exactly once per threshold crossing — the caller evicts,
+  /// which resets the ledger via the generation change).
+  bool strike() {
+    ++strikes_;
+    return limit_ != 0 && strikes_ >= limit_;
+  }
+
+  void reset() { strikes_ = 0; }
+  std::uint64_t strikes() const { return strikes_; }
+  std::uint32_t limit() const { return limit_; }
+
+ private:
+  std::uint32_t limit_;
+  std::uint64_t strikes_ = 0;
+};
+
+}  // namespace whtlab::ipc

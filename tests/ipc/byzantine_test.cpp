@@ -1,0 +1,205 @@
+// Byzantine-client fuzz: the daemon survives hostile tenants, honest
+// traffic stays bit-exact.
+//
+// Two escalation levels over the same seeded attacker (src/ipc/fuzz.hpp):
+//   * a deterministic sweep — eight fixed seeds run sequentially, in
+//     process, against one daemon, with an honest client verifying
+//     bit-exactness after every seed.  Fixed seeds make any finding replay
+//     exactly (`ipc_byzantine --seed N` against a live whtd reproduces the
+//     same op stream).
+//   * a concurrent storm — four forked attackers racing two forked honest
+//     verifiers on one endpoint, the shape the CI byzantine-fuzz smoke runs
+//     against a real whtd process.
+//
+// What "survives" means, concretely: the service thread never crashes or
+// wedges (every honest round trip completes in deadline), violations are
+// *typed* and *counted* (protocol_errors), repeat offenders lose their slot
+// (evictions), stop() still drains cleanly, and the segment is unlinked —
+// no /dev/shm litter.  Fork discipline as in ipc_serve_test.cpp: children
+// are forked before the Daemon (and its service thread) exists.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/planner.hpp"
+#include "ipc/client.hpp"
+#include "ipc/daemon.hpp"
+#include "ipc/fuzz.hpp"
+#include "ipc/protocol.hpp"
+#include "ipc/shm.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::ipc {
+namespace {
+
+std::string unique_endpoint(const char* tag) {
+  return std::string("test-") + tag + "-" + std::to_string(::getpid());
+}
+
+/// One honest verifying round trip: random input, served transform checked
+/// bit-exact against the in-process reference.  The assertion that matters
+/// while attackers are scribbling next door.
+void verify_roundtrip(Client& client, int n, std::uint64_t seed) {
+  const std::size_t doubles = std::size_t{1} << n;
+  double* x = client.stage(n);
+  const auto input = util::random_vector(doubles, seed);
+  std::memcpy(x, input.data(), doubles * sizeof(double));
+  ASSERT_EQ(client.transform(n, x), Status::kOk);
+  std::vector<double> expected = input;
+  api::Planner().plan(n).execute(expected.data());
+  ASSERT_EQ(std::memcmp(x, expected.data(), doubles * sizeof(double)), 0)
+      << "honest traffic not bit-exact under byzantine pressure";
+}
+
+TEST(Byzantine, EightSeedsSequentiallyDaemonSurvivesHonestStaysExact) {
+  const std::string endpoint = unique_endpoint("byz-seeds");
+  DaemonOptions options;
+  options.endpoint = endpoint;
+  options.slots = 16;  // headroom: an attacker's final tenancy can leak
+                       // until it exits (its pid is this live process)
+  options.sweep_ms = 25;
+  options.strike_limit = 3;
+  Daemon daemon(options);
+  daemon.start();
+
+  auto honest = Client::connect({.endpoint = endpoint});
+  verify_roundtrip(honest, 8, 1);  // baseline before any attack
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    FuzzOptions fuzz;
+    fuzz.endpoint = endpoint;
+    fuzz.seed = seed;
+    fuzz.ops = 400;
+    FuzzReport report;
+    ASSERT_NO_THROW(report = run_byzantine_client(fuzz)) << "seed " << seed;
+    EXPECT_EQ(report.ops_applied, fuzz.ops) << "seed " << seed;
+    // The daemon is alive and still serving this honest tenant, exactly.
+    verify_roundtrip(honest, 8, 100 + seed);
+    ASSERT_TRUE(daemon.running()) << "seed " << seed;
+  }
+
+  const auto stats = daemon.stats();
+  EXPECT_GT(stats.protocol_errors, 0u)
+      << "the attack stream must have produced typed, counted violations";
+  EXPECT_GT(stats.evictions, 0u)
+      << "repeat offenders must have lost their slots";
+  daemon.stop();
+  EXPECT_FALSE(Shm::exists(shm_name_for(endpoint))) << "/dev/shm litter";
+}
+
+int byzantine_child(const std::string& endpoint, std::uint64_t seed) {
+  // Give the honest verifiers first pick of the slots: a fuzzer that
+  // scribbles its own state word to kFree could otherwise hand its slot to
+  // an honest client mid-connect and then corrupt it "legally".
+  if (!Client::wait_for_daemon(endpoint, 10000)) return 10;
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  FuzzOptions fuzz;
+  fuzz.endpoint = endpoint;
+  fuzz.seed = seed;
+  fuzz.ops = 400;
+  fuzz.op_delay_us = 500;  // ~200 ms of sustained hostility
+  try {
+    run_byzantine_client(fuzz);
+  } catch (...) {
+    return 11;
+  }
+  return 0;
+}
+
+int honest_child(const std::string& endpoint, std::uint64_t seed) {
+  if (!Client::wait_for_daemon(endpoint, 10000)) return 20;
+  try {
+    auto client = Client::connect({.endpoint = endpoint});
+    const int n = 7;
+    const std::size_t doubles = std::size_t{1} << n;
+    const auto reference = api::Planner().plan(n);
+    for (int r = 0; r < 60; ++r) {
+      double* x = client.stage(n);
+      const auto input =
+          util::random_vector(doubles, seed + static_cast<std::uint64_t>(r));
+      std::memcpy(x, input.data(), doubles * sizeof(double));
+      if (client.transform(n, x) != Status::kOk) return 21;
+      std::vector<double> expected = input;
+      reference.execute(expected.data());
+      if (std::memcmp(x, expected.data(), doubles * sizeof(double)) != 0) {
+        return 22;  // NOT bit-exact
+      }
+      // Pace the workload across the attackers' 200 ms window.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  } catch (...) {
+    return 23;
+  }
+  return 0;
+}
+
+TEST(Byzantine, ConcurrentStormWithHonestVerifiers) {
+  const std::string endpoint = unique_endpoint("byz-storm");
+  constexpr int kAttackers = 4;
+  constexpr int kHonest = 2;
+
+  // Fork first (no threads exist yet), then bring the daemon up.
+  std::vector<pid_t> attackers;
+  std::vector<pid_t> verifiers;
+  for (int c = 0; c < kAttackers; ++c) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::_exit(byzantine_child(endpoint,
+                              static_cast<std::uint64_t>(c) + 101));
+    }
+    attackers.push_back(pid);
+  }
+  for (int c = 0; c < kHonest; ++c) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::_exit(honest_child(endpoint,
+                           5000 * static_cast<std::uint64_t>(c + 1)));
+    }
+    verifiers.push_back(pid);
+  }
+
+  DaemonOptions options;
+  options.endpoint = endpoint;
+  options.slots = 16;
+  options.sweep_ms = 25;
+  options.strike_limit = 3;
+  Daemon daemon(options);
+  daemon.start();
+
+  for (const pid_t pid : verifiers) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "honest verifier " << pid
+                                      << " failed under byzantine pressure";
+  }
+  for (const pid_t pid : attackers) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "attacker " << pid
+                                      << " harness failure";
+  }
+
+  // Attackers exit without releasing their slots; the liveness sweep must
+  // reclaim the corpses so a fresh honest client still gets a slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto client = Client::connect({.endpoint = endpoint});
+  verify_roundtrip(client, 8, 7777);
+
+  EXPECT_GT(daemon.stats().protocol_errors, 0u);
+  daemon.stop();
+  EXPECT_FALSE(Shm::exists(shm_name_for(endpoint))) << "/dev/shm litter";
+}
+
+}  // namespace
+}  // namespace whtlab::ipc

@@ -174,5 +174,94 @@ TEST(IpcChaos, VerifyingClientsSurviveDaemonKillRestartCycles) {
   Shm::unlink(shm_name_for(endpoint));  // the last corpse's segment
 }
 
+/// Daemon child body for the crash-during-replay test: no fault injection
+/// (the chaos here is all process death), fast sweep so reclamation latency
+/// is visible inside the test budget.
+void run_replay_daemon(const std::string& endpoint) {
+  try {
+    DaemonOptions options;
+    options.endpoint = endpoint;
+    options.slots = 8;
+    options.sweep_ms = 25;
+    Daemon daemon(options);
+    daemon.start();
+    for (;;) ::pause();  // until SIGKILL
+  } catch (...) {
+    ::_exit(11);
+  }
+}
+
+TEST(IpcChaos, ClientKilledDuringReplayIsSweptAndNeighboursStayExact) {
+  // The nastiest client death: not idle, but mid-recovery — a --reconnect
+  // client that lost its daemon, re-handshook against the successor, and is
+  // replaying its snapshot when SIGKILL lands.  Its half-replayed slot is a
+  // corpse with queued requests; the successor daemon's liveness sweep must
+  // reclaim it (reclaimed counter), the slot must be reusable, and the
+  // surviving neighbour's stream must stay bit-exact throughout.
+  const std::string endpoint = "replay-" + std::to_string(::getpid());
+
+  // Both clients forked first, single-threaded, parking in wait_for_daemon.
+  // The 100 ms pacing of run_chaos_client means requests regularly straddle
+  // the daemon swap and get replayed against the successor.
+  const pid_t victim = ::fork();
+  ASSERT_GE(victim, 0);
+  if (victim == 0) ::_exit(run_chaos_client(endpoint, 31));
+  const pid_t neighbour = ::fork();
+  ASSERT_GE(neighbour, 0);
+  if (neighbour == 0) ::_exit(run_chaos_client(endpoint, 32));
+
+  // Daemon 1: let both clients connect and make progress.
+  const pid_t daemon1 = ::fork();
+  ASSERT_GE(daemon1, 0);
+  if (daemon1 == 0) run_replay_daemon(endpoint);
+  ASSERT_TRUE(Client::wait_for_daemon(endpoint, 15000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  // Kill it mid-flight: both clients fall into their reconnect windows.
+  ASSERT_EQ(::kill(daemon1, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon1, &status, 0), daemon1);
+
+  // Daemon 2 takes the stale segment over; the clients' 2 ms initial
+  // backoff means they re-handshake and replay almost immediately — which
+  // is exactly when the victim dies.
+  const pid_t daemon2 = ::fork();
+  ASSERT_GE(daemon2, 0);
+  if (daemon2 == 0) run_replay_daemon(endpoint);
+  ASSERT_TRUE(Client::wait_for_daemon(endpoint, 15000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // The neighbour must finish its verified stream despite all of it.
+  ASSERT_EQ(::waitpid(neighbour, &status, 0), neighbour);
+  ASSERT_TRUE(WIFEXITED(status)) << "neighbour died on a signal";
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "(10=no daemon, 12=too few completions, 13=exception, "
+         "42=CORRUPTION)";
+
+  // Sweep latency: well within a few sweep_ms periods the victim's corpse
+  // is reclaimed and its slot serves a fresh tenant.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  {
+    auto probe = Client::connect({.endpoint = endpoint});
+    EXPECT_GT(probe.stats().reclaimed, 0u)
+        << "the mid-replay corpse was never swept";
+    double* x = probe.stage(kLogN);
+    const auto input = util::random_vector(std::size_t{1} << kLogN, 777);
+    std::memcpy(x, input.data(), input.size() * sizeof(double));
+    ASSERT_EQ(probe.transform(kLogN, x), Status::kOk);
+    std::vector<double> expected = input;
+    api::Planner().backend("generated").plan(kLogN).execute(expected.data());
+    EXPECT_EQ(
+        std::memcmp(x, expected.data(), input.size() * sizeof(double)), 0);
+  }
+
+  ASSERT_EQ(::kill(daemon2, SIGKILL), 0);
+  ASSERT_EQ(::waitpid(daemon2, &status, 0), daemon2);
+  Shm::unlink(shm_name_for(endpoint));
+}
+
 }  // namespace
 }  // namespace whtlab::ipc

@@ -110,6 +110,64 @@ TEST(SpscRing, InjectedSpuriousFutexWakeupIsJustARetry) {
   EXPECT_EQ(spin_then_wait(word, 7, 8, 1000000), 7u);
 }
 
+TEST(SpscRing, CheckedOpsMatchPlainOpsOnHonestCursors) {
+  Ring ring;
+  ring.reset();
+  std::uint64_t out = ~0ULL;
+  EXPECT_EQ(ring.try_pop_checked(out), RingOp::kEmpty);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(ring.try_push_checked(i), RingOp::kOk) << i;
+  }
+  EXPECT_EQ(ring.try_push_checked(99), RingOp::kFull)
+      << "exactly Depth outstanding is legal fullness, not corruption";
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(ring.try_pop_checked(out), RingOp::kOk);
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(ring.try_pop_checked(out), RingOp::kEmpty);
+}
+
+TEST(SpscRing, CorruptTailCursorIsTypedNotOverread) {
+  // A hostile producer scribbles its tail far ahead of head: the plain pop
+  // would believe the delta and hand out Depth's worth of stale payloads
+  // per lap forever.  The checked pop reports the impossible occupancy.
+  Ring ring;
+  ring.reset();
+  ASSERT_TRUE(ring.try_push(42));
+  ring.tail.store(ring.head.load(std::memory_order_relaxed) + 9,
+                  std::memory_order_release);  // depth is 8: delta 9 is a lie
+  std::uint64_t out = ~0ULL;
+  EXPECT_EQ(ring.try_pop_checked(out), RingOp::kCorrupt);
+  EXPECT_EQ(out, ~0ULL) << "no payload may be surfaced from a corrupt ring";
+  // The smallest lie: exactly one past the capacity.
+  ring.reset();
+  ring.tail.store(9, std::memory_order_release);
+  EXPECT_EQ(ring.try_pop_checked(out), RingOp::kCorrupt);
+  // Boundary sanity: delta == Depth is a legally full ring for the pop.
+  ring.reset();
+  ring.tail.store(8, std::memory_order_release);
+  EXPECT_EQ(ring.try_pop_checked(out), RingOp::kOk);
+}
+
+TEST(SpscRing, CorruptHeadCursorIsTypedForTheProducer) {
+  // The consumer cursor scribbled BEHIND the producer beyond capacity: a
+  // push trusting the delta would conclude "full" forever (a wedge) or,
+  // with head ahead of tail, happily overwrite unconsumed slots.  Checked
+  // push reports corruption; hand-corrupted words, both directions.
+  Ring ring;
+  ring.reset();
+  ring.tail.store(100, std::memory_order_release);
+  ring.head.store(100 - 9, std::memory_order_release);  // lagging 9 > depth 8
+  EXPECT_EQ(ring.try_push_checked(7), RingOp::kCorrupt);
+  ring.head.store(100 + 5, std::memory_order_release);  // head AHEAD of tail
+  EXPECT_EQ(ring.try_push_checked(7), RingOp::kCorrupt)
+      << "head ahead of tail wraps the delta huge — corruption, not space";
+  ring.head.store(100 - 8, std::memory_order_release);  // exactly full: legal
+  EXPECT_EQ(ring.try_push_checked(7), RingOp::kFull);
+  ring.head.store(100, std::memory_order_release);  // honest empty again
+  EXPECT_EQ(ring.try_push_checked(7), RingOp::kOk);
+}
+
 TEST(SpscRing, CrossThreadFifoExactness) {
   constexpr std::uint64_t kCount = 1 << 20;
   Ring ring;

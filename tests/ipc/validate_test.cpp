@@ -1,0 +1,176 @@
+// The ipc::validate trust boundary, unit-tested on daemon-local snapshots.
+//
+// These are the exact checks standing between a byzantine client and the
+// daemon's execution path (src/ipc/validate.hpp): every verdict class, the
+// shift-safety guarantee for hostile n >= 64, the overflow-proof
+// count/offset arithmetic, and the RFC-1982-style serial-number seq check
+// that tolerates a legitimate 32-bit counter wrap while rejecting replays
+// and rewinds.  The integration half — what the daemon DOES with a verdict
+// (typed kProtocolError, strikes, eviction) — lives in byzantine_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ipc/protocol.hpp"
+#include "ipc/validate.hpp"
+
+namespace whtlab::ipc {
+namespace {
+
+constexpr std::uint64_t kGen = 7;
+constexpr SlotBounds kBounds{/*arena_doubles=*/1 << 20, /*max_n=*/30};
+
+/// A request the shipped client library could produce: generation-stamped
+/// seq, shape inside the arena.  Tests mutate one field at a time.
+Request honest(std::uint32_t counter = 1) {
+  Request request;
+  request.seq = (kGen << 32) | counter;
+  request.n = 10;
+  request.count = 4;
+  request.offset = 0;
+  return request;
+}
+
+TEST(Validate, HonestRequestAccepts) {
+  EXPECT_EQ(validate_request(honest(), kGen, 0, kBounds), Verdict::kAccept);
+}
+
+TEST(Validate, StaleGenerationIsItsOwnVerdict) {
+  // A previous tenant's late push is slot churn, not hostility — the daemon
+  // drops it silently, so it must be distinguishable from kBadShape.
+  Request request = honest();
+  request.seq = ((kGen - 1) << 32) | 1;
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds),
+            Verdict::kStaleGeneration);
+  // Only the low 32 bits of the slot generation are stamped into seqs.
+  request = honest();
+  const std::uint64_t huge_gen = (std::uint64_t{5} << 32) | kGen;
+  EXPECT_EQ(validate_request(request, huge_gen, 0, kBounds), Verdict::kAccept);
+}
+
+TEST(Validate, GenerationIsCheckedBeforeShape) {
+  // Garbage from a dead tenant stays "stale", never "hostile": no strikes
+  // for the new tenant from the old tenant's leftovers.
+  Request request = honest();
+  request.seq = ((kGen + 1) << 32) | 1;
+  request.n = 64;  // would be kBadShape if shape were checked first
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds),
+            Verdict::kStaleGeneration);
+}
+
+TEST(Validate, HostileNNeverReachesAShift) {
+  // n is range-checked before any `1 << n`: 64, 65, 127 and friends must
+  // come back kBadShape without tripping UBSan (this suite runs under the
+  // sanitizer CI leg — an unguarded shift would abort the test binary).
+  for (const std::uint32_t n : {0u, 31u, 32u, 63u, 64u, 65u, 127u,
+                                0xffffffffu}) {
+    Request request = honest();
+    request.n = n;
+    EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kBadShape)
+        << "n=" << n;
+  }
+  // Boundary: max_n itself is legal when it fits the arena.
+  Request request = honest();
+  request.n = 20;  // 2^20 doubles == the whole arena, count 1
+  request.count = 1;
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kAccept);
+  request.n = 21;  // one doubling past the arena
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kBadShape);
+}
+
+TEST(Validate, CountTimesSizeIsOverflowProof) {
+  Request request = honest();
+  request.count = 0;
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kBadShape);
+  // The largest representable count at the largest plannable n: the
+  // division form compares against arena/2^n (here 0) instead of computing
+  // count * 2^n, so no intermediate can wrap no matter what the client puts
+  // in the field.
+  request = honest();
+  request.n = 30;
+  request.count = 0xffffffffu;
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kBadShape);
+  // Exactly filling the arena is legal...
+  request = honest();
+  request.n = 10;
+  request.count = kBounds.arena_doubles >> 10;
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kAccept);
+  // ...one more vector is not.
+  request.count += 1;
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kBadShape);
+}
+
+TEST(Validate, OffsetMustKeepTheExtentInsideTheArena) {
+  Request request = honest();  // extent = 4 * 2^10 doubles
+  request.offset = kBounds.arena_doubles - (4u << 10);
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kAccept)
+      << "flush against the end of the arena is legal";
+  request.offset += 1;
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kBadShape)
+      << "one double past the arena end must be rejected";
+  // A huge offset that would wrap offset + extent back into range.
+  request.offset = ~std::uint64_t{0} - 100;
+  EXPECT_EQ(validate_request(request, kGen, 0, kBounds), Verdict::kBadShape);
+}
+
+TEST(Validate, SeqReplayAndRewindAreViolations) {
+  EXPECT_EQ(validate_request(honest(5), kGen, 5, kBounds), Verdict::kSeqOrder)
+      << "replaying the consumed counter";
+  EXPECT_EQ(validate_request(honest(3), kGen, 5, kBounds), Verdict::kSeqOrder)
+      << "rewinding behind the consumed counter";
+  EXPECT_EQ(validate_request(honest(6), kGen, 5, kBounds), Verdict::kAccept);
+  EXPECT_EQ(validate_request(honest(500), kGen, 5, kBounds), Verdict::kAccept)
+      << "skipping forward only wastes the client's own numbering";
+}
+
+TEST(Validate, SeqCounterWrapIsLegitimate) {
+  // A long-lived connection wraps the 32-bit counter; serial-number
+  // arithmetic keeps 0xffffffff -> 0 -> 1 "ahead" while still refusing the
+  // half-space-backwards jump a replayed old counter would be.
+  EXPECT_EQ(validate_request(honest(0), kGen, 0xffffffffu, kBounds),
+            Verdict::kAccept);
+  EXPECT_EQ(validate_request(honest(1), kGen, 0, kBounds), Verdict::kAccept);
+  EXPECT_EQ(validate_request(honest(0xfffffff0u), kGen, 5, kBounds),
+            Verdict::kSeqOrder)
+      << "a backwards half-space jump is a rewind, not a wrap";
+}
+
+TEST(Validate, RequestExpiredPredicate) {
+  Request request = honest();
+  EXPECT_FALSE(request_expired(request, 123456789))
+      << "deadline 0 means no deadline";
+  request.deadline_ns = 1000;
+  EXPECT_FALSE(request_expired(request, 999));
+  EXPECT_FALSE(request_expired(request, 1000)) << "expiry is strictly after";
+  EXPECT_TRUE(request_expired(request, 1001));
+}
+
+TEST(Validate, StrikeCounterCrossesThresholdExactlyOnce) {
+  StrikeCounter strikes(3);
+  EXPECT_FALSE(strikes.strike());
+  EXPECT_FALSE(strikes.strike());
+  EXPECT_TRUE(strikes.strike()) << "third strike earns the eviction";
+  EXPECT_EQ(strikes.strikes(), 3u);
+  strikes.reset();  // eviction hands the slot to a new tenant
+  EXPECT_FALSE(strikes.strike());
+  EXPECT_EQ(strikes.strikes(), 1u);
+}
+
+TEST(Validate, StrikeLimitZeroCountsButNeverEvicts) {
+  StrikeCounter strikes(0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(strikes.strike());
+  }
+  EXPECT_EQ(strikes.strikes(), 1000u);
+}
+
+TEST(Validate, VerdictNamesAreStable) {
+  // These strings land in daemon logs; renames break log scraping.
+  EXPECT_STREQ(to_string(Verdict::kAccept), "accept");
+  EXPECT_STREQ(to_string(Verdict::kStaleGeneration), "stale-generation");
+  EXPECT_STREQ(to_string(Verdict::kBadShape), "bad-shape");
+  EXPECT_STREQ(to_string(Verdict::kSeqOrder), "seq-order");
+}
+
+}  // namespace
+}  // namespace whtlab::ipc

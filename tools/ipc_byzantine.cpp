@@ -1,0 +1,62 @@
+// ipc_byzantine — seeded hostile-client fuzzer for the whtd trust boundary.
+//
+// Connects to a live whtd endpoint the way an attacker would (raw segment
+// mapping, no client library) and scribbles seeded corruption over every
+// client-writable field of its own slot: ring cursors, ring payloads,
+// state/pid/generation words, the staging arena, the doorbell, plus a
+// stream of malformed requests (src/ipc/fuzz.hpp).  The daemon must never
+// crash, wedge, or corrupt honest neighbours; this tool is the attacker
+// half of that proof — pair it with honest `ipc_client --verify` processes
+// on the same endpoint (the CI byzantine-fuzz smoke does exactly that):
+//
+//   whtd --endpoint fuzz --strikes 3 &
+//   ipc_client --endpoint fuzz --verify --requests 200 &
+//   ipc_byzantine --endpoint fuzz --seed 7 --ops 2000
+//
+// The whole op stream derives from --seed: any finding replays exactly.
+// Exit 0 = the op budget was spent (the daemon's health is the *callers'*
+// assertion: honest clients bit-exact, daemon alive); exit 1 = the harness
+// itself could not run (no daemon, no free slot).
+#include <cstdio>
+#include <exception>
+
+#include "ipc/fuzz.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  whtlab::util::Cli cli;
+  cli.add_flag("endpoint", "whtd endpoint to attack");
+  cli.add_flag("seed", "op-stream seed (same seed = same attack, replayable)");
+  cli.add_flag("ops", "hostile mutations to apply");
+  cli.add_flag("op-delay-us", "pacing between ops (0 = full speed)");
+  cli.add_flag("wait-ms", "how long to wait for a live daemon");
+  if (!cli.parse(argc, argv)) return 2;
+
+  whtlab::ipc::FuzzOptions options;
+  options.endpoint = cli.get("endpoint", options.endpoint);
+  options.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(options.seed)));
+  options.ops = static_cast<std::uint64_t>(
+      cli.get_int("ops", static_cast<std::int64_t>(options.ops)));
+  options.op_delay_us = static_cast<std::uint64_t>(cli.get_int(
+      "op-delay-us", static_cast<std::int64_t>(options.op_delay_us)));
+  options.wait_ms = static_cast<std::uint64_t>(
+      cli.get_int("wait-ms", static_cast<std::int64_t>(options.wait_ms)));
+
+  try {
+    const whtlab::ipc::FuzzReport report =
+        whtlab::ipc::run_byzantine_client(options);
+    std::printf(
+        "ipc_byzantine: seed=%llu slot=%d ops=%llu pushed=%llu "
+        "responses=%llu reclaims=%llu\n",
+        static_cast<unsigned long long>(options.seed), report.slot,
+        static_cast<unsigned long long>(report.ops_applied),
+        static_cast<unsigned long long>(report.requests_pushed),
+        static_cast<unsigned long long>(report.responses_seen),
+        static_cast<unsigned long long>(report.reclaims_survived));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ipc_byzantine: %s\n", e.what());
+    return 1;
+  }
+}

@@ -46,17 +46,8 @@ std::atomic<int> g_signal{0};
 void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
 
 void print_stats(const whtlab::ipc::Daemon& daemon) {
-  const whtlab::ipc::Daemon::Stats s = daemon.stats();
-  std::printf(
-      "whtd: requests=%llu vectors=%llu throttled=%llu bad_request=%llu "
-      "exec_errors=%llu reclaimed=%llu dropped=%llu\n",
-      static_cast<unsigned long long>(s.requests),
-      static_cast<unsigned long long>(s.vectors),
-      static_cast<unsigned long long>(s.throttled),
-      static_cast<unsigned long long>(s.bad_request),
-      static_cast<unsigned long long>(s.exec_errors),
-      static_cast<unsigned long long>(s.reclaimed),
-      static_cast<unsigned long long>(s.dropped));
+  std::printf("whtd: %s\n",
+              whtlab::ipc::to_string(daemon.stats()).c_str());
   std::fflush(stdout);
 }
 
@@ -72,9 +63,20 @@ void write_pid_file(const std::string& path, pid_t pid) {
 
 /// The serving process proper: construct, serve until signalled, stop.
 int run_daemon(const whtlab::ipc::DaemonOptions& options, bool stats,
-               bool once_ready, const std::string& pid_file) {
+               std::int64_t stats_interval_ms, bool prewarm, bool once_ready,
+               const std::string& pid_file) {
   try {
     whtlab::ipc::Daemon daemon(options);
+    if (prewarm) {
+      // Pay the first-touch planning stalls before taking traffic — runs in
+      // every supervised restart too (run_daemon is the child body), so a
+      // bounced daemon comes back warm from the same wisdom.
+      const std::size_t built = daemon.engine().prewarm();
+      std::fprintf(stderr, "whtd: prewarmed %zu transform(s) from %s\n",
+                   built, options.engine.wisdom_file.empty()
+                              ? "(no wisdom file)"
+                              : options.engine.wisdom_file.c_str());
+    }
     daemon.start();
 
     std::signal(SIGINT, on_signal);
@@ -94,7 +96,8 @@ int run_daemon(const whtlab::ipc::DaemonOptions& options, bool stats,
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
       if (stats) {
         const auto now = std::chrono::steady_clock::now();
-        if (now - last_stats >= std::chrono::seconds(1)) {
+        if (now - last_stats >=
+            std::chrono::milliseconds(stats_interval_ms)) {
           print_stats(daemon);
           last_stats = now;
         }
@@ -121,8 +124,10 @@ int run_daemon(const whtlab::ipc::DaemonOptions& options, bool stats,
 /// segment is missing/unreadable (daemon still booting — not a wedge).
 std::int64_t heartbeat_age_ms(const std::string& endpoint) {
   try {
-    const whtlab::ipc::Shm probe =
-        whtlab::ipc::Shm::open(whtlab::ipc::shm_name_for(endpoint));
+    // Read-only mapping: the watchdog is a pure observer — it must not be
+    // *able* to perturb the protocol state it judges.
+    const whtlab::ipc::Shm probe = whtlab::ipc::Shm::open_readonly(
+        whtlab::ipc::shm_name_for(endpoint));
     if (probe.size() < sizeof(whtlab::ipc::ControlHeader)) return -1;
     const auto* hdr =
         static_cast<const whtlab::ipc::ControlHeader*>(probe.data());
@@ -140,8 +145,9 @@ std::int64_t heartbeat_age_ms(const std::string& endpoint) {
 
 /// Fork-based watchdog: serve in a child, restart it on crash or wedge.
 int supervise(const whtlab::ipc::DaemonOptions& options, bool stats,
-              bool once_ready, const std::string& pid_file,
-              std::int64_t wedge_ms, std::int64_t max_restarts) {
+              std::int64_t stats_interval_ms, bool prewarm, bool once_ready,
+              const std::string& pid_file, std::int64_t wedge_ms,
+              std::int64_t max_restarts) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   std::int64_t restarts = 0;
@@ -154,7 +160,8 @@ int supervise(const whtlab::ipc::DaemonOptions& options, bool stats,
     if (child == 0) {
       // IMPORTANT: the parent is still single-threaded here; all threads
       // (Engine dispatcher, service loop) are born inside this child.
-      ::_exit(run_daemon(options, stats, once_ready, pid_file));
+      ::_exit(run_daemon(options, stats, stats_interval_ms, prewarm,
+                         once_ready, pid_file));
     }
     std::fprintf(stderr, "whtd[supervisor]: daemon pid %d (restart %lld)\n",
                  static_cast<int>(child),
@@ -237,13 +244,19 @@ int main(int argc, char** argv) {
   cli.add_flag("slots", "client slots (admission-control bound)");
   cli.add_flag("arena-doubles", "per-slot staging arena, in doubles");
   cli.add_flag("rate-limit", "admitted requests/client/window (0 = off)");
+  cli.add_flag("credits", "per-client work credits (vectors) per window (0 = off)");
+  cli.add_flag("credit-window-ms", "credit bucket full-refill period, ms");
+  cli.add_flag("shed", "deadline load shedding: 1 = drop expired requests (default), 0 = off");
+  cli.add_flag("strikes", "protocol strikes before slot eviction (0 = never evict)");
   cli.add_flag("timeout-ms", "published client wait deadline, ms");
   cli.add_flag("sweep-ms", "dead-client liveness sweep period, ms");
   cli.add_flag("wisdom", "wisdom file for first-touch planning");
   cli.add_flag("pid-file", "write the serving pid here (child pid under --supervise)");
   cli.add_flag("wedge-ms", "supervisor: heartbeat staleness that counts as wedged");
   cli.add_flag("max-restarts", "supervisor: give up after this many restarts (0 = never)");
-  cli.add_bool("stats", "print shared counters once a second");
+  cli.add_flag("stats-interval-ms", "period of the --stats counter line (default 1000)");
+  cli.add_bool("stats", "print shared counters periodically (see --stats-interval-ms)");
+  cli.add_bool("prewarm", "rebuild wisdom-recorded transforms before serving");
   cli.add_bool("once-ready", "print READY on stdout once serving (for scripts)");
   cli.add_bool("supervise", "run the daemon in a watchdogged child, restart on crash/wedge");
   if (!cli.parse(argc, argv)) return 2;
@@ -262,13 +275,31 @@ int main(int argc, char** argv) {
       "arena-doubles", static_cast<std::int64_t>(options.arena_doubles)));
   options.rate_limit = static_cast<std::uint64_t>(cli.get_int(
       "rate-limit", static_cast<std::int64_t>(options.rate_limit)));
+  options.credit_limit = static_cast<std::uint64_t>(cli.get_int(
+      "credits", static_cast<std::int64_t>(options.credit_limit)));
+  options.credit_window_ns =
+      static_cast<std::uint64_t>(cli.get_int(
+          "credit-window-ms",
+          static_cast<std::int64_t>(options.credit_window_ns / 1000000ULL))) *
+      1000000ULL;
+  options.shed_expired =
+      cli.get_int("shed", options.shed_expired ? 1 : 0) != 0;
+  options.strike_limit = static_cast<std::uint32_t>(
+      cli.get_int("strikes", static_cast<std::int64_t>(options.strike_limit)));
   options.timeout_ms = static_cast<std::uint64_t>(cli.get_int(
       "timeout-ms", static_cast<std::int64_t>(options.timeout_ms)));
   options.sweep_ms = static_cast<std::uint64_t>(
       cli.get_int("sweep-ms", static_cast<std::int64_t>(options.sweep_ms)));
   options.engine.wisdom_file = cli.get("wisdom", options.engine.wisdom_file);
 
-  const bool stats = cli.has("stats");
+  const std::int64_t stats_interval_ms = cli.get_int("stats-interval-ms", 1000);
+  if (stats_interval_ms < 1) {
+    std::fprintf(stderr, "whtd: --stats-interval-ms must be >= 1\n");
+    return 2;
+  }
+  // Asking for an interval implies asking for the stats line.
+  const bool stats = cli.has("stats") || cli.has("stats-interval-ms");
+  const bool prewarm = cli.has("prewarm");
   const bool once_ready = cli.has("once-ready");
   const std::string pid_file = cli.get("pid-file", "");
   if (cli.has("supervise")) {
@@ -278,8 +309,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "whtd: --wedge-ms must be >= 1\n");
       return 2;
     }
-    return supervise(options, stats, once_ready, pid_file, wedge_ms,
-                     max_restarts);
+    return supervise(options, stats, stats_interval_ms, prewarm, once_ready,
+                     pid_file, wedge_ms, max_restarts);
   }
-  return run_daemon(options, stats, once_ready, pid_file);
+  return run_daemon(options, stats, stats_interval_ms, prewarm, once_ready,
+                    pid_file);
 }

@@ -18,6 +18,7 @@
 // cost" directly.  Fork discipline: the daemon child is forked FIRST and
 // clients are forked from a parent that never starts a thread; the
 // in-process baseline runs last, after all forking is done.
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -28,6 +29,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -36,6 +38,8 @@
 #include "api/wht.hpp"
 #include "ipc/client.hpp"
 #include "ipc/daemon.hpp"
+#include "ipc/shm.hpp"
+#include "ipc/supervisor.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -50,6 +54,8 @@ struct ClientReport {
   std::uint64_t requests = 0;
   std::uint64_t vectors = 0;
   std::uint64_t errors = 0;
+  std::uint64_t max_ns = 0;        // worst single round trip (exact)
+  std::uint64_t reconnects = 0;    // re-handshakes (handoff mode)
   std::uint64_t latency_ns[kBuckets] = {};  // log2 round-trip histogram
 };
 
@@ -64,6 +70,7 @@ void record_latency(ClientReport& report, std::uint64_t ns) {
   const int bucket =
       std::min(kBuckets - 1, static_cast<int>(std::bit_width(ns | 1)) - 1);
   ++report.latency_ns[bucket];
+  if (ns > report.max_ns) report.max_ns = ns;
 }
 
 /// Percentile (0..1) from a merged log2 histogram, as the bucket's upper
@@ -139,8 +146,56 @@ struct Cell {
   double vps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  double max_us = 0.0;
   std::uint64_t errors = 0;
+  std::uint64_t reconnects = 0;
 };
+
+/// Handoff-mode client: a reconnect-enabled verified stream for a fixed
+/// duration — the restart blip shows up as the tail of this histogram.
+ClientReport run_handoff_client(const std::string& endpoint, int n,
+                                double seconds) {
+  ClientReport report;
+  ipc::Client::Options options;
+  options.endpoint = endpoint;
+  options.timeout_ms = 5000;
+  options.reconnect = true;
+  options.reconnect_window_ms = 10000;
+  options.backoff_initial_ms = 2;
+  options.backoff_max_ms = 100;
+  auto client = ipc::Client::connect(options);
+  double* x = client.stage(n);
+  const auto data = util::random_vector(std::size_t{1} << n, 7 + n);
+  std::memcpy(x, data.data(), data.size() * sizeof(double));
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
+  while (now_ns() < deadline) {
+    const std::uint64_t t0 = now_ns();
+    const ipc::Status status = client.transform(n, x);
+    if (status != ipc::Status::kOk) {
+      ++report.errors;
+      continue;
+    }
+    record_latency(report, now_ns() - t0);
+    ++report.requests;
+    ++report.vectors;
+  }
+  report.reconnects = client.reconnects();
+  return report;
+}
+
+/// Merges one child's report into a cell (histogram merged separately).
+void merge_report(Cell& cell, const ClientReport& report,
+                  std::uint64_t (&merged)[kBuckets], std::uint64_t& requests,
+                  std::uint64_t& vectors) {
+  requests += report.requests;
+  vectors += report.vectors;
+  cell.errors += report.errors;
+  cell.reconnects += report.reconnects;
+  cell.max_us = std::max(cell.max_us,
+                         static_cast<double>(report.max_ns) / 1000.0);
+  for (int i = 0; i < kBuckets; ++i) merged[i] += report.latency_ns[i];
+}
 
 /// Forks `clients` children against the daemon and merges their reports.
 /// The parent must be single-threaded when this is called.
@@ -199,10 +254,7 @@ Cell run_cell(const std::string& endpoint, const Shape& shape, int clients,
       ++cell.errors;
       continue;
     }
-    requests += report.requests;
-    vectors += report.vectors;
-    cell.errors += report.errors;
-    for (int i = 0; i < kBuckets; ++i) merged[i] += report.latency_ns[i];
+    merge_report(cell, report, merged, requests, vectors);
   }
   const double elapsed = static_cast<double>(now_ns() - t0) / 1e9;
   cell.rps = static_cast<double>(requests) / elapsed;
@@ -210,6 +262,201 @@ Cell run_cell(const std::string& endpoint, const Shape& shape, int clients,
   cell.p50_us = percentile_us(merged, 0.50);
   cell.p99_us = percentile_us(merged, 0.99);
   return cell;
+}
+
+/// Handoff-mode cell: forks reconnect-enabled streaming clients, then runs
+/// `driver` (the parent's SIGHUP loop — or nothing, for the steady-state
+/// control) while they stream, and merges the reports.  The restart blip
+/// lives in the p99/max delta between the two cells.
+Cell run_handoff_cell(const std::string& endpoint, int n, int clients,
+                      double seconds, const std::function<void()>& driver) {
+  std::vector<pid_t> pids;
+  std::vector<int> result_fds;
+  int start_pipe[2];
+  if (pipe(start_pipe) != 0) throw std::runtime_error("bench_ipc: pipe");
+  for (int c = 0; c < clients; ++c) {
+    int result_pipe[2];
+    if (pipe(result_pipe) != 0) throw std::runtime_error("bench_ipc: pipe");
+    const pid_t pid = fork();
+    if (pid == 0) {
+      close(start_pipe[1]);
+      close(result_pipe[0]);
+      char go;
+      while (read(start_pipe[0], &go, 1) < 0 && errno == EINTR) {
+      }
+      ClientReport report;
+      try {
+        report = run_handoff_client(endpoint, n, seconds);
+      } catch (...) {
+        report.errors = ~std::uint64_t{0};
+      }
+      ssize_t written = write(result_pipe[1], &report, sizeof(report));
+      (void)written;
+      _exit(0);
+    }
+    close(result_pipe[1]);
+    pids.push_back(pid);
+    result_fds.push_back(result_pipe[0]);
+  }
+  close(start_pipe[0]);
+  const std::uint64_t t0 = now_ns();
+  close(start_pipe[1]);  // start gun
+  if (driver) driver();
+
+  Cell cell;
+  cell.clients = clients;
+  std::uint64_t merged[kBuckets] = {};
+  std::uint64_t requests = 0, vectors = 0;
+  for (std::size_t c = 0; c < pids.size(); ++c) {
+    ClientReport report;
+    std::size_t got = 0;
+    while (got < sizeof(report)) {
+      const ssize_t r = read(result_fds[c],
+                             reinterpret_cast<char*>(&report) + got,
+                             sizeof(report) - got);
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    close(result_fds[c]);
+    int status = 0;
+    waitpid(pids[c], &status, 0);
+    if (got != sizeof(report)) {
+      ++cell.errors;
+      continue;
+    }
+    merge_report(cell, report, merged, requests, vectors);
+  }
+  const double elapsed = static_cast<double>(now_ns() - t0) / 1e9;
+  cell.rps = static_cast<double>(requests) / elapsed;
+  cell.vps = static_cast<double>(vectors) / elapsed;
+  cell.p50_us = percentile_us(merged, 0.50);
+  cell.p99_us = percentile_us(merged, 0.99);
+  return cell;
+}
+
+/// The canonical segment's takeover epoch, or 0 when unreadable — how the
+/// parent detects that a SIGHUP handoff completed.
+std::uint64_t probe_epoch(const std::string& endpoint) {
+  try {
+    const ipc::Shm probe =
+        ipc::Shm::open_readonly(ipc::shm_name_for(endpoint));
+    if (probe.size() < sizeof(ipc::ControlHeader)) return 0;
+    const auto* header =
+        static_cast<const ipc::ControlHeader*>(probe.data());
+    if (header->magic != ipc::kMagic) return 0;
+    return header->epoch.load(std::memory_order_acquire);
+  } catch (const std::exception&) {
+    return 0;  // mid-swap (name briefly absent) or not yet created
+  }
+}
+
+void print_handoff_cell(const char* name, const Cell& cell) {
+  std::printf(
+      "%-7s clients=%-2d  %9.0f req/s  p50 %8.1f us  p99 %8.1f us  "
+      "max %9.1f us  reconnects=%llu%s\n",
+      name, cell.clients, cell.rps, cell.p50_us, cell.p99_us, cell.max_us,
+      static_cast<unsigned long long>(cell.reconnects),
+      cell.errors ? "  (errors!)" : "");
+}
+
+/// The rolling-restart blip benchmark: a supervised daemon under streaming
+/// reconnect clients, N SIGHUP handoffs vs a steady-state control of the
+/// same duration.  Returns the process exit code.
+int run_handoff_bench(const std::string& endpoint, int n, int clients,
+                      int cycles, double seconds, const std::string& wisdom,
+                      const std::string& out_path) {
+  const double duration = std::max(seconds * 6.0, 3.0);
+
+  // Supervisor child first — the exact `whtd --supervise` code path.
+  const pid_t supervisor = fork();
+  if (supervisor == 0) {
+    try {
+      ipc::SupervisorOptions options;
+      options.daemon.endpoint = endpoint;
+      options.daemon.slots = static_cast<std::uint32_t>(clients + 2);
+      options.daemon.sweep_ms = 20;
+      options.daemon.drain_ms = 2000;
+      options.daemon.engine.wisdom_file = wisdom;
+      options.child.prewarm = !wisdom.empty();
+      options.wedge_ms = 20000;
+      _exit(ipc::run_supervisor(options));
+    } catch (...) {
+      _exit(1);
+    }
+  }
+  if (!ipc::Client::wait_for_daemon(endpoint, 15000)) {
+    std::fprintf(stderr, "bench_ipc: supervised daemon did not come up\n");
+    kill(supervisor, SIGKILL);
+    waitpid(supervisor, nullptr, 0);
+    return 1;
+  }
+
+  const Cell steady =
+      run_handoff_cell(endpoint, n, clients, duration, nullptr);
+  print_handoff_cell("steady", steady);
+
+  const auto driver = [&] {
+    // Spaced so every handoff lands inside the measurement window, with
+    // stream time on both sides of each.
+    const auto spacing = static_cast<std::uint64_t>(
+        duration * 1000.0 / static_cast<double>(cycles + 1));
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(spacing));
+      const std::uint64_t before = probe_epoch(endpoint);
+      kill(supervisor, SIGHUP);
+      const std::uint64_t give_up = now_ns() + 15000000000ULL;
+      while (probe_epoch(endpoint) <= before && now_ns() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (probe_epoch(endpoint) <= before) {
+        std::fprintf(stderr, "bench_ipc: handoff %d never completed\n",
+                     cycle);
+      }
+    }
+  };
+  const Cell restart =
+      run_handoff_cell(endpoint, n, clients, duration, driver);
+  print_handoff_cell("restart", restart);
+  std::printf("restart blip: p99 %+.1f us, max %+.1f us over %d handoffs\n",
+              restart.p99_us - steady.p99_us, restart.max_us - steady.max_us,
+              cycles);
+
+  kill(supervisor, SIGTERM);
+  int status = 0;
+  waitpid(supervisor, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "bench_ipc: supervisor exited abnormally\n");
+    return 1;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_ipc: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"ipc_handoff\",\n");
+  std::fprintf(out,
+               "  \"n\": %d, \"clients\": %d, \"cycles\": %d, "
+               "\"seconds\": %.2f,\n",
+               n, clients, cycles, duration);
+  const auto cell_json = [out](const char* name, const Cell& c, bool last) {
+    std::fprintf(out,
+                 "  \"%s\": {\"rps\": %.1f, \"p50_us\": %.3f, "
+                 "\"p99_us\": %.3f, \"max_us\": %.3f, \"errors\": %llu, "
+                 "\"reconnects\": %llu},\n",
+                 name, c.rps, c.p50_us, c.p99_us, c.max_us,
+                 static_cast<unsigned long long>(c.errors),
+                 static_cast<unsigned long long>(c.reconnects));
+    (void)last;
+  };
+  cell_json("steady", steady, false);
+  cell_json("restart", restart, false);
+  std::fprintf(out, "  \"blip_p99_us\": %.3f, \"blip_max_us\": %.3f\n}\n",
+               restart.p99_us - steady.p99_us,
+               restart.max_us - steady.max_us);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
 }
 
 /// In-process Engine baseline for the same shape, one thread.
@@ -309,6 +556,12 @@ int main(int argc, char** argv) {
   cli.add_flag("batch", "vectors per batched request", "16");
   cli.add_flag("seconds", "measurement seconds per cell", "0.5");
   cli.add_flag("out", "output JSON path", "BENCH_ipc.json");
+  cli.add_flag("handoff",
+               "rolling-restart blip mode: this many SIGHUP handoffs under "
+               "streaming load, vs a steady control (0 = off)",
+               "0");
+  cli.add_flag("wisdom", "wisdom file for successor prewarm (handoff mode)",
+               "");
   if (!cli.parse(argc, argv)) return 2;
 
   std::string endpoint = cli.get("endpoint");
@@ -320,6 +573,15 @@ int main(int argc, char** argv) {
   const int batch_n = static_cast<int>(cli.get_int("batch-n", 8));
   const auto batch = static_cast<std::size_t>(cli.get_int("batch", 16));
   const double seconds = cli.get_double("seconds", 0.5);
+
+  const int handoffs = static_cast<int>(cli.get_int("handoff", 0));
+  if (handoffs > 0) {
+    // Dedicated mode: measures what a planned rolling restart costs a
+    // streaming client (the p99/max blip), not steady-state throughput.
+    return run_handoff_bench(endpoint, single_n, clients.front(), handoffs,
+                             seconds, cli.get("wisdom"),
+                             cli.get("out", "BENCH_ipc_handoff.json"));
+  }
 
   const Shape shapes[] = {
       {"single", single_n, 1},

@@ -20,6 +20,11 @@
 // out daemon crashes via auto-reconnect + replay, typed non-OK statuses are
 // counted but tolerated, a bit-exactness failure is always fatal, and the
 // run succeeds iff at least one request completed verified.
+//
+// --strict tightens that to the zero-downtime contract (the rolling-upgrade
+// smoke job pairs it with a SIGHUP-cycled `whtd --supervise`): EVERY
+// request must complete kOk — a planned restart that costs even one typed
+// failure fails the run.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +53,8 @@ int main(int argc, char** argv) {
                "shedding armed answers kTimeout past it)", "0");
   cli.add_bool("verify", "check results bit-exact against in-process plans");
   cli.add_bool("reconnect", "auto-reconnect and replay across daemon restarts");
+  cli.add_bool("strict",
+               "zero failed requests allowed (rolling-restart contract)");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::string endpoint = cli.get("endpoint");
@@ -58,6 +65,7 @@ int main(int argc, char** argv) {
   const auto pace_ms = cli.get_int("pace-ms", 0);
   const bool verify = cli.has("verify");
   const bool reconnect = cli.has("reconnect");
+  const bool strict = cli.has("strict");
   const std::size_t doubles = count << n;
 
   if (!ipc::Client::wait_for_daemon(
@@ -128,6 +136,13 @@ int main(int argc, char** argv) {
       ++ok;
     }
 
+    if (strict && failed > 0) {
+      std::fprintf(stderr,
+                   "ipc_client: strict mode — %d typed failure(s), zero "
+                   "allowed\n",
+                   failed);
+      return 1;
+    }
     if (reconnect && ok == 0) {
       std::fprintf(stderr,
                    "ipc_client: every request failed (%d typed failures)\n",

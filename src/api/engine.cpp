@@ -192,6 +192,11 @@ std::size_t Engine::prewarm() {
   return built;
 }
 
+void Engine::flush_wisdom() {
+  if (options_.wisdom_file.empty()) return;
+  WisdomRegistry::global().flush(options_.wisdom_file);
+}
+
 Engine::Choice Engine::choose(int n, std::size_t count) {
   if (count < 1) {
     throw std::invalid_argument("wht::Engine: request count must be >= 1");

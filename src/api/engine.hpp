@@ -165,6 +165,14 @@ class Engine {
   /// configured, or none readable, prewarms nothing.
   std::size_t prewarm();
 
+  /// Durability barrier for the configured wisdom file: re-merges the
+  /// process's cached wisdom over the on-disk state and saves atomically.
+  /// Inserts already persist eagerly, so this is a best-effort lifecycle
+  /// hook — a draining daemon calls it before exiting so the successor's
+  /// prewarm provably sees every winner this Engine recorded.  No wisdom
+  /// file configured = no-op; never throws.
+  void flush_wisdom();
+
   /// Serves one in-place transform of x[0 .. 2^n) on the arbitrated
   /// backend, synchronously on the calling thread.
   void execute(int n, double* x);

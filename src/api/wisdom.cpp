@@ -304,6 +304,19 @@ void WisdomRegistry::set_property(const std::string& path,
   state.flush(path, cached);
 }
 
+void WisdomRegistry::flush(const std::string& path) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.files.find(path);
+  if (it == state.files.end()) return;  // never touched: nothing to merge
+  try {
+    state.flush(path, it->second);
+  } catch (const std::exception&) {
+    // Best effort by contract: a full disk at drain time must not turn a
+    // graceful shutdown into a crash.
+  }
+}
+
 void WisdomRegistry::invalidate(const std::string& path) {
   Impl& state = impl();
   const std::lock_guard<std::mutex> lock(state.mutex);

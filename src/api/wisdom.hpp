@@ -144,6 +144,15 @@ class WisdomRegistry {
   void set_property(const std::string& path, const std::string& key,
                     std::string value);
 
+  /// Best-effort durability barrier: re-merges the cached in-memory state
+  /// for `path` over the current on-disk file and saves atomically (no-op
+  /// when nothing is cached).  Every insert already persists eagerly, so
+  /// this exists for lifecycle edges — a draining daemon calls it so a
+  /// winner recorded just before a planned restart provably survives into
+  /// the successor's prewarm, even if a concurrent writer raced the
+  /// original save.
+  void flush(const std::string& path);
+
   /// Drops the cached state for `path` (testing hook; the next touch
   /// reloads from disk).
   void invalidate(const std::string& path);

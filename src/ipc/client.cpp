@@ -96,6 +96,17 @@ void Client::attach_endpoint() {
                 "ipc::Client: daemon for '" + endpoint_ +
                     "' is shut down or dead");
   }
+  const auto lifecycle = static_cast<Lifecycle>(
+      hdr->lifecycle.load(std::memory_order_acquire));
+  if (lifecycle == Lifecycle::kDraining || lifecycle == Lifecycle::kStopped) {
+    // Planned restart in progress: the predecessor still holds the name
+    // while it drains, but admits nothing.  Typed so the reconnect engine
+    // can fast-poll for the successor instead of backing off.
+    throw Error(Status::kDraining,
+                "ipc::Client: daemon for '" + endpoint_ +
+                    "' is draining (planned restart); retry — a warm "
+                    "successor is taking the endpoint over");
+  }
   layout_.slot_count = hdr->slot_count;
   layout_.arena_doubles = hdr->arena_doubles;
   if (shm_.size() < layout_.total_bytes()) {
@@ -145,8 +156,10 @@ bool Client::wait_for_daemon(const std::string& endpoint,
           const auto* hdr = static_cast<const ControlHeader*>(probe.data());
           if (hdr->magic == kMagic &&
               hdr->shutdown.load(std::memory_order_acquire) == 0 &&
-              pid_alive(hdr->daemon_pid.load(std::memory_order_acquire))) {
-            return true;
+              pid_alive(hdr->daemon_pid.load(std::memory_order_acquire)) &&
+              hdr->lifecycle.load(std::memory_order_acquire) <=
+                  Lifecycle::kServing) {
+            return true;  // booting/warming/serving; never a draining corpse
           }
         }
       } catch (const std::runtime_error&) {
@@ -201,6 +214,17 @@ std::uint64_t Client::deadline_from_now() const {
 bool Client::try_reconnect() {
   if (!reconnect_) return false;
   if (attached_ && shm_.valid()) {
+    // Release the old slot before walking away: a draining daemon's
+    // handoff completes only once every live slot's rings are consumed,
+    // and the answers still queued here (typed kDraining refusals
+    // included) will never be read — they replay on the successor
+    // instead.  Without this, every abandoned slot holds the predecessor's
+    // drain open until its deadline aborts it.
+    SlotShared* cell = slot();
+    cell->pid.store(0, std::memory_order_release);
+    std::uint32_t expected = kActive;
+    cell->state.compare_exchange_strong(expected, kFree,
+                                        std::memory_order_acq_rel);
     // Keep the dead mapping alive for the Client's lifetime: the caller
     // holds stage() pointers (and awaits results) inside its arena.
     retired_.push_back(std::move(shm_));
@@ -217,15 +241,27 @@ bool Client::try_reconnect() {
       monotonic_ns() + reconnect_window_ms_ * 1000000ULL;
   std::uint64_t delay_ms = backoff_initial_ms_;
   for (;;) {
+    bool draining = false;
     try {
       attach_endpoint();
       break;
-    } catch (const std::exception&) {
+    } catch (const Error& error) {
       // kDaemonGone (not back yet), kServerFull (slots still claimed by
-      // other reconnecting clients), runtime_error — all mean "retry".
+      // other reconnecting clients) — retry with backoff.  kDraining is the
+      // planned-restart signal: the predecessor still holds the name while
+      // it drains and a warm successor takes over any instant now.
+      draining = error.status() == Status::kDraining;
+    } catch (const std::exception&) {
+      // runtime_error — retry.
     }
     const std::uint64_t now = monotonic_ns();
     if (now >= deadline) return false;
+    if (draining) {
+      // Short-circuit the backoff: poll fast and do not grow the delay —
+      // this is a coordinated handoff, not an outage or a stampede.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
     // Capped exponential backoff with uniform jitter in [0, delay/2]:
     // a daemon restart must not be met by a synchronized client stampede.
     std::uint64_t sleep_ms = delay_ms + jitter.next() % (delay_ms / 2 + 1);
@@ -406,9 +442,22 @@ void Client::drain_responses() {
     const auto w = wire_to_ticket_.find(response.seq);
     if (w == wire_to_ticket_.end()) continue;  // duplicate or pre-replay echo
     const std::uint64_t ticket_seq = w->second;
+    const Status status = static_cast<Status>(response.status);
+    if (status == Status::kDraining) {
+      drain_notices_ += 1;
+      last_drain_hint_ms_ = response.hint_ms;
+      if (reconnect_) {
+        // Planned restart: the request was refused, not executed.  Keep the
+        // ticket outstanding (its snapshot and wire mapping die, its replay
+        // state lives) and flag the drain — the next wait re-handshakes
+        // against the successor immediately and replays it there.
+        wire_to_ticket_.erase(w);
+        drain_notice_ = true;
+        continue;
+      }
+    }
     wire_to_ticket_.erase(w);
     outstanding_.erase(ticket_seq);
-    const Status status = static_cast<Status>(response.status);
     const auto fl = inflight_.find(ticket_seq);
     if (fl != inflight_.end()) {
       if (status == Status::kOk && fl->second.current != fl->second.data) {
@@ -437,11 +486,27 @@ Status Client::wait_any_response(std::uint64_t deadline_ns) {
   std::uint64_t next_probe = 0;
   for (;;) {
     drain_responses();
+    if (drain_notice_) {
+      // A planned-restart refusal for a still-outstanding ticket: resolve
+      // like a daemon loss so every caller's existing reconnect branch
+      // re-handshakes (fast-polled, see try_reconnect) and replays it.
+      drain_notice_ = false;
+      return Status::kDaemonGone;
+    }
     if (completed_.size() > before || outstanding_.empty()) return Status::kOk;
     const std::uint64_t now = monotonic_ns();
     if (now >= deadline_ns) return Status::kTimeout;
     if (now >= next_probe) {
       if (!daemon_alive()) return Status::kDaemonGone;
+      if (reconnect_ &&
+          header()->lifecycle.load(std::memory_order_acquire) >=
+              Lifecycle::kDraining) {
+        // The daemon entered its drain while we wait.  It would still
+        // deliver our in-flight answers, but the successor is already (or
+        // imminently) serving — migrate now and replay there rather than
+        // ride out the predecessor's drain window.
+        return Status::kDaemonGone;
+      }
       // Eviction probe: a daemon that struck us out bumped the generation
       // and freed the slot — our outstanding seqs can never be answered.
       // Resolve like a daemon loss (a resilient client re-handshakes and
@@ -531,7 +596,16 @@ Client::DaemonStats Client::stats() const {
   out.evictions = s.evictions.load(std::memory_order_relaxed);
   out.shed_expired = s.shed_expired.load(std::memory_order_relaxed);
   out.credit_stalls = s.credit_stalls.load(std::memory_order_relaxed);
+  out.drained = s.drained.load(std::memory_order_relaxed);
+  out.drain_aborted = s.drain_aborted.load(std::memory_order_relaxed);
+  out.drain_refused = s.drain_refused.load(std::memory_order_relaxed);
   return out;
+}
+
+Lifecycle Client::daemon_lifecycle() const {
+  if (!attached_ || !shm_.valid()) return Lifecycle::kStopped;
+  return static_cast<Lifecycle>(
+      header()->lifecycle.load(std::memory_order_acquire));
 }
 
 std::uint64_t Client::credits() const {

@@ -36,6 +36,16 @@
 // and pointers taken before the crash stay valid across it.  A request is
 // never silently dropped: it completes bit-exactly or resolves to a typed
 // Status once the window closes.
+//
+// Handoffs (protocol v4): a draining daemon (planned restart, whtd
+// --supervise) answers new submissions with the typed kDraining and
+// publishes kDraining in the header's lifecycle word.  A resilient client
+// treats either signal as "re-handshake now": the capped backoff is
+// short-circuited to a ~1 ms poll — the warm successor takes the endpoint
+// over mid-drain — and the refused requests replay there under the new
+// generation.  A stream of verified transforms crosses a planned restart
+// with zero failed requests; non-resilient clients get kDraining as a
+// typed answer and decide for themselves.
 #pragma once
 
 #include <cstddef>
@@ -137,6 +147,13 @@ class Client {
   int slot_index() const { return static_cast<int>(slot_index_); }
   /// Successful re-handshakes since connect() (0 without Options::reconnect).
   std::uint64_t reconnects() const { return reconnects_; }
+  /// Typed kDraining answers observed (planned-restart refusals that were
+  /// replayed — or, without reconnect, returned to the caller).
+  std::uint64_t drain_notices() const { return drain_notices_; }
+  /// The retry hint carried by the most recent kDraining answer.
+  std::int32_t last_drain_hint_ms() const { return last_drain_hint_ms_; }
+  /// The daemon's published lifecycle word (kStopped when detached).
+  Lifecycle daemon_lifecycle() const;
 
   /// The daemon's live shared counters (read straight from the segment —
   /// the stats-export path; no request round-trip).
@@ -152,6 +169,9 @@ class Client {
     std::uint64_t evictions = 0;
     std::uint64_t shed_expired = 0;
     std::uint64_t credit_stalls = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t drain_aborted = 0;
+    std::uint64_t drain_refused = 0;
   };
   DaemonStats stats() const;
 
@@ -220,6 +240,11 @@ class Client {
   std::uint64_t option_timeout_ms_ = 0;
   std::uint64_t request_deadline_ms_ = 0;
   std::uint64_t reconnects_ = 0;
+  std::uint64_t drain_notices_ = 0;
+  std::int32_t last_drain_hint_ms_ = 0;
+  /// A kDraining answer arrived for a still-outstanding ticket: the next
+  /// wait turns it into an immediate re-handshake (reconnect mode only).
+  bool drain_notice_ = false;
   bool attached_ = false;
 };
 

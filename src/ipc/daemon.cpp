@@ -117,6 +117,8 @@ DaemonOptions DaemonOptions::from_env() {
       env_u64("WHTLAB_IPC_SHED", options.shed_expired ? 1 : 0, 0, 1) != 0;
   options.strike_limit = static_cast<std::uint32_t>(
       env_u64("WHTLAB_IPC_STRIKES", options.strike_limit, 0, 1000000));
+  options.drain_ms =
+      env_u64("WHTLAB_IPC_DRAIN_MS", options.drain_ms, 1, 86400000);
   // The daemon arms the Engine circuit breaker by default: a serving
   // process must degrade to the reference backend, not crash or corrupt.
   options.engine.quarantine_strikes = static_cast<int>(
@@ -150,6 +152,9 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   if (options_.credit_window_ns < 1) {
     throw std::invalid_argument("ipc::Daemon: credit_window_ns must be >= 1");
   }
+  if (options_.drain_ms < 1) {
+    throw std::invalid_argument("ipc::Daemon: drain_ms must be >= 1");
+  }
   layout_.slot_count = options_.slots;
   layout_.arena_doubles = options_.arena_doubles;
   // Overflow-check the segment size in 128-bit before Layout's 64-bit
@@ -166,42 +171,105 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
         "(> 128 TiB); lower WHTLAB_IPC_SLOTS or WHTLAB_IPC_ARENA_BYTES");
   }
 
-  const std::string name = shm_name_for(options_.endpoint);
-  try {
-    shm_ = Shm::create(name, layout_.total_bytes());
-  } catch (const std::runtime_error&) {
-    // A segment already carries this name.  Take it over only if its
-    // recorded daemon is provably gone (crashed predecessor that never
-    // unlinked); a live daemon keeps the endpoint.
-    bool stale = false;
-    if (options_.takeover_stale) {
+  slot_local_.resize(options_.slots);
+  const std::string canonical = shm_name_for(options_.endpoint);
+  if (options_.standby) {
+    // A standby binds the staging name; peek the incumbent's canonical
+    // segment so promote() can continue its epoch chain even if the
+    // incumbent finishes draining (and unlinks) before promote() runs.
+    try {
+      const Shm existing = Shm::open(canonical);
+      if (existing.size() >= sizeof(ControlHeader)) {
+        const auto* hdr = static_cast<const ControlHeader*>(existing.data());
+        if (hdr->magic == kMagic) {
+          epoch_base_ = hdr->epoch.load(std::memory_order_acquire);
+        }
+      }
+    } catch (const std::runtime_error&) {
+      // No incumbent: the epoch chain starts at 1 either way.
+    }
+  }
+  const std::string name =
+      options_.standby ? shm_name_for(options_.endpoint + ".next") : canonical;
+  shm_ = bind_segment(name, /*cede_draining=*/false,
+                      /*staging=*/options_.standby, /*wait_ms=*/0);
+  engine_ = std::make_unique<api::Engine>(options_.engine);
+  header()->daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
+                             std::memory_order_release);
+  // Construction complete, Engine cold: kWarming until start() (a standby
+  // stays here through prewarm() and promote()).  Clients may attach from
+  // now on — attach admits kBooting/kWarming/kServing alike.
+  set_lifecycle(Lifecycle::kWarming);
+}
+
+Shm Daemon::bind_segment(const std::string& shm_name, bool cede_draining,
+                         bool staging, std::uint64_t wait_ms) {
+  const std::uint64_t give_up = monotonic_ns() + wait_ms * 1000000ULL;
+  Shm shm;
+  for (;;) {
+    try {
+      shm = Shm::create(shm_name, layout_.total_bytes());
+      break;
+    } catch (const std::runtime_error&) {
+      // A segment already carries this name.  Take it over only if its
+      // recorded daemon is provably gone (crashed predecessor that never
+      // unlinked) — or, on the promote() path, live but *ceding*: a
+      // draining or stopped predecessor has given up the endpoint even
+      // though its process still runs out its drain.
+      bool stale = false;
       try {
-        const Shm existing = Shm::open(name);
+        const Shm existing = Shm::open(shm_name);
         if (existing.size() < sizeof(ControlHeader)) {
           stale = true;
         } else {
           const auto* hdr = static_cast<const ControlHeader*>(existing.data());
+          if (hdr->magic == kMagic) {
+            const std::uint64_t seen =
+                hdr->epoch.load(std::memory_order_acquire);
+            if (seen > epoch_base_) epoch_base_ = seen;
+          }
           stale = hdr->magic != kMagic ||
                   hdr->shutdown.load(std::memory_order_acquire) != 0 ||
                   !pid_alive(hdr->daemon_pid.load(std::memory_order_acquire));
+          if (!stale && cede_draining) {
+            // The promote() path: a live predecessor cedes by RELEASING
+            // the name at drain completion (observed below as ENOENT) or
+            // by reaching kStopped.  kDraining alone is not a cede — the
+            // predecessor still owns the unlink half of the transition,
+            // and displacing it mid-drain would race its release.
+            const auto lc = static_cast<Lifecycle>(
+                hdr->lifecycle.load(std::memory_order_acquire));
+            stale = lc == Lifecycle::kStopped;
+          }
         }
       } catch (const std::runtime_error&) {
         stale = true;  // vanished between create and open; retry below
       }
+      // With takeover disabled only promote()'s cede rule may displace a
+      // predecessor, however stale it looks.
+      if (!options_.takeover_stale && !cede_draining) stale = false;
+      if (!stale) {
+        if (cede_draining && monotonic_ns() < give_up) {
+          // The predecessor serves on; absorb the SIGTERM -> kDraining
+          // publication race by polling briefly.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        throw Error(Status::kServerFull,
+                    "ipc::Daemon: endpoint '" + options_.endpoint +
+                        "' already served by a live daemon");
+      }
+      Shm::unlink(shm_name);
+      // Loop: recreate under the freed name (another claimant may race the
+      // create; whoever loses sees the winner's live header and throws).
     }
-    if (!stale) {
-      throw Error(Status::kServerFull,
-                  "ipc::Daemon: endpoint '" + options_.endpoint +
-                      "' already served by a live daemon");
-    }
-    Shm::unlink(name);
-    shm_ = Shm::create(name, layout_.total_bytes());
   }
 
   // The segment is kernel-zeroed: every ring empty, every slot kFree, all
-  // stats zero.  Publish config, then the pid last — a client that sees a
-  // live daemon_pid may rely on everything before it.
-  ControlHeader* hdr = header();
+  // stats zero, lifecycle kBooting.  Publish config, then magic; the caller
+  // stores daemon_pid last — a client that sees a live daemon_pid may rely
+  // on everything before it.
+  auto* hdr = layout_.header(shm.data());
   hdr->version = kVersion;
   hdr->abi = abi_tag();
   hdr->slot_count = options_.slots;
@@ -214,21 +282,23 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   hdr->credit_window_ns = options_.credit_window_ns;
   hdr->shed_expired = options_.shed_expired ? 1 : 0;
   hdr->strike_limit = options_.strike_limit;
+  hdr->drain_ms = options_.drain_ms;
+  hdr->epoch.store(staging ? 0 : (epoch_base_ + 1),
+                   std::memory_order_release);
   hdr->magic = kMagic;
   // Per-slot trust/budget state stays daemon-local: the shared segment gets
-  // only the advisory balance word.
-  slot_local_.resize(options_.slots);
+  // only the advisory balance word.  A fresh segment means fresh tenants.
   for (std::uint32_t s = 0; s < options_.slots; ++s) {
     slot_local_[s].limiter =
         RateLimiter(options_.rate_limit, options_.rate_window_ns);
     slot_local_[s].credits =
         CreditBucket(options_.credit_limit, options_.credit_window_ns);
     slot_local_[s].strikes = StrikeCounter(options_.strike_limit);
-    slot(s)->credits.store(options_.credit_limit, std::memory_order_relaxed);
+    slot_local_[s].new_tenant(0);
+    layout_.slot(shm.data(), s)
+        ->credits.store(options_.credit_limit, std::memory_order_relaxed);
   }
-  engine_ = std::make_unique<api::Engine>(options_.engine);
-  hdr->daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
-                        std::memory_order_release);
+  return shm;
 }
 
 Daemon::~Daemon() {
@@ -237,13 +307,14 @@ Daemon::~Daemon() {
   } catch (...) {
     // Destructors stay noexcept; the segment unlink below still runs.
   }
-  if (!stopped_ && shm_.valid()) Shm::unlink(shm_.name());
+  if (!stopped_ && shm_.valid()) unlink_if_owned();
 }
 
 void Daemon::start() {
   if (running_.load(std::memory_order_acquire) || stopped_) return;
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  set_lifecycle(Lifecycle::kServing);
   service_ = std::thread([this] { service_loop(); });
 }
 
@@ -260,13 +331,149 @@ void Daemon::stop() {
     ControlHeader* hdr = header();
     hdr->shutdown.store(1, std::memory_order_release);
     hdr->daemon_pid.store(0, std::memory_order_release);
+    hdr->lifecycle.store(Lifecycle::kStopped, std::memory_order_release);
     futex_wake_all(hdr->doorbell);
     for (std::uint32_t s = 0; s < options_.slots; ++s) {
       futex_wake_all(slot(s)->responses.tail);
     }
-    Shm::unlink(shm_.name());
+    unlink_if_owned();
   }
   stopped_ = true;
+}
+
+void Daemon::release_name() {
+  // The drain-completion half of a handoff: give the canonical name up
+  // while still kDraining.  Everything after this point must never unlink
+  // by name again — the successor recreates the name the instant it sees
+  // the release, and a late unlink from this process would tear the
+  // successor's endpoint down (the classic probe-then-unlink TOCTOU this
+  // ordering exists to close).
+  if (name_released_ || !shm_.valid()) return;
+  name_released_ = true;
+  Shm::unlink(shm_.name());
+}
+
+void Daemon::unlink_if_owned() {
+  if (name_released_) return;  // the name belongs to a successor now
+  // After a handoff the canonical name belongs to the successor — its
+  // header carries a bumped epoch and a live pid that is not ours (ours
+  // was zeroed through our own mapping of the *old* segment).  Unlinking
+  // then would tear the successor's endpoint down; probe by name first.
+  // Epochs are compared as well as pids: two Daemons can share one process
+  // (in-process handoff tests), where the pid alone cannot tell the
+  // predecessor's mapping from the successor's.
+  const std::uint64_t my_epoch =
+      header()->epoch.load(std::memory_order_acquire);
+  bool ours = true;
+  try {
+    const Shm current = Shm::open(shm_.name());
+    if (current.size() >= sizeof(ControlHeader)) {
+      const auto* h = static_cast<const ControlHeader*>(current.data());
+      const std::uint32_t pid = h->daemon_pid.load(std::memory_order_acquire);
+      if (h->magic == kMagic &&
+          h->epoch.load(std::memory_order_acquire) != my_epoch) {
+        ours = false;  // a successor generation took the name over
+      } else {
+        ours = h->magic != kMagic || pid == 0 ||
+               pid == static_cast<std::uint32_t>(::getpid()) ||
+               h->shutdown.load(std::memory_order_acquire) != 0 ||
+               !pid_alive(pid);
+      }
+    }
+  } catch (const std::runtime_error&) {
+    ours = false;  // the name is already gone: nothing to unlink
+  }
+  if (ours) Shm::unlink(shm_.name());
+}
+
+Lifecycle Daemon::lifecycle() const {
+  if (!shm_.valid()) return Lifecycle::kStopped;
+  return static_cast<Lifecycle>(
+      header()->lifecycle.load(std::memory_order_acquire));
+}
+
+std::uint64_t Daemon::epoch() const {
+  if (!shm_.valid()) return 0;
+  return header()->epoch.load(std::memory_order_acquire);
+}
+
+void Daemon::set_lifecycle(Lifecycle lifecycle) {
+  if (shm_.valid()) {
+    header()->lifecycle.store(lifecycle, std::memory_order_release);
+  }
+}
+
+std::size_t Daemon::prewarm() {
+  const std::size_t built = engine_->prewarm();
+  if (shm_.valid()) {
+    // Published so supervisors and tests can verify the successor serves
+    // warm *before* it takes the endpoint over.
+    header()->prewarmed.store(static_cast<std::uint32_t>(built),
+                              std::memory_order_release);
+  }
+  return built;
+}
+
+void Daemon::drain(std::uint64_t deadline_ms) {
+  const std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (stopped_ || draining_.load(std::memory_order_acquire)) return;
+  const std::uint64_t budget_ms =
+      deadline_ms != 0 ? deadline_ms : options_.drain_ms;
+  // Deadline before flag: the service loop reads them in the opposite
+  // order, so it never sees the drain without its budget.
+  drain_deadline_ns_.store(monotonic_ns() + budget_ms * 1000000ULL,
+                           std::memory_order_release);
+  draining_.store(true, std::memory_order_release);
+  if (!running_.load(std::memory_order_acquire)) {
+    // Never started (or already joined): nothing can be in flight.  Flush
+    // and park directly — the lifecycle edge still publishes, and the name
+    // release still precedes it (same ordering as the service-loop tail).
+    if (engine_) engine_->flush_wisdom();
+    release_name();
+    set_lifecycle(Lifecycle::kStopped);
+    return;
+  }
+  // Publish immediately: clients probing the lifecycle word switch to the
+  // fast re-handshake path without waiting for a service-loop iteration.
+  set_lifecycle(Lifecycle::kDraining);
+  if (shm_.valid()) futex_wake_all(header()->doorbell);
+}
+
+bool Daemon::wait_drained(std::uint64_t timeout_ms) {
+  const std::uint64_t deadline = monotonic_ns() + timeout_ms * 1000000ULL;
+  while (lifecycle() != Lifecycle::kStopped) {
+    if (monotonic_ns() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+void Daemon::promote(std::uint64_t wait_ms) {
+  if (!options_.standby) {
+    throw std::logic_error("ipc::Daemon: promote() requires a standby daemon");
+  }
+  if (stopped_ || running_.load(std::memory_order_acquire)) {
+    throw std::logic_error(
+        "ipc::Daemon: promote() must run before start() / after no stop()");
+  }
+  const std::string staging = shm_.name();
+  const std::uint32_t prewarmed =
+      header()->prewarmed.load(std::memory_order_acquire);
+  // Waits for the predecessor to cede (dead, shut down, draining, or
+  // stopped), then binds a fresh canonical segment with its epoch + 1.
+  Shm canonical = bind_segment(shm_name_for(options_.endpoint),
+                               /*cede_draining=*/true, /*staging=*/false,
+                               wait_ms);
+  // The staging name has served its purpose; drop it before the old
+  // mapping goes away so a crash in between cannot leave it lingering.
+  Shm::unlink(staging);
+  shm_ = std::move(canonical);  // unmaps the staging segment
+  ControlHeader* hdr = header();
+  hdr->prewarmed.store(prewarmed, std::memory_order_release);
+  hdr->daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
+                        std::memory_order_release);
+  options_.standby = false;
+  set_lifecycle(Lifecycle::kWarming);  // kServing once start() runs
 }
 
 Daemon::Stats Daemon::stats() const {
@@ -284,6 +491,9 @@ Daemon::Stats Daemon::stats() const {
   out.evictions = s.evictions.load(std::memory_order_relaxed);
   out.shed_expired = s.shed_expired.load(std::memory_order_relaxed);
   out.credit_stalls = s.credit_stalls.load(std::memory_order_relaxed);
+  out.drained = s.drained.load(std::memory_order_relaxed);
+  out.drain_aborted = s.drain_aborted.load(std::memory_order_relaxed);
+  out.drain_refused = s.drain_refused.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -298,7 +508,10 @@ std::string to_string(const Daemon::Stats& stats) {
          " protocol_errors=" + std::to_string(stats.protocol_errors) +
          " evictions=" + std::to_string(stats.evictions) +
          " shed_expired=" + std::to_string(stats.shed_expired) +
-         " credit_stalls=" + std::to_string(stats.credit_stalls);
+         " credit_stalls=" + std::to_string(stats.credit_stalls) +
+         " drained=" + std::to_string(stats.drained) +
+         " drain_aborted=" + std::to_string(stats.drain_aborted) +
+         " drain_refused=" + std::to_string(stats.drain_refused);
 }
 
 void Daemon::service_loop() {
@@ -339,6 +552,29 @@ void Daemon::service_loop() {
       sweep();
       last_sweep = now;
     }
+
+    if (draining_.load(std::memory_order_acquire)) {
+      // Graceful drain: no parking from here on.  Done when nothing is
+      // pending inside the Engine AND every live client's rings are empty —
+      // all submitted work answered, every answer consumed.  A consumer
+      // that never drains its ring (SIGSTOPped under load) hits the
+      // deadline instead: the drain aborts typed and counted, never hangs.
+      if (pending.empty() && rings_flushed()) {
+        header()->stats.drained.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (monotonic_ns() >= drain_deadline_ns_.load(std::memory_order_acquire)) {
+        header()->stats.drain_aborted.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (!pending.empty()) {
+        drain_completions(pending, /*block_one=*/true);
+      } else if (!progress) {
+        // Only consumers are left to act; poll their cursors gently.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
     if (progress) continue;
 
     if (!pending.empty()) {
@@ -374,6 +610,35 @@ void Daemon::service_loop() {
     }
     complete(p.index, p.generation, p.seq, status);
   }
+
+  if (draining_.load(std::memory_order_acquire)) {
+    // Durability barrier before the lifecycle edge: winners recorded this
+    // run provably survive into the successor's prewarm.  The name is
+    // released BEFORE kStopped — the successor only recreates the
+    // canonical name after observing the release (ENOENT) or kStopped, and
+    // this daemon never unlinks again (name_released_), so exactly one
+    // process ever owns the unlink→create transition.  kStopped is what
+    // wait_drained() and the supervisor's handoff sequence poll for.
+    engine_->flush_wisdom();
+    release_name();
+    set_lifecycle(Lifecycle::kStopped);
+  }
+}
+
+bool Daemon::rings_flushed() const {
+  for (std::uint32_t s = 0; s < options_.slots; ++s) {
+    SlotShared* cell = slot(s);
+    if (cell->state.load(std::memory_order_acquire) != kActive) continue;
+    const std::uint32_t pid = cell->pid.load(std::memory_order_acquire);
+    if (!pid_alive(pid)) continue;  // a corpse is the sweep's problem
+    const std::uint32_t requests = cell->requests.size();
+    const std::uint32_t responses = cell->responses.size();
+    // Scribbled cursor words report impossible occupancy (> ring depth);
+    // nothing deliverable lives there, so they cannot hold the drain open.
+    if (requests != 0 && requests <= kRingDepth) return false;
+    if (responses != 0 && responses <= kRingDepth) return false;
+  }
+  return true;
 }
 
 bool Daemon::poll_requests(std::vector<PendingExec>& pending) {
@@ -446,6 +711,22 @@ void Daemon::handle_request(std::uint32_t index, SlotShared* cell,
     return;
   }
   local.last_counter = static_cast<std::uint32_t>(request.seq & 0xffffffffULL);
+
+  if (draining_.load(std::memory_order_acquire)) {
+    // Planned restart: admission is closed.  Refuse typed with a retry
+    // hint — the remaining drain budget bounds how soon the successor owns
+    // the endpoint, so a handoff-aware client re-handshakes immediately
+    // instead of backing off.
+    stats.drain_refused.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t deadline =
+        drain_deadline_ns_.load(std::memory_order_acquire);
+    const std::uint64_t at = monotonic_ns();
+    const std::int32_t hint_ms =
+        deadline > at ? static_cast<std::int32_t>((deadline - at) / 1000000ULL)
+                      : 0;
+    respond(index, cell, request.seq, Status::kDraining, hint_ms);
+    return;
+  }
 
   const std::uint64_t now = monotonic_ns();
   // Overload degradation, cheapest checks first.  Shedding precedes the
@@ -550,10 +831,11 @@ void Daemon::complete(std::uint32_t index, std::uint64_t gen,
 }
 
 void Daemon::respond(std::uint32_t index, SlotShared* cell, std::uint64_t seq,
-                     Status status) {
+                     Status status, std::int32_t hint_ms) {
   Response response;
   response.seq = seq;
   response.status = static_cast<std::int32_t>(status);
+  response.hint_ms = hint_ms;
   // The client-side inflight cap (client.cpp) keeps outstanding responses
   // below the ring depth, so a full ring means a protocol-violating client;
   // a brief retry covers consumption races, then the response is dropped

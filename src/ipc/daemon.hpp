@@ -32,11 +32,25 @@
 //     publishes the shutdown flag, wakes every parked waiter, and unlinks
 //     the segment; blocked clients resolve to kDaemonGone instead of
 //     hanging.
+//   * Graceful drain (protocol v4) — drain() moves the lifecycle word to
+//     kDraining: the daemon stops admitting (new submissions answer the
+//     typed kDraining with a retry hint), finishes every in-flight request,
+//     waits for clients to consume their answers, flushes wisdom, and only
+//     then stops — all inside the drain_ms deadline (a wedged consumer
+//     aborts the drain typed, never hangs it).  SIGTERM on whtd maps here.
+//   * Warm-standby handoff — a Daemon built with options.standby binds a
+//     *staging* segment (endpoint + ".next") so its Engine can prewarm from
+//     wisdom without disturbing the incumbent; promote() then atomically
+//     takes the canonical endpoint over (epoch bump) once the predecessor
+//     is provably dead, shut down, or draining ("live-but-draining
+//     predecessor cedes").  `whtd --supervise` drives this on SIGHUP for
+//     zero-downtime rolling restarts (supervisor.hpp).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -95,8 +109,21 @@ struct DaemonOptions {
   std::uint32_t strike_limit = 3;
 
   /// Replace a leftover segment whose recorded daemon pid is dead (crashed
-  /// predecessor).  A segment with a *live* daemon is never taken over.
+  /// predecessor).  A segment with a *live* daemon is never taken over —
+  /// except by promote(), where a live-but-*draining* predecessor cedes.
   bool takeover_stale = true;
+
+  /// Graceful-drain budget: drain() finishes in-flight work and waits for
+  /// clients to consume their answers for at most this long before aborting
+  /// the drain (typed, counted — never hung).  [WHTLAB_IPC_DRAIN_MS]
+  std::uint64_t drain_ms = 5000;
+
+  /// Warm-standby mode: bind the *staging* segment (endpoint + ".next")
+  /// instead of the canonical one, so this daemon can construct and prewarm
+  /// while the incumbent still serves.  promote() later takes the canonical
+  /// endpoint over.  The staging segment never takes over a live staging
+  /// predecessor either — two concurrent standbys is a configuration error.
+  bool standby = false;
 
   /// The serving Engine's configuration (candidate backends, strategy,
   /// wisdom file, coalescing window, ...).
@@ -120,8 +147,50 @@ class Daemon {
   void start();  ///< spawns the service thread (idempotent)
 
   /// Drains in-flight work, publishes shutdown, wakes all waiters, joins
-  /// the service thread, and unlinks the segment.  Idempotent.
+  /// the service thread, and unlinks the segment.  Idempotent.  After a
+  /// handoff the canonical name may already belong to the successor; stop()
+  /// then skips the unlink (never removes a segment it no longer owns).
   void stop();
+
+  /// Begins a graceful drain: the lifecycle word moves to kDraining (new
+  /// submissions answer typed kDraining with a retry hint), in-flight work
+  /// completes, clients consume their answers, wisdom is flushed — then the
+  /// service loop parks in kStopped awaiting stop().  `deadline_ms` caps
+  /// the whole drain (0 = options().drain_ms); a wedged consumer aborts the
+  /// drain at the deadline (drain_aborted) instead of hanging it.
+  /// Async-signal-unsafe parts live here, not in signal handlers — whtd's
+  /// SIGTERM handler only sets a flag and its main loop calls drain().
+  /// Idempotent; safe from any thread.
+  void drain(std::uint64_t deadline_ms = 0);
+
+  /// Blocks until the drain (or a plain stop) has run to completion — the
+  /// lifecycle word reached kStopped — or `timeout_ms` passed.  Returns
+  /// true when drained.
+  bool wait_drained(std::uint64_t timeout_ms);
+
+  /// Prewarms the Engine from wisdom (Engine::prewarm) and publishes the
+  /// count in the header's `prewarmed` word, so supervisors and tests can
+  /// verify a successor serves warm *before* takeover.  Returns the count.
+  std::size_t prewarm();
+
+  /// Warm-standby takeover: atomically moves this daemon from the staging
+  /// segment (endpoint + ".next") to the canonical endpoint.  Waits up to
+  /// `wait_ms` for the predecessor to cede — dead, shut down, reached
+  /// kStopped, or (the drain-completion handoff) released the canonical
+  /// name itself; a live serving-or-draining predecessor is never
+  /// displaced — then binds a fresh segment under the canonical name
+  /// with epoch = predecessor epoch + 1, and republishes the header (the
+  /// prewarmed count carries over).  Clients attached to the predecessor
+  /// keep their mappings (an unlinked segment lives until unmapped) and
+  /// re-handshake onto the new segment by name.  Must be called before
+  /// start(), on a Daemon built with options.standby.  Throws
+  /// ipc::Error(kServerFull) when the predecessor never cedes.
+  void promote(std::uint64_t wait_ms = 10000);
+
+  /// The published lifecycle word (kBooting until construction completes).
+  Lifecycle lifecycle() const;
+  /// The published takeover epoch (bumped by promote; 0 on staging).
+  std::uint64_t epoch() const;
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -139,6 +208,9 @@ class Daemon {
     std::uint64_t evictions = 0;
     std::uint64_t shed_expired = 0;
     std::uint64_t credit_stalls = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t drain_aborted = 0;
+    std::uint64_t drain_refused = 0;
   };
   Stats stats() const;
 
@@ -159,7 +231,23 @@ class Daemon {
   void complete(std::uint32_t index, std::uint64_t gen, std::uint64_t seq,
                 Status status);
   void respond(std::uint32_t index, SlotShared* slot, std::uint64_t seq,
-               Status status);
+               Status status, std::int32_t hint_ms = 0);
+  /// Drain progress: true when no live client still holds unconsumed
+  /// entries in either of its rings (everything submitted was answered AND
+  /// every answer was picked up).  Dead owners don't count — their slots
+  /// are the sweep's problem, not the drain's.
+  bool rings_flushed() const;
+  void set_lifecycle(Lifecycle lifecycle);
+  /// Binds the shm segment named `shm_name`, taking over a stale
+  /// predecessor per `cede_draining` (false: ctor rule — dead or shut down
+  /// only; true: promote rule — a live-but-draining predecessor cedes too,
+  /// waiting up to `wait_ms` for it to start draining), and publishes a
+  /// fully initialized header — everything but daemon_pid, which the
+  /// caller stores last.  Staging segments publish epoch 0; canonical ones
+  /// publish (largest predecessor epoch observed) + 1.  Also resets
+  /// slot_local_ for the fresh segment.
+  Shm bind_segment(const std::string& shm_name, bool cede_draining,
+                   bool staging, std::uint64_t wait_ms);
   /// Records one trust-boundary violation against the slot; evicts the
   /// tenant when the strike limit is crossed.
   void strike(std::uint32_t index, SlotShared* slot);
@@ -170,6 +258,13 @@ class Daemon {
   void evict(std::uint32_t index, SlotShared* slot);
   void sweep();
   void reclaim(std::uint32_t index, SlotShared* slot);
+  /// Unlinks the segment name only when it still maps to *this* daemon's
+  /// segment — after a handoff it is the successor's, and stays.
+  void unlink_if_owned();
+  /// Drain-completion half of a handoff: unlink the canonical name while
+  /// still kDraining and remember it (name_released_) so no later path
+  /// unlinks again — the successor owns the name from here on.
+  void release_name();
 
   ControlHeader* header() const { return layout_.header(shm_.data()); }
   SlotShared* slot(std::uint32_t index) const {
@@ -194,6 +289,11 @@ class Daemon {
   std::thread service_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> drain_deadline_ns_{0};
+  std::mutex drain_mutex_;  ///< serializes drain() callers (cold path)
+  std::uint64_t epoch_base_ = 0;  ///< canonical epoch seen at standby ctor
+  bool name_released_ = false;    ///< drain ceded the name to a successor
   bool stopped_ = false;  ///< stop() ran to completion (segment unlinked)
 };
 

@@ -15,6 +15,18 @@ const char* to_string(Status status) {
     case Status::kTooLarge: return "too-large";
     case Status::kExecError: return "exec-error";
     case Status::kProtocolError: return "protocol-error";
+    case Status::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+const char* to_string(Lifecycle lifecycle) {
+  switch (lifecycle) {
+    case kBooting: return "booting";
+    case kWarming: return "warming";
+    case kServing: return "serving";
+    case kDraining: return "draining";
+    case kStopped: return "stopped";
   }
   return "unknown";
 }

@@ -57,9 +57,37 @@ enum class Status : std::int32_t {
   kProtocolError,  ///< wire-level violation caught at the daemon's trust
                    ///< boundary (validate.hpp) — an honest client library
                    ///< never elicits this; repeat offenders are evicted
+  kDraining,     ///< daemon is gracefully draining (planned restart): the
+                 ///< request was not executed; re-handshake against the
+                 ///< endpoint — a warm successor is taking over.  The typed
+                 ///< answer carries a retry hint (Response::hint_ms).
 };
 
 const char* to_string(Status status);
+
+// --- daemon lifecycle -------------------------------------------------------
+
+/// The daemon lifecycle state machine, published in the control header so
+/// clients, the supervisor, and ops tooling all see the same word:
+///
+///   kBooting --segment+Engine built--> kWarming --start()--> kServing
+///     kServing --drain()/SIGTERM--> kDraining --in-flight done--> kStopped
+///
+/// A fresh (kernel-zeroed) segment reads kBooting.  kWarming covers wisdom
+/// prewarming — a warm-standby successor sits here, against a staging
+/// segment, until the supervisor promotes it.  kDraining means "alive,
+/// finishing in-flight work, admitting nothing new": new submissions answer
+/// the typed kDraining status and resilient clients re-handshake instead of
+/// backing off.  kStopped is terminal (the shutdown flag follows shortly).
+enum Lifecycle : std::uint32_t {
+  kBooting = 0,
+  kWarming = 1,
+  kServing = 2,
+  kDraining = 3,
+  kStopped = 4,
+};
+
+const char* to_string(Lifecycle lifecycle);
 
 /// Exception face of Status for the paths where failing is exceptional
 /// (connect/handshake, staging).  The serving hot path (transform/wait)
@@ -91,8 +119,11 @@ struct Request {
 
 struct Response {
   std::uint64_t seq = 0;
-  std::int32_t status = 0;  ///< Status
-  std::int32_t pad = 0;
+  std::int32_t status = 0;   ///< Status
+  /// Retry hint in milliseconds, meaningful with kDraining: how soon the
+  /// client should expect the successor daemon to own the endpoint (derived
+  /// from the drain deadline).  0 = none.
+  std::int32_t hint_ms = 0;
 };
 
 inline constexpr std::uint32_t kRingDepth = 64;
@@ -140,12 +171,16 @@ struct SharedStats {
   std::atomic<std::uint64_t> evictions;    ///< slots evicted for repeat offense
   std::atomic<std::uint64_t> shed_expired;  ///< past-deadline requests shed
   std::atomic<std::uint64_t> credit_stalls;  ///< requests refused for credits
+  /// Lifecycle counters (protocol v4).
+  std::atomic<std::uint64_t> drained;        ///< graceful drains completed
+  std::atomic<std::uint64_t> drain_aborted;  ///< drains cut off at the deadline
+  std::atomic<std::uint64_t> drain_refused;  ///< requests answered kDraining
 };
 
 // --- control header ---------------------------------------------------------
 
 inline constexpr std::uint64_t kMagic = 0x7768746c61622d69ULL;  // "whtlab-i"
-inline constexpr std::uint32_t kVersion = 3;  // v3: deadline/credit ABI rev
+inline constexpr std::uint32_t kVersion = 4;  // v4: lifecycle/handoff ABI rev
 
 struct ControlHeader {
   std::uint64_t magic;
@@ -163,8 +198,24 @@ struct ControlHeader {
   std::uint64_t credit_window_ns;  ///< full-refill period of the bucket
   std::uint32_t shed_expired;      ///< 1 = deadline shedding armed
   std::uint32_t strike_limit;      ///< protocol strikes before eviction (0 = never)
+  /// Drain budget published for observability (the binding copy lives in
+  /// DaemonOptions): how long a SIGTERM'd daemon finishes in-flight work
+  /// before aborting the drain.
+  std::uint64_t drain_ms;
   std::atomic<std::uint32_t> daemon_pid;  ///< liveness anchor for clients
   std::atomic<std::uint32_t> shutdown;    ///< 1 = daemon is gone / going
+  /// Daemon lifecycle word (Lifecycle).  Clients read it on attach (a
+  /// draining daemon refuses new tenants with the typed kDraining) and on
+  /// their liveness probes (drain short-circuits reconnect backoff).
+  std::atomic<std::uint32_t> lifecycle;
+  /// Endpoint generation: bumped every time a successor daemon takes the
+  /// canonical endpoint over from a predecessor (warm-standby handoff or
+  /// stale-segment takeover).  A fresh endpoint starts at 1.  Lets tests
+  /// and ops tooling count handoffs without parsing logs.
+  std::atomic<std::uint64_t> epoch;
+  /// Transforms rebuilt from wisdom before this daemon started serving
+  /// (Daemon::prewarm) — the "successor took over warm" proof.
+  std::atomic<std::uint32_t> prewarmed;
   /// Doorbell the daemon parks on: clients bump-and-wake after every request
   /// push, so one futex word covers all slots (the daemon rescans rings on
   /// every wake — cheap, slot_count is small).

@@ -6,234 +6,69 @@
 //   whtd &                          # serve endpoint "whtlab"
 //   whtd --endpoint lab --slots 8 --rate-limit 5000
 //   whtd --stats                    # periodic shared-counter lines
-//   whtd --supervise --pid-file d.pid   # fork-based watchdog (below)
+//   whtd --supervise --pid-file d.pid   # watchdog + rolling restarts
 //
 // Defaults come from DaemonOptions::from_env() (the WHTLAB_IPC_* knobs);
-// flags override the environment.  SIGINT/SIGTERM trigger a clean stop():
-// in-flight work drains, blocked clients resolve to kDaemonGone, the
-// segment is unlinked.
+// flags override the environment.  Signals:
 //
-// --supervise turns whtd into a watchdog: the serving daemon runs in a
-// forked child, and the parent restarts it (with capped backoff) whenever
-// it crashes, is SIGKILLed, or wedges — a wedge being a live pid whose
-// segment heartbeat (ControlHeader::heartbeat_ns) has not advanced within
-// --wedge-ms.  Reconnect-enabled clients ride the restart transparently.
-// --pid-file always records the *serving* pid (the child under
-// --supervise), so kill scripts hit the daemon and not the watchdog.
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <csignal>
+//   SIGTERM  graceful drain (--drain-ms budget): stop admitting — new
+//            submissions answer the typed kDraining — finish in-flight
+//            work, wait for clients to consume their answers, flush
+//            wisdom, then exit.
+//   SIGINT   immediate stop: in-flight work is answered, waiters resolve
+//            to kDaemonGone, the segment is unlinked.
+//   SIGHUP   (supervisor only) zero-downtime rolling restart: fork a warm
+//            standby successor, drain the incumbent, hand the endpoint
+//            over — reconnect-enabled clients cross it with zero failures.
+//
+// --supervise runs the serving daemon in a forked child and restarts it
+// (capped backoff, budget that resets after --stable-ms of healthy
+// serving) whenever it crashes, is SIGKILLed, or wedges — a wedge being a
+// live pid whose segment heartbeat (ControlHeader::heartbeat_ns) has not
+// advanced within --wedge-ms.  --pid-file always records the *serving*
+// pid (atomically, tmp+rename), tracking the current child across
+// restarts and handoffs, so kill scripts hit the daemon and never the
+// watchdog.  The heavy lifting lives in src/ipc/supervisor.hpp.
 #include <cstdio>
 #include <exception>
 #include <string>
-#include <thread>
 
-#include "api/engine.hpp"
 #include "ipc/daemon.hpp"
-#include "ipc/protocol.hpp"
-#include "ipc/shm.hpp"
+#include "ipc/supervisor.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
-std::atomic<int> g_signal{0};
-
-void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
-
-void print_stats(const whtlab::ipc::Daemon& daemon) {
-  std::printf("whtd: %s\n",
-              whtlab::ipc::to_string(daemon.stats()).c_str());
-  std::fflush(stdout);
-}
-
-void write_pid_file(const std::string& path, pid_t pid) {
-  if (path.empty()) return;
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fprintf(f, "%d\n", static_cast<int>(pid));
-    std::fclose(f);
-  } else {
-    std::fprintf(stderr, "whtd: cannot write pid file %s\n", path.c_str());
-  }
-}
-
-/// The serving process proper: construct, serve until signalled, stop.
-int run_daemon(const whtlab::ipc::DaemonOptions& options, bool stats,
-               std::int64_t stats_interval_ms, bool prewarm, bool once_ready,
-               const std::string& pid_file) {
-  try {
-    whtlab::ipc::Daemon daemon(options);
-    if (prewarm) {
-      // Pay the first-touch planning stalls before taking traffic — runs in
-      // every supervised restart too (run_daemon is the child body), so a
-      // bounced daemon comes back warm from the same wisdom.
-      const std::size_t built = daemon.engine().prewarm();
-      std::fprintf(stderr, "whtd: prewarmed %zu transform(s) from %s\n",
-                   built, options.engine.wisdom_file.empty()
-                              ? "(no wisdom file)"
-                              : options.engine.wisdom_file.c_str());
-    }
-    daemon.start();
-
-    std::signal(SIGINT, on_signal);
-    std::signal(SIGTERM, on_signal);
-    write_pid_file(pid_file, ::getpid());
-
-    std::fprintf(stderr, "whtd: serving %s (slots=%u arena=%llu doubles)\n",
-                 daemon.shm_name().c_str(), options.slots,
-                 static_cast<unsigned long long>(options.arena_doubles));
-    if (once_ready) {
-      std::printf("READY\n");
-      std::fflush(stdout);
-    }
-
-    auto last_stats = std::chrono::steady_clock::now();
-    while (g_signal.load(std::memory_order_relaxed) == 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      if (stats) {
-        const auto now = std::chrono::steady_clock::now();
-        if (now - last_stats >=
-            std::chrono::milliseconds(stats_interval_ms)) {
-          print_stats(daemon);
-          last_stats = now;
-        }
-      }
-    }
-
-    std::fprintf(stderr, "whtd: signal %d, stopping\n",
-                 g_signal.load(std::memory_order_relaxed));
-    daemon.stop();
-    print_stats(daemon);
-    std::fprintf(stderr, "whtd: engine %s\n",
-                 whtlab::api::to_string(daemon.engine().stats()).c_str());
-  } catch (const whtlab::ipc::Error& e) {
-    std::fprintf(stderr, "whtd: %s\n", e.what());
-    return 1;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "whtd: %s\n", e.what());
-    return 1;
-  }
-  return 0;
-}
-
-/// Heartbeat staleness in ms for the endpoint's segment, or -1 when the
-/// segment is missing/unreadable (daemon still booting — not a wedge).
-std::int64_t heartbeat_age_ms(const std::string& endpoint) {
-  try {
-    // Read-only mapping: the watchdog is a pure observer — it must not be
-    // *able* to perturb the protocol state it judges.
-    const whtlab::ipc::Shm probe = whtlab::ipc::Shm::open_readonly(
-        whtlab::ipc::shm_name_for(endpoint));
-    if (probe.size() < sizeof(whtlab::ipc::ControlHeader)) return -1;
-    const auto* hdr =
-        static_cast<const whtlab::ipc::ControlHeader*>(probe.data());
-    if (hdr->magic != whtlab::ipc::kMagic) return -1;
-    const std::uint64_t hb =
-        hdr->heartbeat_ns.load(std::memory_order_relaxed);
-    if (hb == 0) return -1;  // service loop not entered yet
-    const std::uint64_t now = whtlab::ipc::monotonic_ns();
-    return now <= hb ? 0
-                     : static_cast<std::int64_t>((now - hb) / 1000000ULL);
-  } catch (const std::exception&) {
-    return -1;
-  }
-}
-
-/// Fork-based watchdog: serve in a child, restart it on crash or wedge.
-int supervise(const whtlab::ipc::DaemonOptions& options, bool stats,
-              std::int64_t stats_interval_ms, bool prewarm, bool once_ready,
-              const std::string& pid_file, std::int64_t wedge_ms,
-              std::int64_t max_restarts) {
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
-  std::int64_t restarts = 0;
-  for (;;) {
-    const pid_t child = ::fork();
-    if (child < 0) {
-      std::perror("whtd: fork");
-      return 1;
-    }
-    if (child == 0) {
-      // IMPORTANT: the parent is still single-threaded here; all threads
-      // (Engine dispatcher, service loop) are born inside this child.
-      ::_exit(run_daemon(options, stats, stats_interval_ms, prewarm,
-                         once_ready, pid_file));
-    }
-    std::fprintf(stderr, "whtd[supervisor]: daemon pid %d (restart %lld)\n",
-                 static_cast<int>(child),
-                 static_cast<long long>(restarts));
-    const std::uint64_t spawn_ns = whtlab::ipc::monotonic_ns();
-    bool respawn = false;
-    int wait_status = 0;
-    for (;;) {
-      const int sig = g_signal.load(std::memory_order_relaxed);
-      if (sig != 0) {
-        // Forward the shutdown request, give the child a grace period to
-        // drain, then make sure of it.
-        ::kill(child, SIGTERM);
-        for (int i = 0; i < 100; ++i) {
-          if (::waitpid(child, &wait_status, WNOHANG) == child) {
-            return WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 0;
-          }
-          std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        }
-        ::kill(child, SIGKILL);
-        ::waitpid(child, &wait_status, 0);
-        return 0;
-      }
-      const pid_t done = ::waitpid(child, &wait_status, WNOHANG);
-      if (done == child) {
-        if (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0) {
-          return 0;  // clean voluntary exit: nothing to supervise
-        }
-        std::fprintf(stderr,
-                     "whtd[supervisor]: daemon died (%s %d), restarting\n",
-                     WIFSIGNALED(wait_status) ? "signal" : "status",
-                     WIFSIGNALED(wait_status) ? WTERMSIG(wait_status)
-                                              : WEXITSTATUS(wait_status));
-        respawn = true;
-        break;
-      }
-      // Wedge detection: a live child whose heartbeat went stale is as
-      // gone as a dead one — replace it.  The boot grace period covers
-      // segment creation + Engine construction + first loop entry.
-      const std::int64_t age = heartbeat_age_ms(options.endpoint);
-      const std::uint64_t up_ms =
-          (whtlab::ipc::monotonic_ns() - spawn_ns) / 1000000ULL;
-      const bool booted = age >= 0;
-      const bool wedged =
-          (booted && age > wedge_ms) ||
-          (!booted && up_ms > static_cast<std::uint64_t>(wedge_ms) + 10000);
-      if (wedged) {
-        std::fprintf(stderr,
-                     "whtd[supervisor]: daemon wedged (heartbeat %lld ms "
-                     "stale), killing pid %d\n",
-                     static_cast<long long>(age), static_cast<int>(child));
-        ::kill(child, SIGKILL);
-        ::waitpid(child, &wait_status, 0);
-        respawn = true;
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
-    if (!respawn) return 0;
-    restarts += 1;
-    if (max_restarts > 0 && restarts > max_restarts) {
-      std::fprintf(stderr, "whtd[supervisor]: %lld restarts exhausted\n",
-                   static_cast<long long>(max_restarts));
-      return 1;
-    }
-    // Capped restart backoff so a daemon that dies on boot cannot spin the
-    // supervisor hot.
-    const std::int64_t backoff_ms =
-        std::min<std::int64_t>(100 << std::min<std::int64_t>(restarts, 5),
-                               2000);
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-  }
+/// Environment first, flags on top — run again by every supervised child
+/// (through SupervisorOptions::reload), so a rolling restart picks up
+/// WHTLAB_IPC_* changes made since the supervisor booted.
+whtlab::ipc::DaemonOptions options_from(const whtlab::util::Cli& cli) {
+  whtlab::ipc::DaemonOptions options = whtlab::ipc::DaemonOptions::from_env();
+  options.endpoint = cli.get("endpoint", options.endpoint);
+  options.slots =
+      static_cast<std::uint32_t>(cli.get_int("slots", options.slots));
+  options.arena_doubles = static_cast<std::uint64_t>(cli.get_int(
+      "arena-doubles", static_cast<std::int64_t>(options.arena_doubles)));
+  options.rate_limit = static_cast<std::uint64_t>(cli.get_int(
+      "rate-limit", static_cast<std::int64_t>(options.rate_limit)));
+  options.credit_limit = static_cast<std::uint64_t>(cli.get_int(
+      "credits", static_cast<std::int64_t>(options.credit_limit)));
+  options.credit_window_ns =
+      static_cast<std::uint64_t>(cli.get_int(
+          "credit-window-ms",
+          static_cast<std::int64_t>(options.credit_window_ns / 1000000ULL))) *
+      1000000ULL;
+  options.shed_expired = cli.get_int("shed", options.shed_expired ? 1 : 0) != 0;
+  options.strike_limit = static_cast<std::uint32_t>(
+      cli.get_int("strikes", static_cast<std::int64_t>(options.strike_limit)));
+  options.timeout_ms = static_cast<std::uint64_t>(cli.get_int(
+      "timeout-ms", static_cast<std::int64_t>(options.timeout_ms)));
+  options.sweep_ms = static_cast<std::uint64_t>(
+      cli.get_int("sweep-ms", static_cast<std::int64_t>(options.sweep_ms)));
+  options.drain_ms = static_cast<std::uint64_t>(
+      cli.get_int("drain-ms", static_cast<std::int64_t>(options.drain_ms)));
+  options.engine.wisdom_file = cli.get("wisdom", options.engine.wisdom_file);
+  return options;
 }
 
 }  // namespace
@@ -250,68 +85,60 @@ int main(int argc, char** argv) {
   cli.add_flag("strikes", "protocol strikes before slot eviction (0 = never evict)");
   cli.add_flag("timeout-ms", "published client wait deadline, ms");
   cli.add_flag("sweep-ms", "dead-client liveness sweep period, ms");
+  cli.add_flag("drain-ms", "graceful-drain budget for SIGTERM/handoffs, ms");
   cli.add_flag("wisdom", "wisdom file for first-touch planning");
-  cli.add_flag("pid-file", "write the serving pid here (child pid under --supervise)");
+  cli.add_flag("pid-file", "write the serving pid here (current child under --supervise)");
   cli.add_flag("wedge-ms", "supervisor: heartbeat staleness that counts as wedged");
-  cli.add_flag("max-restarts", "supervisor: give up after this many restarts (0 = never)");
+  cli.add_flag("max-restarts", "supervisor: give up after this many unstable restarts (0 = never)");
+  cli.add_flag("stable-ms", "supervisor: healthy uptime that resets the restart budget");
+  cli.add_flag("handoff-ready-ms", "supervisor: successor prewarm bound for SIGHUP handoffs");
   cli.add_flag("stats-interval-ms", "period of the --stats counter line (default 1000)");
   cli.add_bool("stats", "print shared counters periodically (see --stats-interval-ms)");
   cli.add_bool("prewarm", "rebuild wisdom-recorded transforms before serving");
   cli.add_bool("once-ready", "print READY on stdout once serving (for scripts)");
-  cli.add_bool("supervise", "run the daemon in a watchdogged child, restart on crash/wedge");
+  cli.add_bool("supervise", "watchdogged child: restart on crash/wedge, SIGHUP rolling restart");
   if (!cli.parse(argc, argv)) return 2;
 
   whtlab::ipc::DaemonOptions options;
   try {
-    options = whtlab::ipc::DaemonOptions::from_env();
+    options = options_from(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "whtd: %s\n", e.what());
     return 2;
   }
-  options.endpoint = cli.get("endpoint", options.endpoint);
-  options.slots =
-      static_cast<std::uint32_t>(cli.get_int("slots", options.slots));
-  options.arena_doubles = static_cast<std::uint64_t>(cli.get_int(
-      "arena-doubles", static_cast<std::int64_t>(options.arena_doubles)));
-  options.rate_limit = static_cast<std::uint64_t>(cli.get_int(
-      "rate-limit", static_cast<std::int64_t>(options.rate_limit)));
-  options.credit_limit = static_cast<std::uint64_t>(cli.get_int(
-      "credits", static_cast<std::int64_t>(options.credit_limit)));
-  options.credit_window_ns =
-      static_cast<std::uint64_t>(cli.get_int(
-          "credit-window-ms",
-          static_cast<std::int64_t>(options.credit_window_ns / 1000000ULL))) *
-      1000000ULL;
-  options.shed_expired =
-      cli.get_int("shed", options.shed_expired ? 1 : 0) != 0;
-  options.strike_limit = static_cast<std::uint32_t>(
-      cli.get_int("strikes", static_cast<std::int64_t>(options.strike_limit)));
-  options.timeout_ms = static_cast<std::uint64_t>(cli.get_int(
-      "timeout-ms", static_cast<std::int64_t>(options.timeout_ms)));
-  options.sweep_ms = static_cast<std::uint64_t>(
-      cli.get_int("sweep-ms", static_cast<std::int64_t>(options.sweep_ms)));
-  options.engine.wisdom_file = cli.get("wisdom", options.engine.wisdom_file);
 
   const std::int64_t stats_interval_ms = cli.get_int("stats-interval-ms", 1000);
   if (stats_interval_ms < 1) {
     std::fprintf(stderr, "whtd: --stats-interval-ms must be >= 1\n");
     return 2;
   }
+  whtlab::ipc::ServeOptions serve_options;
   // Asking for an interval implies asking for the stats line.
-  const bool stats = cli.has("stats") || cli.has("stats-interval-ms");
-  const bool prewarm = cli.has("prewarm");
-  const bool once_ready = cli.has("once-ready");
-  const std::string pid_file = cli.get("pid-file", "");
+  serve_options.stats = cli.has("stats") || cli.has("stats-interval-ms");
+  serve_options.stats_interval_ms = stats_interval_ms;
+  serve_options.prewarm = cli.has("prewarm");
+  serve_options.once_ready = cli.has("once-ready");
+
   if (cli.has("supervise")) {
-    const std::int64_t wedge_ms = cli.get_int("wedge-ms", 10000);
-    const std::int64_t max_restarts = cli.get_int("max-restarts", 0);
-    if (wedge_ms < 1) {
+    whtlab::ipc::SupervisorOptions supervisor;
+    supervisor.daemon = options;
+    supervisor.child = serve_options;
+    // Config/env re-read per spawned child: flags pin what they name, the
+    // environment underneath may move between handoffs.
+    supervisor.reload = [cli] { return options_from(cli); };
+    supervisor.pid_file = cli.get("pid-file", "");
+    supervisor.wedge_ms = cli.get_int("wedge-ms", 10000);
+    supervisor.max_restarts = cli.get_int("max-restarts", 0);
+    supervisor.stable_ms = static_cast<std::uint64_t>(
+        cli.get_int("stable-ms", 60000));
+    supervisor.handoff_ready_ms = static_cast<std::uint64_t>(
+        cli.get_int("handoff-ready-ms", 30000));
+    if (supervisor.wedge_ms < 1) {
       std::fprintf(stderr, "whtd: --wedge-ms must be >= 1\n");
       return 2;
     }
-    return supervise(options, stats, stats_interval_ms, prewarm, once_ready,
-                     pid_file, wedge_ms, max_restarts);
+    return whtlab::ipc::run_supervisor(supervisor);
   }
-  return run_daemon(options, stats, stats_interval_ms, prewarm, once_ready,
-                    pid_file);
+  serve_options.pid_file = cli.get("pid-file", "");
+  return whtlab::ipc::serve(options, serve_options);
 }

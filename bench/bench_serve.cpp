@@ -105,12 +105,39 @@ struct ShapeDecision {
   wht::Engine::Decision decision;
 };
 
+/// --telemetry-overhead cell: the same single-vector workload through two
+/// fresh engines, telemetry on vs off.
+struct TelemetryOverhead {
+  bool measured = false;
+  int n = 0;
+  double on_rps = 0.0;   ///< best round, telemetry on
+  double off_rps = 0.0;  ///< best round, telemetry off
+  /// Per-round paired overheads, percent (on and off windows back-to-back).
+  std::vector<double> round_pcts;
+  /// Median of the paired per-round ratios: each round's on/off windows run
+  /// back-to-back and share the host's noise, so their ratio cancels drift
+  /// that a best-of-on vs best-of-off comparison re-introduces.  Positive =
+  /// recording costs throughput; sub-noise values go negative.
+  double overhead_pct() const {
+    if (round_pcts.empty()) {
+      return off_rps > 0.0 ? (off_rps - on_rps) / off_rps * 100.0 : 0.0;
+    }
+    std::vector<double> sorted = round_pcts;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    return sorted.size() % 2 == 1
+               ? sorted[mid]
+               : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  }
+};
+
 void print_json(std::FILE* out, const std::vector<ShapeDecision>& decisions,
                 const std::vector<int>& threads, int gate_n,
                 const std::vector<double>& single_rps,
                 const std::vector<double>& mixed_rps, int coalesce_n,
                 const std::vector<double>& coalesce_rps,
                 const std::vector<double>& sync_rps,
+                const TelemetryOverhead& overhead,
                 const wht::Engine::Stats& stats) {
   std::fprintf(out, "{\n  \"bench\": \"serve\",\n");
   std::fprintf(out, "  \"host_cores\": %u,\n",
@@ -154,6 +181,13 @@ void print_json(std::FILE* out, const std::vector<ShapeDecision>& decisions,
   print_series("submit_rps", coalesce_rps);
   std::fprintf(out, ", ");
   print_series("sync_rps", sync_rps);
+  if (overhead.measured) {
+    std::fprintf(out,
+                 "},\n  \"telemetry_overhead\": {\"n\": %d, \"on_rps\": %.1f, "
+                 "\"off_rps\": %.1f, \"overhead_pct\": %.2f",
+                 overhead.n, overhead.on_rps, overhead.off_rps,
+                 overhead.overhead_pct());
+  }
   std::fprintf(out,
                "},\n  \"engine_stats\": {\"vectors\": %llu, \"batches\": %llu, "
                "\"coalesced\": %llu}\n}\n",
@@ -181,6 +215,13 @@ int main(int argc, char** argv) {
   cli.add_flag("out", "output JSON path", "BENCH_serve.json");
   cli.add_flag("assert-scaling", "min rps ratio at --assert-threads vs 1", "0");
   cli.add_flag("assert-threads", "client count the scaling gate checks", "4");
+  cli.add_bool("telemetry-overhead",
+               "measure single-shape rps with telemetry on vs off");
+  cli.add_flag("overhead-n",
+               "transform size for the telemetry-overhead cell", "12");
+  cli.add_flag("assert-overhead-pct",
+               "fail when telemetry overhead exceeds this percent (0 = off)",
+               "0");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::vector<int> threads = parse_int_list(cli.get("threads"));
@@ -311,6 +352,66 @@ int main(int argc, char** argv) {
                 coalesce_n, t, coalesce_rps.back(), sync_rps.back());
   }
 
+  // --- telemetry overhead: recording cost on the hot path -----------------
+  // Two fresh engines serve the identical single-vector workload from one
+  // client; the delta is the per-request price of the two timestamps plus
+  // the relaxed-atomic recording.  The backend is pinned to the main
+  // engine's pick so both variants run the exact same kernel — with
+  // measure_costs left on, independent anchor re-measurement can flip the
+  // arbiter between near-tied backends and swamp the nanosecond-scale
+  // effect under test.  One client keeps the comparison clean — under
+  // contention the recording cost hides in coherence noise, which would
+  // only flatter the result.
+  TelemetryOverhead overhead;
+  if (cli.has("telemetry-overhead")) {
+    const int overhead_n = static_cast<int>(cli.get_int("overhead-n", 12));
+    const std::uint64_t overhead_size = std::uint64_t{1} << overhead_n;
+    const std::string pinned = engine.arbitrate(overhead_n, 1).backend;
+    const auto make_probe = [&](bool telemetry) {
+      wht::EngineOptions variant = options;
+      variant.telemetry = telemetry;
+      variant.backends = {pinned};
+      variant.measure_costs = false;  // one candidate; anchors can't reroute
+      return std::make_unique<wht::Engine>(variant);
+    };
+    const auto probe_on = make_probe(true);
+    const auto probe_off = make_probe(false);
+    std::vector<double> buffer = random_vector(overhead_size, 7);
+    // Short windows, many paired rounds: on this class of (virtualized)
+    // host the noise is bursty steal time, so a 0.1 s on/off pair usually
+    // lands inside one noise regime and the median over many pairs is far
+    // tighter than a few long windows.
+    const double window = std::min(seconds, 0.1);
+    const int rounds = std::max(reps * 8, 24);
+    const auto time_probe = [&](wht::Engine& probe) {
+      return throughput(1, window, [&probe, &buffer, overhead_n](int) {
+        probe.execute(overhead_n, buffer.data());
+        return std::uint64_t{1};
+      });
+    };
+    // Pay planning, then warm caches and clocks before timing.
+    for (int i = 0; i < 512; ++i) {
+      probe_on->execute(overhead_n, buffer.data());
+      probe_off->execute(overhead_n, buffer.data());
+    }
+    // The effect under test is ~100 ns/request, so this cell takes more
+    // rounds than the throughput cells to let the median converge.
+    overhead.measured = true;
+    overhead.n = overhead_n;
+    for (int r = 0; r < rounds; ++r) {
+      const double on = time_probe(*probe_on);
+      const double off = time_probe(*probe_off);
+      overhead.on_rps = std::max(overhead.on_rps, on);
+      overhead.off_rps = std::max(overhead.off_rps, off);
+      if (off > 0.0) overhead.round_pcts.push_back((off - on) / off * 100.0);
+    }
+    std::printf(
+        "telemetry n=%-3d backend=%-10s  on %9.0f req/s   off %9.0f req/s   "
+        "overhead %.2f%%\n",
+        overhead_n, pinned.c_str(), overhead.on_rps, overhead.off_rps,
+        overhead.overhead_pct());
+  }
+
   const auto stats = engine.stats();
   const std::string out_path = cli.get("out");
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -319,7 +420,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   print_json(out, decisions, threads, gate_n, single_rps, mixed_rps,
-             coalesce_n, coalesce_rps, sync_rps, stats);
+             coalesce_n, coalesce_rps, sync_rps, overhead, stats);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -344,6 +445,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "bench_serve: FAIL concurrent throughput %.2fx < %.2fx\n",
                    ratio, gate);
+      return 1;
+    }
+  }
+
+  const double overhead_gate = cli.get_double("assert-overhead-pct", 0.0);
+  if (overhead_gate > 0.0) {
+    if (!overhead.measured) {
+      std::fprintf(stderr,
+                   "bench_serve: --assert-overhead-pct needs "
+                   "--telemetry-overhead\n");
+      return 1;
+    }
+    if (overhead.overhead_pct() > overhead_gate) {
+      std::fprintf(stderr,
+                   "bench_serve: FAIL telemetry overhead %.2f%% > %.2f%%\n",
+                   overhead.overhead_pct(), overhead_gate);
       return 1;
     }
   }

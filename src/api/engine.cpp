@@ -15,6 +15,7 @@
 #include "api/wisdom.hpp"
 #include "model/combined_model.hpp"
 #include "simd/cpu_features.hpp"
+#include "util/env.hpp"
 #include "util/fault.hpp"
 
 namespace whtlab::api {
@@ -74,6 +75,28 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   if (options_.quarantine_strikes > 0 && options_.probation_ms < 1) {
     throw std::invalid_argument("wht::Engine: probation_ms must be >= 1");
   }
+  if (options_.reanchor_blend < 0.0 || options_.reanchor_blend > 1.0) {
+    throw std::invalid_argument(
+        "wht::Engine: reanchor_blend must be in [0, 1]");
+  }
+  if (options_.drift_demote_factor < 0.0) {
+    throw std::invalid_argument(
+        "wht::Engine: drift_demote_factor must be >= 0");
+  }
+  if (options_.drift_demote_factor > 0.0 && options_.probation_ms < 1) {
+    throw std::invalid_argument(
+        "wht::Engine: drift demotion needs probation_ms >= 1");
+  }
+  // WHTLAB_TELEMETRY=0 reproduces pre-telemetry behavior exactly: no
+  // recording, no re-anchoring, no drift demotion.
+  if (util::env_int("WHTLAB_TELEMETRY", options_.telemetry ? 1 : 0) == 0) {
+    options_.telemetry = false;
+  }
+  if (!options_.telemetry) {
+    options_.reanchor_min_samples = 0;
+    options_.drift_demote_factor = 0.0;
+  }
+  telemetry_.set_decay_window(options_.telemetry_decay_window);
   candidates_ = options_.backends;
   if (candidates_.empty()) {
     candidates_ = {"generated", "simd", "fused"};
@@ -151,6 +174,10 @@ void Engine::build_entry(Entry& e, int n, const std::string& backend) {
   } else {
     e.unit_cost = model_unit_cost(transform->backend(), transform->plan());
   }
+  if (options_.telemetry) {
+    e.telem_single = &telemetry_.series(n, backend, /*batch=*/false);
+    e.telem_batch = &telemetry_.series(n, backend, /*batch=*/true);
+  }
   e.transform = std::move(transform);
 }
 
@@ -225,11 +252,29 @@ Engine::Choice Engine::choose(int n, std::size_t count) {
       if (honour_quarantine && quarantine_blocked(name)) continue;
       try {
         Entry& e = ensure_built(*cells[i], n, name);
-        double cost = e.unit_cost * static_cast<double>(count);
+        // Per-vector price for this shape: the first-touch anchor (scaled
+        // by batch_factor for the batch path), re-anchored toward the live
+        // decayed mean of the *same shape's* series once it holds enough
+        // samples — so a backend whose measured-at-first-touch cost has
+        // drifted is repriced from what it actually costs now.
+        double per_vector = e.unit_cost;
         if (count > 1) {
-          cost *= e.transform->backend().batch_factor(e.transform->plan(),
-                                                      count, options_.threads);
+          per_vector *= e.transform->backend().batch_factor(
+              e.transform->plan(), count, options_.threads);
         }
+        if (options_.reanchor_min_samples > 0) {
+          telemetry::Accumulator* live =
+              count > 1 ? e.telem_batch : e.telem_single;
+          if (live != nullptr &&
+              live->count() >= options_.reanchor_min_samples) {
+            const double mean = live->mean();
+            if (mean > 0.0) {
+              per_vector = options_.reanchor_blend * mean +
+                           (1.0 - options_.reanchor_blend) * per_vector;
+            }
+          }
+        }
+        const double cost = per_vector * static_cast<double>(count);
         choice.decision.candidates.push_back({name, cost});
         if (cost < choice.decision.cost) {
           choice.decision.cost = cost;
@@ -260,7 +305,7 @@ Engine::Decision Engine::arbitrate(int n, std::size_t count) {
 }
 
 bool Engine::quarantine_blocked(const std::string& backend) {
-  if (options_.quarantine_strikes < 1) return false;
+  if (!health_armed()) return false;
   const std::lock_guard<std::mutex> lock(health_mutex_);
   const auto it = health_.find(backend);
   if (it == health_.end() || !it->second.quarantined) return false;
@@ -287,6 +332,27 @@ void Engine::on_backend_success(const std::string& backend) {
   Health& h = health_[backend];
   h.strikes = 0;
   h.quarantined = false;
+}
+
+void Engine::maybe_demote_for_drift(const std::string& backend, Entry& e) {
+  // The comparison needs both sides in cycles: a measured anchor and enough
+  // live samples for the p99 to mean something.
+  if (!options_.measure_costs || options_.reanchor_min_samples == 0) return;
+  if (e.telem_single == nullptr || e.unit_cost <= 0.0) return;
+  if (e.telem_single->count() < options_.reanchor_min_samples) return;
+  const double p99 = e.telem_single->percentile(0.99);
+  if (p99 <= options_.drift_demote_factor * e.unit_cost) return;
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    Health& h = health_[backend];
+    if (h.quarantined) return;  // already demoted; probation owns re-entry
+    h.quarantined = true;
+    h.until_ns = engine_monotonic_ns() + options_.probation_ms * 1000000ULL;
+    h.trips += 1;
+  }
+  // Fresh epoch for the series: the post-probation probe is judged on new
+  // observations, not on the degraded history that tripped this demotion.
+  e.telem_single->reset();
 }
 
 void Engine::run_guarded(Choice& choice, int n, double* x, std::size_t count,
@@ -321,13 +387,25 @@ void Engine::run_guarded(Choice& choice, int n, double* x, std::size_t count,
       t.execute_many(x, count, dist);
     }
   };
+  telemetry::Accumulator* telem =
+      options_.telemetry
+          ? (count > 1 ? choice.winner->telem_batch
+                       : choice.winner->telem_single)
+          : nullptr;
+  std::uint64_t elapsed = 0;
+  bool timed = false;
   bool failed = false;
   try {
     if (fault::enabled() && fault::point("engine.exec." + backend)) {
       throw std::runtime_error("engine: backend '" + backend +
                                "' failed [fault injected]");
     }
+    const std::uint64_t begin = telem ? telemetry::now_ticks() : 0;
     run(*choice.winner->transform);
+    if (telem) {
+      elapsed = telemetry::now_ticks() - begin;
+      timed = true;
+    }
     if (fault::enabled() && fault::point("engine.corrupt." + backend)) {
       x[0] = std::numeric_limits<double>::quiet_NaN();
     }
@@ -345,7 +423,18 @@ void Engine::run_guarded(Choice& choice, int n, double* x, std::size_t count,
     failed = true;
   }
   if (!failed) {
-    if (resilient) on_backend_success(backend);
+    // Success bookkeeping first: if this request was a post-probation
+    // probe, it clears the quarantine *before* the drift check below can
+    // legitimately re-trip it on fresh evidence.
+    if (health_armed() && backend != kFallbackBackend) {
+      on_backend_success(backend);
+    }
+    if (telem != nullptr && timed) {
+      telem->record(elapsed / count);
+      if (count == 1 && options_.drift_demote_factor > 0.0) {
+        maybe_demote_for_drift(backend, *choice.winner);
+      }
+    }
     return;
   }
   on_backend_failure(backend);
@@ -532,6 +621,10 @@ void Engine::serve_group(std::vector<Pending> group) {
     const std::exception_ptr error = std::current_exception();
     for (Pending& p : group) p.promise.set_exception(error);
   }
+}
+
+telemetry::Snapshot Engine::telemetry_snapshot() const {
+  return telemetry_.snapshot();
 }
 
 Engine::Stats Engine::stats() const {

@@ -52,6 +52,7 @@
 #include "api/exec_context.hpp"
 #include "api/transform.hpp"
 #include "perf/measure.hpp"
+#include "telemetry/registry.hpp"
 
 namespace whtlab::api {
 
@@ -118,6 +119,41 @@ struct EngineOptions {
   /// snapshot that makes the fallback re-run possible is what makes
   /// detection actionable.
   bool verify_finite = false;
+
+  /// Online telemetry: every served request records its observed
+  /// cycles-per-vector into a per-(n, backend, single/batch) accumulator
+  /// table (telemetry/registry.hpp), exported via telemetry_snapshot().
+  /// Recording is a handful of relaxed atomic ops per request; the
+  /// WHTLAB_TELEMETRY=0 environment knob (applied at construction) turns it
+  /// off, which also disables re-anchoring and drift demotion below.
+  bool telemetry = true;
+
+  /// Records per stripe between histogram halvings — the EWMA horizon of
+  /// the live series (accumulator.hpp).  0 = never decay (lifetime stats).
+  std::uint64_t telemetry_decay_window = 4096;
+
+  /// Live re-anchoring: once a series holds at least this many
+  /// observations, the arbiter prices that (shape, backend) from a blend of
+  /// the live decayed mean and the first-touch anchor instead of the anchor
+  /// alone — the paper's measure-don't-model lesson applied continuously at
+  /// serve time.  0 (default) never re-anchors: arbitration is exactly the
+  /// pre-telemetry behavior.  Only meaningful with measure_costs (anchors
+  /// must be in cycles for the blend to be unit-consistent).
+  std::uint64_t reanchor_min_samples = 0;
+
+  /// Weight of the live mean in the re-anchored price (0 = anchor only,
+  /// 1 = live only).
+  double reanchor_blend = 0.5;
+
+  /// Drift circuit breaker: demote a backend whose live single-vector p99
+  /// exceeds this factor times its first-touch anchor (frequency scaling,
+  /// cache pressure, co-tenancy...), using the quarantine/probation
+  /// machinery — the arbiter stops routing to it for probation_ms, then
+  /// lets live traffic re-probe it against a reset series.  0 (default)
+  /// never demotes.  Like re-anchoring, requires telemetry + measure_costs;
+  /// checked once the series holds reanchor_min_samples observations (which
+  /// must be > 0 for the check to arm).
+  double drift_demote_factor = 0.0;
 };
 
 class Engine {
@@ -214,6 +250,12 @@ class Engine {
   };
   Stats stats() const;
 
+  /// Point-in-time copy of the whole telemetry table — every
+  /// (n, backend, single/batch) series observed since construction, sorted.
+  /// Empty when options().telemetry is off.  telemetry::to_text renders it
+  /// in the Prometheus exposition format.
+  telemetry::Snapshot telemetry_snapshot() const;
+
   const EngineOptions& options() const { return options_; }
   /// The arbiter's candidate pool (options().backends after defaulting).
   const std::vector<std::string>& candidates() const { return candidates_; }
@@ -229,6 +271,12 @@ class Engine {
     std::mutex build_mutex;
     std::shared_ptr<const Transform> transform;
     double unit_cost = 0.0;  ///< per-vector serve cost (cycles or model units)
+    /// Live telemetry series for this (n, backend), resolved once at build
+    /// so the hot recording path never touches the registry lock (series
+    /// addresses are stable for the Engine's lifetime).  Null when
+    /// telemetry is off.
+    telemetry::Accumulator* telem_single = nullptr;
+    telemetry::Accumulator* telem_batch = nullptr;
   };
 
   struct Pending {
@@ -270,6 +318,17 @@ class Engine {
   bool quarantine_blocked(const std::string& backend);
   void on_backend_failure(const std::string& backend);
   void on_backend_success(const std::string& backend);
+  /// True when *any* breaker can engage — consecutive-failure quarantine or
+  /// telemetry drift demotion — so success/probe bookkeeping runs.
+  bool health_armed() const {
+    return options_.quarantine_strikes > 0 ||
+           options_.drift_demote_factor > 0.0;
+  }
+  /// Drift check on the recording path: once the single-vector series holds
+  /// enough samples, a live p99 beyond drift_demote_factor x the anchor
+  /// quarantines the backend for one probation and resets the series (the
+  /// re-probe prices from the anchor, not the degraded history).
+  void maybe_demote_for_drift(const std::string& backend, Entry& e);
 
   /// Runs the chosen transform; with the breaker armed, absorbs a backend
   /// failure (exception, injected fault, or non-finite output from a finite
@@ -288,6 +347,7 @@ class Engine {
 
   EngineOptions options_;
   std::vector<std::string> candidates_;
+  telemetry::Registry telemetry_;
 
   std::mutex entries_mutex_;  ///< guards the map structure, not the builds
   std::map<std::pair<int, std::string>, std::unique_ptr<Entry>> entries_;

@@ -106,6 +106,11 @@ Planner& Planner::anneal_options(const search::AnnealOptions& options) {
   return *this;
 }
 
+Planner& Planner::anneal_measured(bool enabled) {
+  anneal_measured_ = enabled;
+  return *this;
+}
+
 Planner& Planner::measure_options(const perf::MeasureOptions& options) {
   measure_ = options;
   return *this;
@@ -241,10 +246,16 @@ core::Plan Planner::search_plan(int n, ExecutorBackend& backend,
       search::AnnealOptions options = anneal_;
       options.max_leaf = max_leaf_;
       options.cost_cache = &cost_cache;
+      if (anneal_measured_) {
+        // Measured acceptance (the PR 4 follow-on): the model still prices
+        // every proposal — as the filter — but live cycles through this
+        // backend decide what the walk keeps.
+        options.accept_cost = measured_cost;
+      }
       util::Rng rng(seed_);
       const auto result = search::anneal_search(
           n, model_for(backend, &cost_cache), rng, options);
-      info.evaluations = result.evaluations;
+      info.evaluations = result.evaluations + result.measured;
       info.cost = result.best_cost;
       record_cache();
       return result.best;

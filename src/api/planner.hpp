@@ -84,6 +84,15 @@ class Planner {
   /// AnnealOptions::max_leaf is overridden by Planner::max_leaf().
   Planner& anneal_options(const search::AnnealOptions& options);
 
+  /// Measured-cost annealing for kAnneal (default off): live measured
+  /// cycles through the chosen backend become the Metropolis acceptance
+  /// metric while the model cost demotes to a proposal filter — proposals
+  /// the model prices beyond AnnealOptions::accept_filter_slack x the
+  /// current plan go unmeasured.  Closes the model-vs-measured gap at the
+  /// cost of one measurement per surviving proposal; pair with
+  /// wisdom_file() so the price is paid once per machine.
+  Planner& anneal_measured(bool enabled);
+
   /// Measurement protocol for the measuring strategies.
   Planner& measure_options(const perf::MeasureOptions& options);
 
@@ -137,6 +146,7 @@ class Planner {
   double keep_fraction_ = 0.1;
   std::uint64_t seed_ = 1;
   search::AnnealOptions anneal_{};
+  bool anneal_measured_ = false;
   perf::MeasureOptions measure_{};
   core::Plan fixed_;
   std::string wisdom_file_;  ///< empty = no wisdom cache

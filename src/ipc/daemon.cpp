@@ -3,8 +3,10 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -119,6 +121,8 @@ DaemonOptions DaemonOptions::from_env() {
       env_u64("WHTLAB_IPC_STRIKES", options.strike_limit, 0, 1000000));
   options.drain_ms =
       env_u64("WHTLAB_IPC_DRAIN_MS", options.drain_ms, 1, 86400000);
+  options.stats_publish_ms = env_u64("WHTLAB_IPC_STATS_PUBLISH_MS",
+                                     options.stats_publish_ms, 0, 3600000);
   // The daemon arms the Engine circuit breaker by default: a serving
   // process must degrade to the reference backend, not crash or corrupt.
   options.engine.quarantine_strikes = static_cast<int>(
@@ -127,6 +131,32 @@ DaemonOptions DaemonOptions::from_env() {
       env_u64("WHTLAB_IPC_PROBATION_MS", 2000, 1, 86400000);
   options.engine.verify_finite =
       env_u64("WHTLAB_IPC_VERIFY", 1, 0, 1) != 0;
+  // Daemon-path latency knob: single-vector round trips pay the Engine
+  // coalescer's full batch window, so the daemon exposes it directly
+  // (0 = dispatch immediately; trade batch formation for p50).
+  options.engine.batch_window_us = static_cast<long>(
+      env_u64("WHTLAB_IPC_COALESCE_WINDOW_US",
+              static_cast<std::uint64_t>(options.engine.batch_window_us), 0,
+              1000000));
+  // Live re-anchoring knobs (engine.hpp): conservative defaults — recording
+  // on, re-anchoring and drift demotion off until explicitly armed.
+  // (WHTLAB_TELEMETRY=0 itself is read by the Engine constructor.)
+  options.engine.telemetry_decay_window =
+      env_u64("WHTLAB_TELEMETRY_DECAY",
+              options.engine.telemetry_decay_window, 0, std::uint64_t{1} << 32);
+  options.engine.reanchor_min_samples =
+      env_u64("WHTLAB_TELEMETRY_REANCHOR",
+              options.engine.reanchor_min_samples, 0, std::uint64_t{1} << 32);
+  options.engine.reanchor_blend =
+      static_cast<double>(env_u64(
+          "WHTLAB_TELEMETRY_BLEND_PCT",
+          static_cast<std::uint64_t>(options.engine.reanchor_blend * 100.0),
+          0, 100)) /
+      100.0;
+  options.engine.drift_demote_factor = static_cast<double>(
+      env_u64("WHTLAB_TELEMETRY_DRIFT",
+              static_cast<std::uint64_t>(options.engine.drift_demote_factor),
+              0, 1000000));
   return options;
 }
 
@@ -196,10 +226,62 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   engine_ = std::make_unique<api::Engine>(options_.engine);
   header()->daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
                              std::memory_order_release);
+  bind_stats_page();
   // Construction complete, Engine cold: kWarming until start() (a standby
   // stays here through prewarm() and promote()).  Clients may attach from
   // now on — attach admits kBooting/kWarming/kServing alike.
   set_lifecycle(Lifecycle::kWarming);
+}
+
+void Daemon::bind_stats_page() {
+  // We own the serving segment by now, so any page under this name is a
+  // crashed predecessor's leftover; replace it (observers re-map by name).
+  const std::string name = shm_.name() + ".stats";
+  Shm::unlink(name);
+  stats_shm_ = Shm::create(name, sizeof(StatsPage));
+  auto* page = static_cast<StatsPage*>(stats_shm_.data());
+  page->header.magic = kStatsMagic;
+  page->header.version = kStatsVersion;
+  page->header.pid = static_cast<std::uint32_t>(::getpid());
+  page->header.epoch = header()->epoch.load(std::memory_order_acquire);
+}
+
+void Daemon::publish_stats_page() {
+  if (!stats_shm_.valid()) return;
+  auto* page = static_cast<StatsPage*>(stats_shm_.data());
+  const telemetry::Snapshot series = engine_->telemetry_snapshot();
+  const api::Engine::Stats totals = engine_->stats();
+  stats_write_begin(page->header);
+  page->header.published_ns = monotonic_ns();
+  page->header.totals.requests = totals.singles + totals.submitted;
+  page->header.totals.vectors = totals.vectors;
+  page->header.totals.batches = totals.batches;
+  page->header.totals.failures = totals.failures;
+  page->header.totals.fallbacks = totals.fallbacks;
+  const std::uint32_t count = static_cast<std::uint32_t>(
+      std::min<std::size_t>(series.size(), kStatsSeriesCapacity));
+  page->header.series_count = count;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const telemetry::SeriesSnapshot& in = series[i];
+    StatsSeries& out = page->series[i];
+    out.n = in.n;
+    out.batch = in.batch ? 1 : 0;
+    std::snprintf(out.backend, sizeof(out.backend), "%s",
+                  in.backend.c_str());
+    out.count = in.stats.count;
+    out.min = in.stats.count == 0 ? 0 : in.stats.min;
+    out.max = in.stats.max;
+    out.mean = in.stats.mean();
+    out.p50 = in.stats.percentile(0.50);
+    out.p99 = in.stats.percentile(0.99);
+  }
+  stats_write_end(page->header);
+}
+
+void Daemon::release_stats_page() {
+  if (!stats_shm_.valid()) return;
+  Shm::unlink(stats_shm_.name());
+  stats_shm_ = Shm();  // unmap; later publish calls become no-ops
 }
 
 Shm Daemon::bind_segment(const std::string& shm_name, bool cede_draining,
@@ -324,6 +406,10 @@ void Daemon::stop() {
   if (shm_.valid()) futex_wake_all(header()->doorbell);
   if (service_.joinable()) service_.join();
   running_.store(false, std::memory_order_release);
+  // Stats page first, serving words second: a successor waits for the
+  // shutdown/kStopped publication below before binding its own page, so
+  // this unlink can never hit the successor's.
+  release_stats_page();
   if (shm_.valid()) {
     // Publish the end of the endpoint, wake every parked client so it can
     // observe it, and remove the name.  Mapped clients keep their (now
@@ -350,6 +436,7 @@ void Daemon::release_name() {
   // ordering exists to close).
   if (name_released_ || !shm_.valid()) return;
   name_released_ = true;
+  release_stats_page();  // before the name: same single-owner transition
   Shm::unlink(shm_.name());
 }
 
@@ -466,12 +553,14 @@ void Daemon::promote(std::uint64_t wait_ms) {
                                wait_ms);
   // The staging name has served its purpose; drop it before the old
   // mapping goes away so a crash in between cannot leave it lingering.
+  release_stats_page();  // the staging page goes with the staging segment
   Shm::unlink(staging);
   shm_ = std::move(canonical);  // unmaps the staging segment
   ControlHeader* hdr = header();
   hdr->prewarmed.store(prewarmed, std::memory_order_release);
   hdr->daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
                         std::memory_order_release);
+  bind_stats_page();  // now under the canonical name
   options_.standby = false;
   set_lifecycle(Lifecycle::kWarming);  // kServing once start() runs
 }
@@ -518,6 +607,8 @@ void Daemon::service_loop() {
   std::vector<PendingExec> pending;
   const std::uint64_t sweep_ns = options_.sweep_ms * 1000000ULL;
   std::uint64_t last_sweep = monotonic_ns();
+  const std::uint64_t publish_ns = options_.stats_publish_ms * 1000000ULL;
+  std::uint64_t last_publish = 0;  // 0: publish on the first iteration
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
     // Supervision heartbeat: stamped at least once per iteration, and the
@@ -551,6 +642,10 @@ void Daemon::service_loop() {
     if (now - last_sweep >= sweep_ns) {
       sweep();
       last_sweep = now;
+    }
+    if (publish_ns != 0 && now - last_publish >= publish_ns) {
+      publish_stats_page();
+      last_publish = now;
     }
 
     if (draining_.load(std::memory_order_acquire)) {

@@ -118,6 +118,15 @@ struct DaemonOptions {
   /// the drain (typed, counted — never hung).  [WHTLAB_IPC_DRAIN_MS]
   std::uint64_t drain_ms = 5000;
 
+  /// Telemetry stats-page publish period: the service loop republishes the
+  /// Engine's telemetry snapshot into the observer-only
+  /// /dev/shm/whtlab.<endpoint>.stats segment (protocol.hpp, StatsPage) at
+  /// most this often.  Observers (`whtd_stat`) map it read-only and read
+  /// under the seqlock, so publishing never blocks serving.  0 disables
+  /// publishing (the page still exists, frozen at zero).
+  /// [WHTLAB_IPC_STATS_PUBLISH_MS]
+  std::uint64_t stats_publish_ms = 250;
+
   /// Warm-standby mode: bind the *staging* segment (endpoint + ".next")
   /// instead of the canonical one, so this daemon can construct and prewarm
   /// while the incumbent still serves.  promote() later takes the canonical
@@ -265,6 +274,17 @@ class Daemon {
   /// still kDraining and remember it (name_released_) so no later path
   /// unlinks again — the successor owns the name from here on.
   void release_name();
+  /// Creates (taking over a stale predecessor's) the observer-only stats
+  /// page "<shm name>.stats" and stamps its immutable header fields.
+  void bind_stats_page();
+  /// Publishes the Engine's telemetry snapshot + serving totals into the
+  /// stats page under the seqlock.  Service-thread only.
+  void publish_stats_page();
+  /// Unlinks and unmaps the stats page.  Ordered before the kStopped /
+  /// shutdown publication on every exit path, so a successor that waits
+  /// for those words can never lose its own freshly bound page to a late
+  /// unlink from this process.
+  void release_stats_page();
 
   ControlHeader* header() const { return layout_.header(shm_.data()); }
   SlotShared* slot(std::uint32_t index) const {
@@ -277,6 +297,7 @@ class Daemon {
   DaemonOptions options_;
   Layout layout_;
   Shm shm_;
+  Shm stats_shm_;  ///< observer-only telemetry page ("<shm name>.stats")
   std::unique_ptr<api::Engine> engine_;
   api::ExecContext ctx_;  ///< service-thread scratch for direct batch runs
   /// Daemon-private per-slot trust/budget state (limiter, credit bucket,

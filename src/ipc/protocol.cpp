@@ -1,6 +1,9 @@
 #include "ipc/protocol.hpp"
 
+#include <cstring>
 #include <ctime>
+
+#include "ipc/shm.hpp"
 
 namespace whtlab::ipc {
 
@@ -29,6 +32,24 @@ const char* to_string(Lifecycle lifecycle) {
     case kStopped: return "stopped";
   }
   return "unknown";
+}
+
+bool stats_read(const StatsPage& shared, StatsPage& out, int retries) {
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    const std::uint64_t before =
+        shared.header.seq.load(std::memory_order_acquire);
+    if (before & 1) continue;  // publish in progress
+    std::memcpy(&out, &shared, sizeof(StatsPage));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t after =
+        shared.header.seq.load(std::memory_order_relaxed);
+    if (before == after) return true;
+  }
+  return false;
+}
+
+std::string stats_shm_name_for(const std::string& endpoint) {
+  return shm_name_for(endpoint) + ".stats";
 }
 
 std::uint64_t monotonic_ns() {

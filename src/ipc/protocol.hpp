@@ -280,6 +280,89 @@ struct Layout {
   }
 };
 
+// --- telemetry stats page ---------------------------------------------------
+//
+// A second, tiny, *observer-only* segment per endpoint
+// ("/whtlab.<endpoint>.stats") into which the daemon periodically publishes
+// the Engine's telemetry snapshot.  Deliberately separate from the serving
+// segment: the request-path ABI is untouched, observers map it read-only
+// (Shm::open_readonly), and a scraper crash can never perturb serving
+// state.  Consistency is a seqlock — the single writer (the service loop)
+// never blocks on readers, and a reader detects a torn copy by the sequence
+// word and retries.  Monitoring-grade: a reader that loses every retry
+// reports staleness, nothing worse.
+
+inline constexpr std::uint64_t kStatsMagic = 0x7768746c61622d73ULL;  // "whtlab-s"
+inline constexpr std::uint32_t kStatsVersion = 1;
+/// Series slots in the page.  (n <= 30) x (a handful of backends) x
+/// (single|batch) stays far under this; overflow drops the tail (the
+/// registry's stable ordering makes the drop deterministic).
+inline constexpr std::uint32_t kStatsSeriesCapacity = 256;
+
+/// One exported telemetry series — plain data, written only between the
+/// seqlock edges.  Distribution values are cycles (ticks) per served vector.
+struct StatsSeries {
+  std::int32_t n;
+  std::uint32_t batch;  ///< 0 = single-vector path, 1 = batched path
+  char backend[24];     ///< NUL-terminated, truncated if longer
+  std::uint64_t count;  ///< observations (record() calls)
+  std::uint64_t min;
+  std::uint64_t max;
+  double mean;
+  double p50;
+  double p99;
+};
+
+/// Engine-level serving totals published alongside the series table.
+struct StatsTotals {
+  std::uint64_t requests;  ///< singles + submits since Engine construction
+  std::uint64_t vectors;
+  std::uint64_t batches;
+  std::uint64_t failures;
+  std::uint64_t fallbacks;
+};
+
+struct StatsPageHeader {
+  std::uint64_t magic;    ///< kStatsMagic (written once at bind)
+  std::uint32_t version;  ///< kStatsVersion
+  std::uint32_t pid;      ///< publishing daemon
+  std::uint64_t epoch;    ///< daemon takeover epoch at bind
+  /// Seqlock word: odd while a publish is in progress.  Readers take a
+  /// consistent copy with stats_read(); the writer never waits.
+  std::atomic<std::uint64_t> seq;
+  std::uint64_t published_ns;  ///< monotonic_ns() of the last publish
+  std::uint32_t series_count;  ///< valid StatsSeries entries
+  std::uint32_t reserved;
+  StatsTotals totals;
+};
+
+struct StatsPage {
+  StatsPageHeader header;
+  StatsSeries series[kStatsSeriesCapacity];
+};
+
+static_assert(std::is_standard_layout_v<StatsPage>);
+
+/// Seqlock write edges for the single publisher.  The acquire RMW keeps the
+/// body writes from hoisting above "seq goes odd"; the release RMW keeps
+/// them from sinking below "seq goes even".
+inline void stats_write_begin(StatsPageHeader& header) {
+  header.seq.fetch_add(1, std::memory_order_acquire);
+}
+inline void stats_write_end(StatsPageHeader& header) {
+  header.seq.fetch_add(1, std::memory_order_release);
+}
+
+/// Seqlock-consistent copy of the page: retries while the writer is mid-
+/// publish or the sequence moved under the copy.  Returns false when no
+/// consistent snapshot could be taken within `retries` attempts (a publish
+/// storm — report staleness and try again later).
+bool stats_read(const StatsPage& shared, StatsPage& out, int retries = 64);
+
+/// The stats-page shm name for an endpoint: shm_name_for(endpoint) +
+/// ".stats".
+std::string stats_shm_name_for(const std::string& endpoint);
+
 /// Monotonic nanoseconds (CLOCK_MONOTONIC) — the protocol's only clock:
 /// rate-limiter stamps, wait deadlines, sweep periods.
 std::uint64_t monotonic_ns();

@@ -7,17 +7,24 @@
 namespace whtlab::stats {
 
 Histogram::Histogram(const std::vector<double>& xs, int bins) {
-  if (xs.empty()) throw std::invalid_argument("histogram: empty sample");
   if (bins < 1) throw std::invalid_argument("histogram: bad bin count");
-  low_ = *std::min_element(xs.begin(), xs.end());
-  high_ = *std::max_element(xs.begin(), xs.end());
-  counts_.assign(static_cast<std::size_t>(bins), 0);
-  if (high_ == low_) {
-    // Degenerate sample: everything in one bin.
-    counts_[0] = xs.size();
-    bin_width_ = 1.0;
+  if (xs.empty()) {
+    // Degenerate: no data.  A defined single empty bin [0, 0] instead of a
+    // throw, so callers feeding measured samples (which may legitimately be
+    // empty — a telemetry series with no observations yet) need no guard.
+    counts_.assign(1, 0);
     return;
   }
+  low_ = *std::min_element(xs.begin(), xs.end());
+  high_ = *std::max_element(xs.begin(), xs.end());
+  if (high_ == low_) {
+    // Degenerate: constant data.  One zero-width bin [x, x] holding every
+    // sample — the requested bin count is a partition of a range that does
+    // not exist here.
+    counts_.assign(1, xs.size());
+    return;
+  }
+  counts_.assign(static_cast<std::size_t>(bins), 0);
   bin_width_ = (high_ - low_) / static_cast<double>(bins);
   for (double x : xs) {
     auto bin = static_cast<std::size_t>((x - low_) / bin_width_);

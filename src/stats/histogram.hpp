@@ -14,7 +14,12 @@ namespace whtlab::stats {
 
 class Histogram {
  public:
-  /// Builds a histogram of xs with `bins` equal-width bins.
+  /// Builds a histogram of xs with `bins` equal-width bins.  Degenerate
+  /// inputs are defined, not errors: an empty sample yields a single empty
+  /// bin [0, 0], and a constant sample yields a single zero-width bin
+  /// [x, x] holding everything (bins() == 1 in both cases — the requested
+  /// bin count partitions a range that does not exist).  Throws
+  /// std::invalid_argument only for bins < 1.
   Histogram(const std::vector<double>& xs, int bins = 50);
 
   int bins() const { return static_cast<int>(counts_.size()); }

@@ -1,0 +1,195 @@
+// Engine live telemetry: re-anchoring arbitration and drift demotion.
+//
+// Backends here execute the real transform and then busy-wait a
+// *controllable* wall-clock delay, so their measured first-touch anchors
+// and their live served cycles are both dominated by a knob the test owns.
+// Degrading the fast backend at runtime models the drift the subsystem
+// exists to catch (frequency scaling, co-tenancy, cache pressure): the
+// arbiter must re-price it from live observations and, with the drift
+// breaker armed, demote it through the quarantine machinery and let
+// probation recover it once the knob is restored.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/executor_backend.hpp"
+#include "core/executor.hpp"
+#include "core/plan.hpp"
+#include "util/rng.hpp"
+
+namespace whtlab::api {
+namespace {
+
+using util::random_vector;
+
+std::atomic<std::uint64_t> g_fast_spin_ns{30000};
+std::atomic<std::uint64_t> g_slow_spin_ns{120000};
+
+/// Correct executor whose runtime is a test-owned busy-wait: the spin
+/// dwarfs the tiny transform, so measured cycles track the knob.
+class SpinBackend final : public ExecutorBackend {
+ public:
+  SpinBackend(std::string name, std::atomic<std::uint64_t>* spin_ns)
+      : name_(std::move(name)), spin_ns_(spin_ns) {}
+
+  const std::string& name() const override { return name_; }
+
+  void run(const core::Plan& plan, double* x, std::ptrdiff_t stride,
+           ExecContext& /*ctx*/) const override {
+    core::execute_node(plan.root(), x, stride,
+                       core::codelet_table(core::CodeletBackend::kGenerated));
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::nanoseconds(spin_ns_->load(std::memory_order_relaxed));
+    while (std::chrono::steady_clock::now() < deadline) {
+    }
+  }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t>* spin_ns_;
+};
+
+void ensure_spin_backends() {
+  auto& registry = BackendRegistry::global();
+  if (registry.contains("drift-fast")) return;
+  registry.register_factory("drift-fast", [](const BackendOptions&) {
+    return std::make_unique<SpinBackend>("drift-fast", &g_fast_spin_ns);
+  });
+  registry.register_factory("drift-slow", [](const BackendOptions&) {
+    return std::make_unique<SpinBackend>("drift-slow", &g_slow_spin_ns);
+  });
+}
+
+EngineOptions drift_options() {
+  ensure_spin_backends();
+  EngineOptions options;
+  options.backends = {"drift-fast", "drift-slow"};
+  options.measure_costs = true;  // anchors in cycles, like the live series
+  options.measure.warmup = 1;
+  options.measure.repetitions = 3;
+  options.measure.inner_loop = 1;
+  options.telemetry_decay_window = 0;  // lifetime stats: deterministic counts
+  options.reanchor_min_samples = 8;
+  return options;
+}
+
+class EngineDriftTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fast_spin_ns.store(30000);   // 30 us: wins arbitration while healthy
+    g_slow_spin_ns.store(120000);  // 120 us: the runner-up
+  }
+};
+
+TEST_F(EngineDriftTest, OptionsAreValidated) {
+  EngineOptions bad = drift_options();
+  bad.reanchor_blend = 1.5;
+  EXPECT_THROW(Engine{bad}, std::invalid_argument);
+  bad = drift_options();
+  bad.drift_demote_factor = -1.0;
+  EXPECT_THROW(Engine{bad}, std::invalid_argument);
+  bad = drift_options();
+  bad.drift_demote_factor = 3.0;
+  bad.probation_ms = 0;
+  EXPECT_THROW(Engine{bad}, std::invalid_argument);
+}
+
+TEST_F(EngineDriftTest, RecordsTelemetryPerSeries) {
+  Engine engine(drift_options());
+  const int n = 4;
+  for (int i = 0; i < 5; ++i) {
+    auto x = random_vector(std::size_t{1} << n, 10 + i);
+    engine.execute(n, x.data());
+  }
+  std::uint64_t singles = 0;
+  for (const auto& series : engine.telemetry_snapshot()) {
+    EXPECT_EQ(series.n, n);
+    if (!series.batch) singles += series.stats.count;
+    if (series.stats.count > 0) {
+      EXPECT_GT(series.stats.mean(), 0.0);
+      EXPECT_LE(series.stats.percentile(0.5), series.stats.percentile(0.99));
+    }
+  }
+  EXPECT_EQ(singles, 5u) << "every served single must be recorded";
+}
+
+TEST_F(EngineDriftTest, ReanchorsArbitrationFromLiveObservations) {
+  EngineOptions options = drift_options();
+  options.reanchor_blend = 0.9;  // live-dominated: drift flips the winner
+  Engine engine(options);
+
+  const int n = 4;
+  ASSERT_EQ(engine.arbitrate(n, 1).backend, "drift-fast")
+      << "healthy anchors: 30 us beats 120 us";
+
+  // The fast backend degrades 20x under the arbiter's feet.  The anchor
+  // alone would keep routing to it forever; the live blend must not.
+  g_fast_spin_ns.store(600000);
+  for (int i = 0; i < 8; ++i) {  // reanchor_min_samples observations
+    auto x = random_vector(std::size_t{1} << n, 50 + i);
+    engine.execute(n, x.data());
+  }
+  EXPECT_EQ(engine.arbitrate(n, 1).backend, "drift-slow")
+      << "blended price of the degraded backend must exceed the runner-up";
+}
+
+TEST_F(EngineDriftTest, DriftDemotesThenProbationRecovers) {
+  EngineOptions options = drift_options();
+  options.drift_demote_factor = 3.0;
+  options.probation_ms = 60;
+  Engine engine(options);
+
+  const int n = 4;
+  ASSERT_EQ(engine.arbitrate(n, 1).backend, "drift-fast");
+
+  // Degrade far past the demotion threshold (the log2 histogram quantises
+  // p99 to within 2x, so 20x leaves no ambiguity) and serve until the
+  // series holds enough samples for the breaker to judge.
+  g_fast_spin_ns.store(600000);
+  for (int i = 0; i < 8; ++i) {
+    auto x = random_vector(std::size_t{1} << n, 80 + i);
+    engine.execute(n, x.data());
+  }
+  auto stats = engine.stats();
+  ASSERT_EQ(stats.quarantined.size(), 1u) << "p99 drift must trip the breaker";
+  EXPECT_EQ(stats.quarantined[0], "drift-fast");
+  EXPECT_EQ(stats.quarantine_trips.at("drift-fast"), 1u);
+  EXPECT_EQ(engine.arbitrate(n, 1).backend, "drift-slow")
+      << "a demoted backend is out of arbitration";
+
+  // The incident passes (knob restored) and probation elapses: live
+  // traffic re-probes the backend against its reset series, the probe
+  // succeeds, and the breaker clears — full recovery, no intervention.
+  g_fast_spin_ns.store(30000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(engine.arbitrate(n, 1).backend, "drift-fast")
+      << "probation expiry must re-probe the demoted backend";
+  auto x = random_vector(std::size_t{1} << n, 99);
+  engine.execute(n, x.data());
+  stats = engine.stats();
+  EXPECT_TRUE(stats.quarantined.empty()) << "successful probe clears";
+  EXPECT_EQ(stats.quarantine_trips.at("drift-fast"), 1u) << "no re-trip";
+}
+
+TEST_F(EngineDriftTest, DriftBreakerDisarmedNeverDemotes) {
+  Engine engine(drift_options());  // drift_demote_factor = 0
+  const int n = 4;
+  g_fast_spin_ns.store(600000);
+  for (int i = 0; i < 10; ++i) {
+    auto x = random_vector(std::size_t{1} << n, 120 + i);
+    engine.execute(n, x.data());
+  }
+  EXPECT_TRUE(engine.stats().quarantined.empty())
+      << "factor 0 must mean exactly the pre-telemetry behavior";
+}
+
+}  // namespace
+}  // namespace whtlab::api

@@ -215,6 +215,29 @@ TEST(Planner, MaxLeafIsRespected) {
   EXPECT_LE(t.plan().max_leaf_log2(), 2);
 }
 
+TEST(Planner, AnnealMeasuredUsesLiveCyclesForAcceptance) {
+  // anneal_measured(true): the model screens proposals, measured cycles
+  // through the chosen backend decide — evaluations must count both.
+  search::AnnealOptions anneal;
+  anneal.iterations = 25;
+  perf::MeasureOptions measure;
+  measure.warmup = 0;
+  measure.repetitions = 1;
+  measure.inner_loop = 1;
+  auto t = Planner()
+               .strategy(Strategy::kAnneal)
+               .anneal_options(anneal)
+               .anneal_measured(true)
+               .measure_options(measure)
+               .seed(11)
+               .plan(6);
+  EXPECT_EQ(t.log2_size(), 6);
+  EXPECT_LT(core::verify_plan(t.plan()), 1e-10);
+  EXPECT_GT(t.planning().cost, 0.0) << "best_cost is measured cycles";
+  EXPECT_GT(t.planning().evaluations, 0u)
+      << "evaluations counts model pricings plus measurements";
+}
+
 TEST(Strategy, ToStringCoversAllValues) {
   EXPECT_STREQ(to_string(Strategy::kEstimate), "estimate");
   EXPECT_STREQ(to_string(Strategy::kMeasure), "measure");

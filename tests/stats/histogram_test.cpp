@@ -43,8 +43,25 @@ TEST(Histogram, EdgesArithmetic) {
 TEST(Histogram, DegenerateConstantSample) {
   const std::vector<double> xs{7, 7, 7};
   const Histogram h(xs, 5);
+  // Constant data collapses to one zero-width bin [7, 7] holding everything.
+  EXPECT_EQ(h.bins(), 1);
   EXPECT_EQ(h.count(0), 3u);
   EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 7.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 7.0);
+  EXPECT_EQ(h.mode_bin(), 0);
+}
+
+TEST(Histogram, DegenerateEmptySample) {
+  // No data is a defined single empty bin, not a throw — callers binning
+  // measured samples (possibly empty) need no guard.
+  const Histogram h({}, 10);
+  EXPECT_EQ(h.bins(), 1);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 0.0);
+  EXPECT_FALSE(h.render(10).empty());  // renders one empty bar, no crash
 }
 
 TEST(Histogram, ModeBinOfSkewedData) {
@@ -66,8 +83,8 @@ TEST(Histogram, RenderContainsBars) {
 }
 
 TEST(Histogram, Validation) {
-  EXPECT_THROW(Histogram({}, 10), std::invalid_argument);
   EXPECT_THROW(Histogram({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram({}, 0), std::invalid_argument);  // bad bins wins
 }
 
 }  // namespace
